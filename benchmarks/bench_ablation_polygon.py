@@ -1,0 +1,80 @@
+"""Ablation — query-area shape: irregular vs convex vs rectangle.
+
+The paper's introduction claims the traditional method is near-optimal for
+rectangle-like areas ("the result set will be very close to the candidate
+set in size") and degrades for irregular ones.  This bench sweeps the
+three shape classes at a fixed query size and verifies:
+
+* rectangle areas: traditional redundancy ~ 0 — the Voronoi method cannot
+  beat it on candidates there (only its shell differs);
+* irregular areas: traditional redundancy is a large fraction of the
+  candidate set, and the Voronoi method erases most of it.
+"""
+
+import pytest
+
+from repro.workloads.queries import QueryWorkload
+from benchmarks.conftest import (
+    FIXED_DATA_SIZE,
+    get_database,
+    run_batch,
+    summarize,
+)
+
+QUERY_SIZE = 0.04
+SHAPES = ("irregular", "convex", "rectangle")
+
+
+def _areas(shape: str, count: int = 30):
+    return QueryWorkload(
+        query_size=QUERY_SIZE, shape=shape, seed=41
+    ).areas(count)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("method", ["voronoi", "traditional"])
+def test_shape_query_time(benchmark, shape, method):
+    db = get_database(FIXED_DATA_SIZE)
+    areas = _areas(shape, count=5)
+
+    results = benchmark(run_batch, db, areas, method)
+
+    stats = summarize(results)
+    benchmark.extra_info["shape"] = shape
+    benchmark.extra_info["avg_candidates"] = stats["candidates"]
+    benchmark.extra_info["avg_redundant"] = stats["redundant"]
+
+
+def test_shape_ablation():
+    db = get_database(FIXED_DATA_SIZE)
+    redundancy_fraction = {}
+    savings = {}
+    for shape in SHAPES:
+        areas = _areas(shape)
+        voronoi = run_batch(db, areas, "voronoi")
+        traditional = run_batch(db, areas, "traditional")
+        for v, t in zip(voronoi, traditional):
+            assert v.ids == t.ids
+        v_stats = summarize(voronoi)
+        t_stats = summarize(traditional)
+        redundancy_fraction[shape] = (
+            t_stats["redundant"] / t_stats["candidates"]
+        )
+        savings[shape] = 1 - v_stats["candidates"] / t_stats["candidates"]
+
+    # Rectangles: the MBR *is* the area — traditional redundancy vanishes.
+    assert redundancy_fraction["rectangle"] < 0.01
+    # Irregular 10-gons: a large share of candidates are redundant.
+    assert redundancy_fraction["irregular"] > 0.3
+    # Convex sits in between.
+    assert (
+        redundancy_fraction["rectangle"]
+        < redundancy_fraction["convex"]
+        < redundancy_fraction["irregular"]
+    )
+
+    # Candidate savings of the Voronoi method follow the same order: it
+    # wins big on irregular areas and cannot win on rectangles.
+    assert savings["irregular"] > savings["convex"] > savings["rectangle"]
+    assert savings["rectangle"] < 0.05
+    assert savings["irregular"] > 0.2

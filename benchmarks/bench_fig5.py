@@ -1,0 +1,64 @@
+"""Figure 5 — **redundant validations vs data size** (query size 1 %).
+
+Paper reference: traditional redundancy grows linearly with data size
+(~0.47 × n × query size for these polygons); Voronoi redundancy grows like
+sqrt(n) (a one-cell-thick shell along a perimeter whose point density
+scales with sqrt(n)).  The candidate saving is 35–43 % across the sweep.
+
+Redundant-validation counts are deterministic given the workload, so the
+shape test is exact; the benchmark entries time the counting runs and
+attach the counter series as extra_info (the plotted values).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import (
+    DATA_SIZES,
+    FIXED_QUERY_SIZE,
+    get_database,
+    get_query_areas,
+    run_batch,
+    summarize,
+)
+
+
+@pytest.mark.parametrize("n", (DATA_SIZES[0], DATA_SIZES[9]))
+@pytest.mark.parametrize("method", ["voronoi", "traditional"])
+def test_fig5_redundancy_endpoints(benchmark, n, method):
+    """Benchmark the sweep endpoints; extra_info carries the plotted value."""
+    db = get_database(n)
+    areas = get_query_areas(FIXED_QUERY_SIZE, count=10)
+
+    results = benchmark(run_batch, db, areas, method)
+
+    benchmark.extra_info["data_size"] = n
+    benchmark.extra_info["avg_redundant"] = summarize(results)["redundant"]
+
+
+def test_fig5_shape():
+    """Linear vs sqrt growth of the two redundancy curves."""
+    series = {"voronoi": [], "traditional": []}
+    for n in DATA_SIZES:
+        db = get_database(n)
+        areas = get_query_areas(FIXED_QUERY_SIZE)
+        for method in series:
+            series[method].append(
+                summarize(run_batch(db, areas, method))["redundant"]
+            )
+
+    n_ratio = DATA_SIZES[-1] / DATA_SIZES[0]
+
+    # Traditional redundancy ~ linear in n.
+    traditional_growth = series["traditional"][-1] / series["traditional"][0]
+    assert traditional_growth == pytest.approx(n_ratio, rel=0.35)
+
+    # Voronoi redundancy ~ sqrt(n): much slower growth.
+    voronoi_growth = series["voronoi"][-1] / series["voronoi"][0]
+    assert voronoi_growth < traditional_growth * 0.62
+    assert voronoi_growth == pytest.approx(math.sqrt(n_ratio), rel=0.5)
+
+    # And the Voronoi curve sits below the traditional one everywhere.
+    for v, t in zip(series["voronoi"], series["traditional"]):
+        assert v < t

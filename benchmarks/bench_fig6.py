@@ -1,0 +1,52 @@
+"""Figure 6 — **time cost vs query size** (data size fixed).
+
+Paper reference: both curves grow roughly linearly in query size (result
+size dominates); the Voronoi curve stays below with a gap growing from
+11.7 % (1 %) to 37.9 % (32 %).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    QUERY_SIZES,
+    get_query_areas,
+    run_batch,
+    summarize,
+)
+
+
+@pytest.mark.parametrize("query_size", QUERY_SIZES)
+@pytest.mark.parametrize("method", ["voronoi", "traditional"])
+def test_fig6_time_series(benchmark, fixed_size_db, query_size, method):
+    """One plotted point of Fig. 6."""
+    areas = get_query_areas(query_size, count=5)
+
+    results = benchmark(run_batch, fixed_size_db, areas, method)
+
+    benchmark.extra_info["query_size"] = query_size
+    benchmark.extra_info["avg_time_ms"] = summarize(results)["time_ms"]
+
+
+def test_fig6_shape(fixed_size_db):
+    """Rising curves; Voronoi below traditional with a growing gap."""
+    series = {"voronoi": [], "traditional": []}
+    for query_size in QUERY_SIZES:
+        areas = get_query_areas(query_size)
+        for method in series:
+            series[method].append(
+                summarize(run_batch(fixed_size_db, areas, method))["time_ms"]
+            )
+
+    for method, times in series.items():
+        assert times[-1] > times[0] * 5, method  # strong growth over 32x
+
+    savings = [
+        1 - v / t
+        for v, t in zip(series["voronoi"], series["traditional"])
+    ]
+    # Voronoi wins at every query size from 2 % up, and the saving at 32 %
+    # clearly exceeds the saving at 1 % (the paper's widening gap).
+    for query_size, saving in zip(QUERY_SIZES[1:], savings[1:]):
+        assert saving > 0, f"query size {query_size:.0%}"
+    assert savings[-1] > savings[0]
+    assert savings[-1] > 0.15  # paper: 37.9 %

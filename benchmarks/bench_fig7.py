@@ -1,0 +1,55 @@
+"""Figure 7 — **redundant validations vs query size** (data size fixed).
+
+Paper reference: traditional redundancy grows linearly with query size
+(area-difference effect); Voronoi redundancy grows like sqrt(query size)
+(perimeter effect).  Candidate savings grow from 35.1 % to 44.9 %.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import (
+    QUERY_SIZES,
+    get_query_areas,
+    run_batch,
+    summarize,
+)
+
+
+@pytest.mark.parametrize("query_size", (QUERY_SIZES[0], QUERY_SIZES[-1]))
+@pytest.mark.parametrize("method", ["voronoi", "traditional"])
+def test_fig7_redundancy_endpoints(benchmark, fixed_size_db, query_size, method):
+    """Benchmark the sweep endpoints; extra_info carries the plotted value."""
+    areas = get_query_areas(query_size, count=10)
+
+    results = benchmark(run_batch, fixed_size_db, areas, method)
+
+    benchmark.extra_info["query_size"] = query_size
+    benchmark.extra_info["avg_redundant"] = summarize(results)["redundant"]
+
+
+def test_fig7_shape(fixed_size_db):
+    """Linear vs sqrt growth in query size."""
+    series = {"voronoi": [], "traditional": []}
+    for query_size in QUERY_SIZES:
+        areas = get_query_areas(query_size)
+        for method in series:
+            series[method].append(
+                summarize(run_batch(fixed_size_db, areas, method))[
+                    "redundant"
+                ]
+            )
+
+    size_ratio = QUERY_SIZES[-1] / QUERY_SIZES[0]  # 32
+
+    traditional_growth = series["traditional"][-1] / series["traditional"][0]
+    assert traditional_growth == pytest.approx(size_ratio, rel=0.35)
+
+    voronoi_growth = series["voronoi"][-1] / series["voronoi"][0]
+    # Perimeter scaling: sqrt(32) ≈ 5.7, far below 32.
+    assert voronoi_growth == pytest.approx(math.sqrt(size_ratio), rel=0.6)
+    assert voronoi_growth < traditional_growth * 0.5
+
+    for v, t in zip(series["voronoi"], series["traditional"]):
+        assert v < t

@@ -1,0 +1,70 @@
+"""Table II — result/candidate/time vs **query size** (data size fixed).
+
+Paper reference (Table II): at 1E5 points, as query size doubles from 1 %
+to 32 %, the Voronoi method's candidate saving grows from 35 % to 45 % and
+its time saving from 12 % to 38 %.  The growth is the paper's key analysis:
+traditional redundancy is proportional to the MBR/polygon *area difference*
+(scales with query size), Voronoi redundancy to the polygon *perimeter*
+(scales with its square root).
+
+Run ``pytest benchmarks/bench_table2.py --benchmark-only`` for timings or
+``python -m repro.workloads.experiments table2`` for the rendered table.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import (
+    FIXED_DATA_SIZE,
+    QUERY_SIZES,
+    get_query_areas,
+    run_batch,
+    summarize,
+)
+
+
+@pytest.mark.parametrize("query_size", QUERY_SIZES)
+@pytest.mark.parametrize("method", ["voronoi", "traditional"])
+def test_table2_query_time(benchmark, fixed_size_db, query_size, method):
+    """Per-query wall time of one Table II cell."""
+    areas = get_query_areas(query_size, count=5)
+
+    result = benchmark(run_batch, fixed_size_db, areas, method)
+
+    stats = summarize(result)
+    benchmark.extra_info["query_size"] = query_size
+    benchmark.extra_info["avg_result_size"] = stats["result_size"]
+    benchmark.extra_info["avg_candidates"] = stats["candidates"]
+    benchmark.extra_info["avg_redundant"] = stats["redundant"]
+
+
+def test_table2_shape(fixed_size_db):
+    """Regenerate Table II and assert the paper's shape."""
+    rows = []
+    for query_size in QUERY_SIZES:
+        areas = get_query_areas(query_size)
+        voronoi = run_batch(fixed_size_db, areas, "voronoi")
+        traditional = run_batch(fixed_size_db, areas, "traditional")
+        for v, t in zip(voronoi, traditional):
+            assert v.ids == t.ids
+        rows.append((query_size, summarize(voronoi), summarize(traditional)))
+
+    savings = []
+    for query_size, v, t in rows:
+        assert t["candidates"] == pytest.approx(
+            FIXED_DATA_SIZE * query_size, rel=0.25
+        )
+        assert v["candidates"] < t["candidates"]
+        savings.append(1 - v["candidates"] / t["candidates"])
+
+    # Paper: saving grows with query size (35 % -> 45 %).  Require clear
+    # growth from the 1 % cell to the 32 % cell.
+    assert savings[-1] > savings[0]
+
+    # Perimeter-vs-area scaling: Voronoi redundancy should grow like
+    # sqrt(query size) while traditional redundancy grows linearly, so
+    # their ratio at 32 % must be far below the ratio at 1 %.
+    first_ratio = rows[0][1]["redundant"] / rows[0][2]["redundant"]
+    last_ratio = rows[-1][1]["redundant"] / rows[-1][2]["redundant"]
+    assert last_ratio < first_ratio * 0.6

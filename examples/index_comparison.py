@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Index ablation: does a better spatial index rescue the traditional method?
+
+The paper's argument is that the traditional method's weakness is the
+*candidate set* (everything in the MBR), not the index that produces it.
+This example runs the same irregular area query through the traditional
+pipeline on all five index structures in the library, plus the Voronoi
+method (which by the paper's design uses the R-tree only for its seed
+lookup), and prints the work counters side by side.
+
+The punchline: index choice moves node-access counts around, but every
+traditional variant validates the same (large) candidate set, while the
+Voronoi method's candidate set is structurally smaller.
+
+Run with::
+
+    python examples/index_comparison.py
+"""
+
+import random
+import time
+
+from repro import SpatialDatabase, random_query_polygon
+from repro.workloads.generators import uniform_points
+
+INDEX_KINDS = ["rtree", "rstar", "kdtree", "quadtree", "grid"]
+N_POINTS = 30_000
+QUERY_SIZE = 0.04
+N_QUERIES = 10
+
+
+def main() -> None:
+    points = uniform_points(N_POINTS, seed=55)
+    rng = random.Random(56)
+    areas = [
+        random_query_polygon(QUERY_SIZE, rng=rng) for _ in range(N_QUERIES)
+    ]
+
+    print(
+        f"{N_POINTS:,} uniform points, {N_QUERIES} irregular queries of "
+        f"size {QUERY_SIZE:.0%}.\n"
+    )
+    header = (
+        f"{'pipeline':24} {'candidates':>11} {'redundant':>10} "
+        f"{'node accesses':>14} {'time/query (ms)':>16}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    reference_ids = None
+    for kind in INDEX_KINDS:
+        db = SpatialDatabase.from_points(points, index_kind=kind)
+        candidates = redundant = nodes = 0
+        elapsed = 0.0
+        for area in areas:
+            result = db.area_query(area, method="traditional")
+            if reference_ids is None:
+                reference_ids = result.ids
+            candidates += result.stats.candidates
+            redundant += result.stats.redundant_validations
+            nodes += result.stats.index_node_accesses
+            elapsed += result.stats.time_ms
+        print(
+            f"{'traditional/' + kind:24} {candidates / N_QUERIES:>11.0f} "
+            f"{redundant / N_QUERIES:>10.0f} {nodes / N_QUERIES:>14.0f} "
+            f"{elapsed / N_QUERIES:>16.2f}"
+        )
+
+    # The paper's method (R-tree seed + Voronoi expansion).
+    db = SpatialDatabase.from_points(points, backend_kind="scipy").prepare()
+    candidates = redundant = nodes = 0
+    elapsed = 0.0
+    for area in areas:
+        result = db.area_query(area, method="voronoi")
+        candidates += result.stats.candidates
+        redundant += result.stats.redundant_validations
+        nodes += result.stats.index_node_accesses
+        elapsed += result.stats.time_ms
+    print(
+        f"{'voronoi (paper)':24} {candidates / N_QUERIES:>11.0f} "
+        f"{redundant / N_QUERIES:>10.0f} {nodes / N_QUERIES:>14.0f} "
+        f"{elapsed / N_QUERIES:>16.2f}"
+    )
+
+    print(
+        "\nEvery traditional pipeline validates the same MBR candidate set "
+        "regardless of index;\nonly the Voronoi expansion shrinks it."
+    )
+
+
+if __name__ == "__main__":
+    main()

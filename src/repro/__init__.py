@@ -1,0 +1,86 @@
+"""repro — Voronoi-diagram-based area queries.
+
+A full reproduction of *"Area Queries Based on Voronoi Diagrams"* (Yang Li,
+ICDE 2020): a spatial database answering polygon area queries either the
+traditional way (R-tree window filter + point-in-polygon refine) or with the
+paper's contribution, an incremental candidate expansion over Voronoi
+neighbours that touches only the points inside the polygon plus a thin
+boundary shell.
+
+Quickstart::
+
+    import random
+    from repro import SpatialDatabase, random_query_polygon
+    from repro.geometry import Point
+
+    rng = random.Random(0)
+    db = SpatialDatabase.from_points(
+        Point(rng.random(), rng.random()) for _ in range(100_000)
+    ).prepare()
+    area = random_query_polygon(query_size=0.01, rng=rng)
+
+    voronoi = db.area_query(area, method="voronoi")
+    baseline = db.area_query(area, method="traditional")
+    assert voronoi.ids == baseline.ids
+    print(f"candidates: {voronoi.stats.candidates} (voronoi) "
+          f"vs {baseline.stats.candidates} (traditional)")
+
+Packages
+--------
+``repro.geometry``
+    From-scratch planar geometry kernel (points, robust predicates,
+    segments, rectangles, simple polygons, random polygon workloads).
+``repro.index``
+    Spatial indexes: R-tree (the paper's), R*-tree, k-d tree, PR quadtree,
+    uniform grid, brute force — one common interface.
+``repro.delaunay``
+    Bowyer–Watson Delaunay triangulation, the Voronoi dual (cells +
+    neighbour graph), and pluggable neighbour backends.
+``repro.core``
+    The two area-query algorithms, the :class:`SpatialDatabase` facade, and
+    per-query statistics.
+``repro.workloads``
+    Seeded dataset/query generators and the experiment harness regenerating
+    every table and figure of the paper.
+"""
+
+from repro.core import (
+    EmptyDatabaseError,
+    InvalidQueryAreaError,
+    QueryResult,
+    QueryStats,
+    ReproError,
+    SpatialDatabase,
+    traditional_area_query,
+    voronoi_area_query,
+)
+from repro.geometry import (
+    Point,
+    Polygon,
+    Rect,
+    Segment,
+    random_query_polygon,
+    random_simple_polygon,
+    random_star_polygon,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpatialDatabase",
+    "QueryResult",
+    "QueryStats",
+    "traditional_area_query",
+    "voronoi_area_query",
+    "ReproError",
+    "EmptyDatabaseError",
+    "InvalidQueryAreaError",
+    "Point",
+    "Polygon",
+    "Rect",
+    "Segment",
+    "random_query_polygon",
+    "random_simple_polygon",
+    "random_star_polygon",
+    "__version__",
+]

@@ -1,0 +1,151 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    One-shot demonstration: build a database, run one query with both
+    methods, print the work-counter comparison.
+``experiments``
+    Forwarders to :mod:`repro.workloads.experiments` (tables/figures of the
+    paper); everything after ``experiments`` is passed through, e.g.
+    ``python -m repro experiments table2 --paper-scale``.
+``figures``
+    Render the paper's Fig. 2 and Fig. 3 as SVG files.
+``info``
+    Version, package inventory, and the experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import SpatialDatabase, random_query_polygon
+    from repro.workloads.generators import uniform_points
+
+    n = args.points
+    print(f"Building a database of {n:,} uniform points...")
+    db = SpatialDatabase.from_points(
+        uniform_points(n, seed=args.seed), backend_kind="scipy"
+    ).prepare()
+    area = random_query_polygon(
+        args.query_size, rng=random.Random(args.seed + 1)
+    )
+    voronoi = db.area_query(area, method="voronoi")
+    traditional = db.area_query(area, method="traditional")
+    assert voronoi.ids == traditional.ids
+    print(
+        f"query size {args.query_size:.0%}: {len(voronoi)} results\n"
+        f"  voronoi:     {voronoi.stats.candidates:>7,} candidates  "
+        f"{voronoi.stats.time_ms:8.2f} ms\n"
+        f"  traditional: {traditional.stats.candidates:>7,} candidates  "
+        f"{traditional.stats.time_ms:8.2f} ms\n"
+        f"  candidates saved: "
+        f"{1 - voronoi.stats.candidates / traditional.stats.candidates:.0%}"
+    )
+    return 0
+
+
+def _cmd_experiments(argv: Sequence[str]) -> int:
+    from repro.workloads.experiments import main as experiments_main
+
+    return experiments_main(list(argv))
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro import SpatialDatabase, random_query_polygon
+    from repro.viz.figures import (
+        render_candidate_comparison,
+        render_voronoi_delaunay,
+    )
+    from repro.workloads.generators import uniform_points
+
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    db = SpatialDatabase.from_points(
+        uniform_points(4000, seed=2), backend_kind="scipy"
+    ).prepare()
+    area = random_query_polygon(0.12, rng=random.Random(5))
+    (out_dir / "fig2.svg").write_text(
+        render_candidate_comparison(db, area), encoding="utf-8"
+    )
+    (out_dir / "fig3.svg").write_text(
+        render_voronoi_delaunay(uniform_points(60, seed=9)),
+        encoding="utf-8",
+    )
+    print(f"wrote {out_dir / 'fig2.svg'} and {out_dir / 'fig3.svg'}")
+    return 0
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — Voronoi-diagram-based area queries")
+    print("reproduction of Li, 'Area Queries Based on Voronoi Diagrams', ICDE 2020")
+    print()
+    print("packages: repro.geometry  repro.index  repro.delaunay  repro.core")
+    print("          repro.workloads repro.io     repro.viz")
+    print()
+    print("experiment index (see DESIGN.md / EXPERIMENTS.md):")
+    for artefact, command in [
+        ("Table I ", "experiments table1"),
+        ("Table II", "experiments table2"),
+        ("Fig. 4  ", "experiments fig4"),
+        ("Fig. 5  ", "experiments fig5"),
+        ("Fig. 6  ", "experiments fig6"),
+        ("Fig. 7  ", "experiments fig7"),
+        ("Fig. 2/3", "figures"),
+    ]:
+        print(f"  {artefact}  python -m repro {command}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse ``argv`` (default ``sys.argv``) and dispatch a subcommand."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    # `experiments` forwards its tail verbatim (it has its own parser).
+    if argv and argv[0] == "experiments":
+        return _cmd_experiments(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Voronoi-diagram-based area queries (ICDE 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="one-shot method comparison")
+    demo.add_argument("--points", type=int, default=50_000)
+    demo.add_argument("--query-size", type=float, default=0.01)
+    demo.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables/figures"
+    )
+
+    figures = subparsers.add_parser(
+        "figures", help="render the paper's Figs. 2-3 as SVG"
+    )
+    figures.add_argument("--output", default=".")
+
+    subparsers.add_parser("info", help="version and experiment index")
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "info":
+        return _cmd_info()
+    parser.error(f"unhandled command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,274 @@
+"""The user-facing spatial database.
+
+:class:`SpatialDatabase` owns the three pieces both query methods share:
+
+* the **point table** (row id -> :class:`Point`),
+* a **spatial index** (R-tree by default — the paper's choice for both the
+  window query of the baseline and the NN seed of the Voronoi method), and
+* a **Voronoi neighbour backend** (built lazily on first use, since the
+  traditional method never needs it).
+
+Typical use::
+
+    from repro import SpatialDatabase, random_query_polygon
+
+    db = SpatialDatabase.from_points(points)
+    area = random_query_polygon(query_size=0.01)
+    result = db.area_query(area, method="voronoi")
+    baseline = db.area_query(area, method="traditional")
+    assert result.ids == baseline.ids
+    print(result.stats.candidates, "vs", baseline.stats.candidates)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.geometry.region import QueryRegion
+from repro.index import make_index
+from repro.index.base import SpatialIndex
+from repro.delaunay.backends import DelaunayBackend, make_backend
+from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
+from repro.core.stats import QueryResult
+from repro.core.traditional_query import traditional_area_query
+from repro.core.voronoi_query import voronoi_area_query
+
+_METHODS = ("traditional", "voronoi")
+
+
+class SpatialDatabase:
+    """A point database answering area queries by either paper method.
+
+    Parameters
+    ----------
+    index_kind:
+        Registry name of the spatial index (default ``"rtree"``, as in the
+        paper).  See :data:`repro.index.INDEX_REGISTRY`.
+    backend_kind:
+        Voronoi-neighbour backend: ``"pure"`` (our Bowyer–Watson, default)
+        or ``"scipy"`` (Qhull-accelerated, identical neighbour sets).
+    index_kwargs:
+        Extra constructor arguments for the index (e.g. ``max_entries``).
+    """
+
+    def __init__(
+        self,
+        index_kind: str = "rtree",
+        backend_kind: str = "pure",
+        **index_kwargs,
+    ) -> None:
+        self._points: List[Point] = []
+        self._index: SpatialIndex = make_index(index_kind, **index_kwargs)
+        self._index_kind = index_kind
+        self._backend_kind = backend_kind
+        self._backend: Optional[DelaunayBackend] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_points(
+        cls,
+        points: Iterable[Point] | Iterable[Tuple[float, float]],
+        *,
+        index_kind: str = "rtree",
+        backend_kind: str = "pure",
+        **index_kwargs,
+    ) -> "SpatialDatabase":
+        """Bulk-build a database from an iterable of points or (x, y) pairs."""
+        db = cls(index_kind, backend_kind, **index_kwargs)
+        db.extend(points)
+        return db
+
+    def insert(self, point: Point | Tuple[float, float]) -> int:
+        """Add one point; returns its row id.
+
+        The paper treats the Voronoi diagram as a precomputed structure
+        over a static dataset; we go one step further: when the (pure)
+        backend is already built, the diagram is maintained *incrementally*
+        (expected O(1) cavity work per insert).  The scipy backend, and
+        points falling far outside the original extent, fall back to
+        lazy rebuild-on-next-use.
+        """
+        p = point if isinstance(point, Point) else Point(*map(float, point))
+        row_id = len(self._points)
+        self._points.append(p)
+        self._index.insert(p, row_id)
+        backend = self._backend
+        if backend is not None:
+            add_point = getattr(backend, "add_point", None)
+            if add_point is not None:
+                try:
+                    add_point(p)
+                    return row_id
+                except ValueError:
+                    pass  # outside the incremental-safe extent
+            self._backend = None
+        return row_id
+
+    def extend(
+        self, points: Iterable[Point] | Iterable[Tuple[float, float]]
+    ) -> List[int]:
+        """Add many points via the index's bulk loader; returns their row ids."""
+        normalized = [
+            p if isinstance(p, Point) else Point(float(p[0]), float(p[1]))
+            for p in points
+        ]
+        start = len(self._points)
+        self._points.extend(normalized)
+        self._index.bulk_load(
+            (p, start + offset) for offset, p in enumerate(normalized)
+        )
+        self._backend = None
+        return list(range(start, len(self._points)))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def point(self, row_id: int) -> Point:
+        """The point stored at ``row_id``."""
+        return self._points[row_id]
+
+    @property
+    def points(self) -> List[Point]:
+        """The full point table (row id = list index)."""
+        return self._points
+
+    @property
+    def index(self) -> SpatialIndex:
+        """The underlying spatial index."""
+        return self._index
+
+    @property
+    def backend(self) -> DelaunayBackend:
+        """The Voronoi neighbour backend (built on first access)."""
+        if self._backend is None:
+            if not self._points:
+                raise EmptyDatabaseError(
+                    "cannot build a Voronoi diagram over an empty database"
+                )
+            self._backend = make_backend(self._backend_kind, self._points)
+        return self._backend
+
+    def prepare(self) -> "SpatialDatabase":
+        """Force-build the Voronoi backend now (otherwise lazy); returns self.
+
+        Experiments call this so that backend construction is excluded from
+        per-query timings, matching the paper's setting where the Voronoi
+        diagram is a precomputed database structure like the R-tree.
+        """
+        self.backend.neighbor_table()
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def area_query(
+        self, area: QueryRegion, method: str = "voronoi"
+    ) -> QueryResult:
+        """All points inside the closed region ``area``.
+
+        ``area`` is any :class:`~repro.geometry.region.QueryRegion` — a
+        (possibly concave) :class:`~repro.geometry.polygon.Polygon` as in
+        the paper, or a :class:`~repro.geometry.circle.Circle` for
+        radius-bounded queries.  ``method`` selects the paper's algorithm
+        (``"voronoi"``) or the filter–refine baseline (``"traditional"``).
+        Both return identical id lists; they differ in the
+        :class:`QueryStats` they report.
+        """
+        if method not in _METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; choose from {_METHODS}"
+            )
+        if not self._points:
+            raise EmptyDatabaseError("area query on an empty database")
+        if area.area <= 0.0:
+            raise InvalidQueryAreaError("query area has zero area")
+        if method == "traditional":
+            return traditional_area_query(self._index, area)
+        return voronoi_area_query(
+            self._index, self.backend, self._points, area
+        )
+
+    def window_query(self, window: Rect) -> List[int]:
+        """Row ids of points inside an axis-aligned rectangle."""
+        return sorted(item_id for _, item_id in self._index.window_query(window))
+
+    def nearest_neighbor(self, query: Point) -> Optional[int]:
+        """Row id of the closest point to ``query`` (None when empty)."""
+        entry = self._index.nearest_neighbor(query)
+        return entry[1] if entry is not None else None
+
+    def k_nearest_neighbors(
+        self, query: Point, k: int, method: str = "index"
+    ) -> List[int]:
+        """Row ids of the ``k`` closest points, nearest first.
+
+        ``method="index"`` runs the best-first search of the spatial index;
+        ``method="voronoi"`` runs the incremental expansion over the Voronoi
+        neighbour graph (see :mod:`repro.core.knn_query`) — same results,
+        different access pattern.
+        """
+        if method == "index":
+            return [
+                item_id
+                for _, item_id in self._index.k_nearest_neighbors(query, k)
+            ]
+        if method == "voronoi":
+            from repro.core.knn_query import voronoi_knn_query
+
+            return voronoi_knn_query(
+                self._index, self.backend, self._points, query, k
+            ).ids
+        raise ValueError(
+            f"unknown method {method!r}; choose 'index' or 'voronoi'"
+        )
+
+    def voronoi_neighbors(self, row_id: int) -> Tuple[int, ...]:
+        """Row ids of the Voronoi neighbours of ``row_id``."""
+        return self.backend.neighbors(row_id)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def classify_against(
+        self, area: QueryRegion
+    ) -> Dict[str, List[int]]:
+        """Partition all rows into the paper's three classes w.r.t. ``area``.
+
+        Returns a dict with keys ``internal`` (inside the area), ``boundary``
+        (outside but Voronoi-adjacent to an internal point or crossing the
+        boundary along an adjacency edge), and ``external`` (everything
+        else).  Used by tests for Properties 7–9 and by examples for
+        visualisation.
+        """
+        internal: List[int] = []
+        boundary: List[int] = []
+        external: List[int] = []
+        inside = {
+            row_id
+            for row_id, p in enumerate(self._points)
+            if area.contains_point(p)
+        }
+        from repro.geometry.segment import Segment
+
+        for row_id, p in enumerate(self._points):
+            if row_id in inside:
+                internal.append(row_id)
+                continue
+            adjacent = False
+            for neighbor in self.backend.neighbors(row_id):
+                if neighbor in inside or area.intersects_segment(
+                    Segment(p, self._points[neighbor])
+                ):
+                    adjacent = True
+                    break
+            if adjacent:
+                boundary.append(row_id)
+            else:
+                external.append(row_id)
+        return {
+            "internal": internal,
+            "boundary": boundary,
+            "external": external,
+        }

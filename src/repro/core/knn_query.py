@@ -1,0 +1,121 @@
+"""Voronoi-diagram-based k-nearest-neighbour queries.
+
+The paper's related work leans on Sharifzadeh & Shahabi's VoR-tree (its
+reference [8]): once a database maintains Voronoi adjacency, other spatial
+queries besides area queries can ride the same structure.  This module
+implements the classical incremental kNN over the Voronoi graph:
+
+* **Theorem (Okabe et al., Property 2 generalised).**  The (i+1)-th nearest
+  neighbour of a query position q is a Voronoi neighbour of one of the
+  first i nearest neighbours.
+
+So the algorithm seeds with the 1-NN (one index lookup, exactly like
+Algorithm 1) and then repeatedly pops the closest unvisited point from a
+frontier heap that only ever contains Voronoi neighbours of already-
+confirmed results.  Each confirmation touches ~6 neighbours, so a kNN query
+costs O(k log k) heap work after the seed — independent of the database
+size, versus the O(log n + k) node inspections of a best-first R-tree
+descent (the baseline we compare against in the bench).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import List, Tuple
+
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.delaunay.backends import DelaunayBackend
+from repro.core.stats import QueryResult, QueryStats
+
+
+def voronoi_knn_query(
+    index: SpatialIndex,
+    backend: DelaunayBackend,
+    points: List[Point],
+    query: Point,
+    k: int,
+) -> QueryResult:
+    """The ``k`` nearest rows to ``query``, nearest first.
+
+    Parameters mirror :func:`repro.core.voronoi_query.voronoi_area_query`:
+    the spatial index supplies only the seed 1-NN; all further expansion is
+    over the Voronoi neighbour graph.
+
+    Returns a :class:`QueryResult` whose ``ids`` are ordered by distance
+    (ties broken by row id) — note this differs from the area query, whose
+    ids are sorted ascending.  ``stats.candidates`` counts every point
+    whose distance was evaluated.
+    """
+    stats = QueryStats(method="voronoi-knn")
+    started = time.perf_counter()
+    if k <= 0 or not points:
+        stats.time_ms = (time.perf_counter() - started) * 1000.0
+        return QueryResult(ids=[], stats=stats)
+
+    nodes_before = index.stats.node_accesses
+    seed_entry = index.nearest_neighbor(query)
+    assert seed_entry is not None  # points is non-empty
+    _, seed_id = seed_entry
+
+    neighbor_table = backend.neighbor_table()
+    visited = bytearray(len(points))
+    visited[seed_id] = 1
+    frontier: List[Tuple[float, int]] = [
+        (points[seed_id].squared_distance_to(query), seed_id)
+    ]
+    stats.candidates = 1
+    results: List[int] = []
+
+    while frontier and len(results) < k:
+        _, current = heapq.heappop(frontier)
+        results.append(current)
+        for neighbor in neighbor_table[current]:
+            if not visited[neighbor]:
+                visited[neighbor] = 1
+                stats.candidates += 1
+                heapq.heappush(
+                    frontier,
+                    (points[neighbor].squared_distance_to(query), neighbor),
+                )
+
+    stats.result_size = len(results)
+    stats.index_node_accesses = index.stats.node_accesses - nodes_before
+    stats.time_ms = (time.perf_counter() - started) * 1000.0
+    return QueryResult(ids=results, stats=stats)
+
+
+def incremental_nearest(
+    index: SpatialIndex,
+    backend: DelaunayBackend,
+    points: List[Point],
+    query: Point,
+):
+    """Generator yielding rows in increasing distance order, lazily.
+
+    The streaming form of :func:`voronoi_knn_query` — callers can stop at
+    any rank without choosing ``k`` up front (distance browsing).
+    """
+    if not points:
+        return
+    seed_entry = index.nearest_neighbor(query)
+    assert seed_entry is not None
+    _, seed_id = seed_entry
+
+    neighbor_table = backend.neighbor_table()
+    visited = bytearray(len(points))
+    visited[seed_id] = 1
+    frontier: List[Tuple[float, int]] = [
+        (points[seed_id].squared_distance_to(query), seed_id)
+    ]
+    while frontier:
+        _, current = heapq.heappop(frontier)
+        yield current
+        for neighbor in neighbor_table[current]:
+            if not visited[neighbor]:
+                visited[neighbor] = 1
+                heapq.heappush(
+                    frontier,
+                    (points[neighbor].squared_distance_to(query), neighbor),
+                )

@@ -1,0 +1,37 @@
+"""Delaunay triangulation and Voronoi diagram substrate.
+
+The paper's method never materialises Voronoi *cells* during a query — it
+only walks Voronoi *neighbour* relationships, which by Property 4 are the
+edges of the Delaunay triangulation.  This package provides:
+
+* :class:`~repro.delaunay.triangulation.DelaunayTriangulation` — an
+  incremental Bowyer–Watson triangulation built from scratch on the robust
+  predicates of :mod:`repro.geometry.predicates`.
+* :class:`~repro.delaunay.voronoi.VoronoiDiagram` — the dual diagram:
+  per-point cells (circumcentre polygons, clipped to a box) and the
+  neighbour graph.
+* :mod:`~repro.delaunay.backends` — a common ``NeighborProvider`` protocol
+  with a pure-Python backend (ours) and an optional scipy-accelerated one
+  for very large experimental datasets; the test suite checks they agree.
+* :mod:`~repro.delaunay.graph` — graph utilities over the Delaunay edges
+  (connectivity, BFS) backing the paper's Properties 5–9.
+"""
+
+from repro.delaunay.backends import (
+    DelaunayBackend,
+    PureDelaunayBackend,
+    ScipyDelaunayBackend,
+    make_backend,
+)
+from repro.delaunay.triangulation import DelaunayTriangulation
+from repro.delaunay.voronoi import VoronoiCell, VoronoiDiagram
+
+__all__ = [
+    "DelaunayTriangulation",
+    "VoronoiDiagram",
+    "VoronoiCell",
+    "DelaunayBackend",
+    "PureDelaunayBackend",
+    "ScipyDelaunayBackend",
+    "make_backend",
+]

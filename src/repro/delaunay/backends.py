@@ -1,0 +1,218 @@
+"""Voronoi-neighbour backends.
+
+Algorithm 1 needs exactly one capability from the Voronoi substrate: given a
+point index, enumerate its Voronoi neighbours' indices (``VN(P, p)`` in the
+paper).  That capability is abstracted as :class:`DelaunayBackend` with two
+implementations:
+
+* :class:`PureDelaunayBackend` — our from-scratch Bowyer–Watson
+  triangulation.  The default; no third-party geometry code involved.
+* :class:`ScipyDelaunayBackend` — ``scipy.spatial.Delaunay`` (Qhull).  An
+  optional accelerator for the paper-scale datasets (1E5–1E6 points) where
+  pure-Python construction would dominate the experiment wall-clock.
+
+The test suite asserts both produce identical neighbour sets, so the choice
+is purely a build-speed knob; query traversals are byte-identical.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+from repro.geometry.point import Point
+
+
+class DelaunayBackend(ABC):
+    """Provides Voronoi-neighbour lookups over a fixed point set."""
+
+    @abstractmethod
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        """Indices of the Voronoi neighbours of point ``index``."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of points the backend was built over."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Registry name of the backend."""
+
+    def neighbor_table(self) -> list[Tuple[int, ...]]:
+        """Dense ``index -> neighbours`` table (cached).
+
+        Algorithm 1's BFS reads neighbours for every candidate; indexing a
+        list is measurably cheaper than a method call per point, so the
+        query path uses this table.
+        """
+        cached = getattr(self, "_neighbor_table", None)
+        if cached is None:
+            cached = [self.neighbors(i) for i in range(self.size)]
+            self._neighbor_table = cached
+        return cached
+
+
+class PureDelaunayBackend(DelaunayBackend):
+    """Neighbour lookups from :class:`repro.delaunay.DelaunayTriangulation`.
+
+    The only backend supporting **incremental growth**: :meth:`add_point`
+    inserts one point and patches the cached neighbour table locally, so a
+    live database can absorb inserts without rebuilding its Voronoi
+    structure (the scipy backend must rebuild).
+    """
+
+    def __init__(self, points: Sequence[Point], *, seed: int = 0) -> None:
+        from repro.delaunay.triangulation import DelaunayTriangulation
+
+        self._triangulation = DelaunayTriangulation(points, seed=seed)
+        self._size = len(points)
+
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        return self._triangulation.neighbors(index)
+
+    def add_point(self, point: Point) -> int:
+        """Insert ``point`` incrementally; returns its new index.
+
+        Raises :class:`ValueError` when the point falls too far outside the
+        original extent for safe incremental insertion (rebuild instead).
+        """
+        result = self._triangulation.add_point(point)
+        self._size += 1
+        table = getattr(self, "_neighbor_table", None)
+        if table is not None:
+            table.append(())  # placeholder for the new index
+            for index in result.affected:
+                table[index] = self._triangulation.neighbors(index)
+        return result.index
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def name(self) -> str:
+        return "pure"
+
+    @property
+    def triangulation(self):
+        """The underlying :class:`DelaunayTriangulation` (for the dual)."""
+        return self._triangulation
+
+
+class ScipyDelaunayBackend(DelaunayBackend):
+    """Neighbour lookups from ``scipy.spatial.Delaunay`` (optional).
+
+    Duplicate points are collapsed before triangulating (Qhull rejects
+    duplicates); aliases share the canonical point's neighbourhood and are
+    linked to it at distance zero, mirroring the pure backend's semantics.
+    """
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        try:
+            import numpy as np
+            from scipy.spatial import Delaunay as _SciPyDelaunay
+        except ImportError as error:  # pragma: no cover - env without scipy
+            raise ImportError(
+                "the 'scipy' backend needs scipy installed; use the 'pure' "
+                "backend instead"
+            ) from error
+
+        self._size = len(points)
+        if self._size == 0:
+            raise ValueError("backend needs at least one point")
+
+        # Collapse duplicates, remembering aliases.
+        first_at: dict[tuple[float, float], int] = {}
+        self._alias_of: dict[int, int] = {}
+        canonical: list[int] = []
+        for i, p in enumerate(points):
+            key = (p.x, p.y)
+            if key in first_at:
+                self._alias_of[i] = first_at[key]
+            else:
+                first_at[key] = i
+                self._alias_of[i] = i
+                canonical.append(i)
+
+        self._neighbors: dict[int, tuple[int, ...]] = {}
+        if len(canonical) == 1:
+            self._neighbors[canonical[0]] = ()
+        elif len(canonical) == 2:
+            a, b = canonical
+            self._neighbors[a] = (b,)
+            self._neighbors[b] = (a,)
+        else:
+            coords = np.array([(points[i].x, points[i].y) for i in canonical])
+            try:
+                tri = _SciPyDelaunay(coords)
+            except Exception:
+                # Degenerate (e.g. all collinear): chain along the line,
+                # matching the pure backend's fallback.
+                order = sorted(
+                    range(len(canonical)),
+                    key=lambda k: (coords[k][0], coords[k][1]),
+                )
+                for rank, k in enumerate(order):
+                    nbrs = []
+                    if rank > 0:
+                        nbrs.append(canonical[order[rank - 1]])
+                    if rank < len(order) - 1:
+                        nbrs.append(canonical[order[rank + 1]])
+                    self._neighbors[canonical[k]] = tuple(sorted(nbrs))
+            else:
+                indptr, indices = tri.vertex_neighbor_vertices
+                for local, global_index in enumerate(canonical):
+                    local_neighbors = indices[indptr[local] : indptr[local + 1]]
+                    self._neighbors[global_index] = tuple(
+                        sorted(canonical[j] for j in local_neighbors)
+                    )
+
+        # Duplicates: same clique semantics as the pure backend — all copies
+        # of a location are mutually adjacent, inherit the full spatial
+        # neighbourhood, and appear in their spatial neighbours' lists.
+        groups: dict[int, list[int]] = {}
+        for alias, canon in self._alias_of.items():
+            groups.setdefault(canon, []).append(alias)
+        if any(len(group) > 1 for group in groups.values()):
+            expanded: dict[int, tuple[int, ...]] = {}
+            for canon, group in groups.items():
+                full = set(group)
+                for neighbor_canon in self._neighbors[canon]:
+                    full.update(groups[neighbor_canon])
+                for member in group:
+                    expanded[member] = tuple(sorted(full - {member}))
+            self._neighbors = expanded
+
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        if index in self._neighbors:
+            return self._neighbors[index]
+        return self._neighbors[self._alias_of[index]]
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def name(self) -> str:
+        return "scipy"
+
+
+BACKEND_REGISTRY = {
+    "pure": PureDelaunayBackend,
+    "scipy": ScipyDelaunayBackend,
+}
+
+
+def make_backend(
+    kind: str, points: Sequence[Point], **kwargs
+) -> DelaunayBackend:
+    """Instantiate a neighbour backend by name (``pure`` or ``scipy``)."""
+    try:
+        cls = BACKEND_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {kind!r}; choose from {sorted(BACKEND_REGISTRY)}"
+        ) from None
+    return cls(points, **kwargs)

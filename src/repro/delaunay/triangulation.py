@@ -1,0 +1,559 @@
+"""Incremental Bowyer–Watson Delaunay triangulation.
+
+A from-scratch construction of the Delaunay triangulation of a 2-D point
+set, the substrate from which the paper's method reads Voronoi-neighbour
+relationships (Property 4: the Delaunay graph is the dual of the Voronoi
+diagram).
+
+Algorithm
+---------
+Classic cavity-based incremental insertion:
+
+1. Start from a *super triangle* enclosing all input points by a wide
+   margin.
+2. For each point: locate the triangle containing it by a remembering
+   stochastic walk, grow the *cavity* of all triangles whose circumcircle
+   contains the point (breadth-first over triangle adjacency, using the
+   robust in-circle predicate), delete the cavity and fan-retriangulate its
+   boundary to the new point.
+3. Finally, drop every triangle incident to a super-triangle vertex.
+
+Expected time is O(n log n) with randomised insertion order; worst case is
+quadratic.  The structure maintains full triangle adjacency, so the Voronoi
+dual can be extracted without search, and it stays **dynamic**:
+:meth:`DelaunayTriangulation.add_point` inserts one more point in expected
+O(1) cavity work and reports exactly which points' neighbourhoods changed —
+the database uses that to keep query structures warm across inserts.
+
+Degeneracies
+------------
+* Duplicate points are detected at insertion and recorded as *aliases* of
+  the first occurrence.  All copies of a location form a clique in the
+  neighbour relation and share the location's spatial neighbourhood (the
+  Voronoi diagram of a multiset is the diagram of its support).
+* Cocircular quadruples are resolved arbitrarily but consistently by the
+  exact predicate's tie (``incircle == 0`` keeps the current topology).
+* Fully collinear inputs yield no finite triangles; the triangulation then
+  reports the chain neighbours instead, so downstream graph traversal still
+  sees a connected graph (Property 5 degenerates to a path).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.geometry.point import Point
+from repro.geometry.predicates import (
+    circumcenter,
+    incircle,
+    orientation_value,
+)
+
+Triangle = Tuple[int, int, int]
+_SUPER = (0, 1, 2)  # vertex slots reserved for the super triangle
+
+
+@dataclass(frozen=True)
+class InsertionResult:
+    """Outcome of :meth:`DelaunayTriangulation.add_point`.
+
+    ``index`` is the new point's input index; ``affected`` lists every
+    input index (including ``index``) whose :meth:`neighbors` result may
+    have changed — callers maintaining caches re-read exactly those.
+    """
+
+    index: int
+    affected: FrozenSet[int]
+
+
+class DelaunayTriangulation:
+    """Delaunay triangulation over a (dynamically growable) set of points.
+
+    Parameters
+    ----------
+    points:
+        The initial points.  Order is preserved: vertex ``i`` of the
+        triangulation is ``points[i]``.
+    shuffle:
+        Insert in random order (seeded for reproducibility).  Strongly
+        recommended — sorted input degrades the walk-based point location.
+
+    Attributes
+    ----------
+    points:
+        The input points (aliases included; grows with ``add_point``).
+    alias_of:
+        Maps the index of each duplicate point to the index of its first
+        occurrence; canonical points map to themselves.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        *,
+        shuffle: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.points: List[Point] = list(points)
+        if len(self.points) < 1:
+            raise ValueError("triangulation needs at least one point")
+
+        self.alias_of: Dict[int, int] = {}
+        self._vertices: List[Point] = []  # super vertices + canonical points
+        self._vertex_to_input: List[int] = []  # triangulation vertex -> input index
+        self._input_to_vertex: Dict[int, int] = {}
+        self._location_index: Dict[Tuple[float, float], int] = {}
+        # triangle id -> vertex triple (CCW)
+        self._triangles: Dict[int, Triangle] = {}
+        # triangle id -> neighbour ids, entry i is across the edge opposite
+        # vertex i (None on the hull)
+        self._neighbors: Dict[int, List[Optional[int]]] = {}
+        self._next_triangle_id = 0
+        self._last_triangle: Optional[int] = None
+
+        # Neighbour bookkeeping: spatial adjacency over canonical input
+        # indices, duplicate groups, and a per-index view cache.
+        self._spatial_adj: Dict[int, Set[int]] = {}
+        self._groups: Dict[int, List[int]] = {}  # only canons with >1 copy
+        self._has_duplicates = False
+        self._chain_mode = False  # True while the input is fully collinear
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+
+        self._build(shuffle=shuffle, seed=seed)
+
+    # -- public API ----------------------------------------------------------
+
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        """Voronoi neighbours of input point ``index`` (input indices).
+
+        Copies of one location form a clique and share the location's
+        spatial neighbourhood (they are at distance zero from each other);
+        a point is never its own neighbour and the relation is symmetric.
+        """
+        cached = self._neighbor_cache.get(index)
+        if cached is not None:
+            return cached
+        canonical = self.alias_of[index]
+        spatial = self._spatial_adj[canonical]
+        if not self._has_duplicates:
+            result = tuple(sorted(spatial))
+        else:
+            full: Set[int] = set(self._groups.get(canonical, (canonical,)))
+            for neighbor_canonical in spatial:
+                full.update(
+                    self._groups.get(
+                        neighbor_canonical, (neighbor_canonical,)
+                    )
+                )
+            full.discard(index)
+            result = tuple(sorted(full))
+        self._neighbor_cache[index] = result
+        return result
+
+    def add_point(self, point: Point) -> InsertionResult:
+        """Insert one more point into the triangulation, incrementally.
+
+        Expected O(1) amortised cavity work per insert (worst case O(n)).
+        Returns the new input index and the set of input indices whose
+        neighbour sets changed, so callers can update caches locally
+        instead of rebuilding.
+        """
+        index = len(self.points)
+        self.points.append(point)
+        key = (point.x, point.y)
+
+        existing = self._location_index.get(key)
+        if existing is not None:
+            # Duplicate: join the location's clique.
+            self.alias_of[index] = existing
+            group = self._groups.setdefault(existing, [existing])
+            group.append(index)
+            self._has_duplicates = True
+            affected: Set[int] = set(group)
+            for neighbor_canonical in self._spatial_adj[existing]:
+                affected.update(
+                    self._groups.get(
+                        neighbor_canonical, (neighbor_canonical,)
+                    )
+                )
+            self._invalidate(affected)
+            return InsertionResult(index, frozenset(affected))
+
+        self._guard_inside_super(point)
+        self.alias_of[index] = index
+        self._location_index[key] = index
+        vertex = len(self._vertices)
+        self._vertices.append(point)
+        self._vertex_to_input.append(index)
+        self._input_to_vertex[index] = vertex
+        interior_edges, boundary_vertices = self._insert_vertex(vertex)
+
+        if self._chain_mode:
+            # The pre-insert structure was a degenerate collinear chain; the
+            # incremental edge bookkeeping below assumes triangle-derived
+            # adjacency, so rebuild from the (small) current topology.
+            before = {
+                i: set(nbrs) for i, nbrs in self._spatial_adj.items()
+            }
+            self._spatial_adj = self._extract_spatial_adjacency()
+            self._chain_mode = not any(True for _ in self.triangles())
+            affected = {index}
+            for i, nbrs in self._spatial_adj.items():
+                if before.get(i) != nbrs:
+                    affected.add(i)
+            affected = self._expand_to_groups(affected)
+            self._invalidate(affected)
+            return InsertionResult(index, frozenset(affected))
+
+        changed: Set[int] = {index}
+        self._spatial_adj[index] = set()
+        for u, w in interior_edges:
+            iu = self._vertex_to_input[u]
+            iw = self._vertex_to_input[w]
+            self._spatial_adj[iu].discard(iw)
+            self._spatial_adj[iw].discard(iu)
+            changed.add(iu)
+            changed.add(iw)
+        for u in boundary_vertices:
+            iu = self._vertex_to_input[u]
+            self._spatial_adj[index].add(iu)
+            self._spatial_adj[iu].add(index)
+            changed.add(iu)
+
+        affected = self._expand_to_groups(changed)
+        self._invalidate(affected)
+        return InsertionResult(index, frozenset(affected))
+
+    def triangles(self) -> Iterator[Tuple[int, int, int]]:
+        """The finite triangles as triples of input indices (CCW)."""
+        for tri in self._triangles.values():
+            if any(v in _SUPER for v in tri):
+                continue
+            yield tuple(self._vertex_to_input[v] for v in tri)  # type: ignore[misc]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """The finite Delaunay edges as ordered pairs ``(i, j)`` with i < j."""
+        seen: Set[Tuple[int, int]] = set()
+        for i, nbrs in self._spatial_adj.items():
+            for j in nbrs:
+                edge = (i, j) if i < j else (j, i)
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def triangle_circumcenters(self) -> Dict[Tuple[int, int, int], Point]:
+        """Circumcentre of every finite triangle (keyed by input indices).
+
+        These are exactly the Voronoi vertices of the dual diagram.
+        """
+        return {
+            tri: circumcenter(
+                self.points[tri[0]], self.points[tri[1]], self.points[tri[2]]
+            )
+            for tri in self.triangles()
+        }
+
+    @property
+    def canonical_count(self) -> int:
+        """Number of distinct point locations."""
+        return len(self._vertices) - 3
+
+    def check_delaunay_property(self) -> None:
+        """Raise :class:`AssertionError` if any finite triangle's circumcircle
+        strictly contains another input point (the empty-circumcircle
+        invariant).  O(T * n); for tests only."""
+        canonical_indices = [
+            i for i in range(len(self.points)) if self.alias_of.get(i, i) == i
+        ]
+        for a, b, c in self.triangles():
+            pa, pb, pc = self.points[a], self.points[b], self.points[c]
+            for i in canonical_indices:
+                if i in (a, b, c):
+                    continue
+                if incircle(pa, pb, pc, self.points[i]) > 0.0:
+                    raise AssertionError(
+                        f"point {i} lies inside the circumcircle of "
+                        f"triangle ({a}, {b}, {c})"
+                    )
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self, shuffle: bool, seed: int) -> None:
+        # Deduplicate: canonical index for every distinct location.
+        canonical: List[int] = []
+        for i, p in enumerate(self.points):
+            key = (p.x, p.y)
+            if key in self._location_index:
+                canon = self._location_index[key]
+                self.alias_of[i] = canon
+                self._groups.setdefault(canon, [canon]).append(i)
+                self._has_duplicates = True
+            else:
+                self._location_index[key] = i
+                self.alias_of[i] = i
+                canonical.append(i)
+
+        # Super triangle: a triangle comfortably containing all points.
+        xs = [p.x for p in self.points]
+        ys = [p.y for p in self.points]
+        min_x, max_x = min(xs), max(xs)
+        min_y, max_y = min(ys), max(ys)
+        span = max(max_x - min_x, max_y - min_y, 1.0)
+        mid_x = (min_x + max_x) / 2.0
+        mid_y = (min_y + max_y) / 2.0
+        # The super triangle must be far enough away that the circumcircle
+        # of (hull edge, super vertex) approximates the outer half-plane:
+        # its sagitta over a hull edge of length d is ~d^2/(8*margin), so a
+        # 1e8 factor keeps the geometric shielding error below 1e-8 * span.
+        # Numeric robustness at this scale is covered by the exact-predicate
+        # fallback.
+        margin = 1.0e8 * span
+        self._span = span
+        self._mid = Point(mid_x, mid_y)
+        self._vertices = [
+            Point(mid_x - 2.0 * margin, mid_y - margin),
+            Point(mid_x + 2.0 * margin, mid_y - margin),
+            Point(mid_x, mid_y + 2.0 * margin),
+        ]
+        self._vertex_to_input = [-1, -1, -1]
+
+        root = self._new_triangle((0, 1, 2), [None, None, None])
+        self._last_triangle = root
+
+        order = list(canonical)
+        if shuffle:
+            random.Random(seed).shuffle(order)
+        for input_index in order:
+            vertex = len(self._vertices)
+            self._vertices.append(self.points[input_index])
+            self._vertex_to_input.append(input_index)
+            self._input_to_vertex[input_index] = vertex
+            self._insert_vertex(vertex)
+
+        self._spatial_adj = self._extract_spatial_adjacency()
+        self._chain_mode = not any(True for _ in self.triangles())
+
+    def _guard_inside_super(self, point: Point) -> None:
+        """Reject inserts so far outside the original extent that the super
+        triangle's half-plane approximation would degrade (the database
+        falls back to a full rebuild in that case)."""
+        limit = 1.0e6 * self._span
+        if (
+            abs(point.x - self._mid.x) > limit
+            or abs(point.y - self._mid.y) > limit
+        ):
+            raise ValueError(
+                "point lies too far outside the triangulation's original "
+                "extent for incremental insertion; rebuild instead"
+            )
+
+    def _new_triangle(
+        self, tri: Triangle, neighbors: List[Optional[int]]
+    ) -> int:
+        tri_id = self._next_triangle_id
+        self._next_triangle_id += 1
+        self._triangles[tri_id] = tri
+        self._neighbors[tri_id] = neighbors
+        return tri_id
+
+    # -- point location -------------------------------------------------------
+
+    def _locate(self, p: Point) -> int:
+        """Find a triangle whose closed interior contains ``p``.
+
+        Remembering stochastic walk from the last created triangle.  The
+        super triangle guarantees containment, so the walk terminates.
+        """
+        tri_id = self._last_triangle
+        assert tri_id is not None
+        if tri_id not in self._triangles:
+            tri_id = next(iter(self._triangles))
+        previous = -1
+        for _ in range(4 * len(self._triangles) + 16):
+            tri = self._triangles[tri_id]
+            a, b, c = (self._vertices[v] for v in tri)
+            exits: List[int] = []
+            for edge_index, (u, w) in enumerate(((b, c), (c, a), (a, b))):
+                # edge_index is the vertex opposite the edge (u, w)
+                if orientation_value(u, w, p) < 0.0:
+                    exits.append(edge_index)
+            if not exits:
+                return tri_id
+            # Prefer an exit that doesn't walk straight back.
+            step = None
+            for edge_index in exits:
+                neighbor = self._neighbors[tri_id][edge_index]
+                if neighbor is not None and neighbor != previous:
+                    step = neighbor
+                    break
+            if step is None:
+                for edge_index in exits:
+                    neighbor = self._neighbors[tri_id][edge_index]
+                    if neighbor is not None:
+                        step = neighbor
+                        break
+            if step is None:
+                # Outside the hull of live triangles — cannot happen with a
+                # super triangle, but guard anyway.
+                raise RuntimeError("point-location walk left the triangulation")
+            previous, tri_id = tri_id, step
+        raise RuntimeError("point-location walk failed to terminate")
+
+    # -- insertion --------------------------------------------------------------
+
+    def _insert_vertex(
+        self, vertex: int
+    ) -> Tuple[List[Tuple[int, int]], List[int]]:
+        """Bowyer–Watson insertion of ``vertex``.
+
+        Returns ``(interior_edges, boundary_vertices)``: the finite edges
+        destroyed by the cavity (each shared by two cavity triangles) and
+        the finite vertices of the cavity's boundary cycle (the new
+        vertex's Delaunay neighbours) — exactly the adjacency delta.
+        """
+        p = self._vertices[vertex]
+        start = self._locate(p)
+
+        # Grow the cavity: all triangles whose circumcircle contains p.
+        cavity: Set[int] = {start}
+        frontier = [start]
+        while frontier:
+            tri_id = frontier.pop()
+            for neighbor in self._neighbors[tri_id]:
+                if neighbor is None or neighbor in cavity:
+                    continue
+                ta, tb, tc = (
+                    self._vertices[v] for v in self._triangles[neighbor]
+                )
+                if incircle(ta, tb, tc, p) > 0.0:
+                    cavity.add(neighbor)
+                    frontier.append(neighbor)
+
+        # Boundary of the cavity (directed edges with the outside neighbour
+        # across them) and the interior edges (shared by 2 cavity
+        # triangles; reported once via id ordering).
+        boundary: List[Tuple[int, int, Optional[int]]] = []
+        interior_edges: List[Tuple[int, int]] = []
+        for tri_id in cavity:
+            tri = self._triangles[tri_id]
+            for edge_index in range(3):
+                neighbor = self._neighbors[tri_id][edge_index]
+                u = tri[(edge_index + 1) % 3]
+                w = tri[(edge_index + 2) % 3]
+                if neighbor is None or neighbor not in cavity:
+                    boundary.append((u, w, neighbor))
+                elif tri_id < neighbor and u not in _SUPER and w not in _SUPER:
+                    interior_edges.append((u, w))
+
+        # Delete the cavity (no live triangle references a cavity id after
+        # the redirection below, so the entries can be reclaimed outright).
+        for tri_id in cavity:
+            del self._triangles[tri_id]
+            del self._neighbors[tri_id]
+
+        # Fan-retriangulate: one new triangle per boundary edge.  The cavity
+        # is star-shaped around p, so its boundary is a single CCW cycle and
+        # each boundary vertex starts exactly one edge and ends exactly one.
+        owner_by_start: Dict[int, int] = {}
+        owner_by_end: Dict[int, int] = {}
+        new_ids: List[int] = []
+        for u, w, outside in boundary:
+            new_id = self._new_triangle((vertex, u, w), [outside, None, None])
+            new_ids.append(new_id)
+            owner_by_start[u] = new_id
+            owner_by_end[w] = new_id
+            if outside is not None:
+                # Point the outside triangle back at the new one.
+                outside_tri = self._triangles[outside]
+                outside_neighbors = self._neighbors[outside]
+                for i in range(3):
+                    ou = outside_tri[(i + 1) % 3]
+                    ow = outside_tri[(i + 2) % 3]
+                    if (ou, ow) == (w, u):
+                        outside_neighbors[i] = new_id
+                        break
+
+        # Stitch the fan: triangle (vertex, u, w) meets the triangle whose
+        # boundary edge starts at w along the spoke (w, vertex) (edge
+        # opposite local vertex 1), and the triangle whose boundary edge
+        # ends at u along the spoke (vertex, u) (edge opposite local
+        # vertex 2).
+        for new_id in new_ids:
+            _, u, w = self._triangles[new_id]
+            self._neighbors[new_id][1] = owner_by_start.get(w)
+            self._neighbors[new_id][2] = owner_by_end.get(u)
+        self._last_triangle = new_ids[-1] if new_ids else self._last_triangle
+
+        boundary_vertices = [
+            u for u, _, _ in boundary if u not in _SUPER
+        ]
+        return interior_edges, boundary_vertices
+
+    # -- adjacency extraction ----------------------------------------------------
+
+    def _extract_spatial_adjacency(self) -> Dict[int, Set[int]]:
+        """Spatial adjacency over canonical input indices, from triangles."""
+        adjacency: Dict[int, Set[int]] = {
+            self._vertex_to_input[v]: set()
+            for v in range(3, len(self._vertices))
+        }
+        for tri in self._triangles.values():
+            finite = [v for v in tri if v not in _SUPER]
+            if len(finite) < 2:
+                continue
+            inputs = [self._vertex_to_input[v] for v in finite]
+            for i in range(len(inputs)):
+                for j in range(i + 1, len(inputs)):
+                    adjacency[inputs[i]].add(inputs[j])
+                    adjacency[inputs[j]].add(inputs[i])
+
+        # Collinear degenerate case: no finite triangle at all, but >= 2
+        # distinct points.  Chain them along the line so the neighbour graph
+        # stays connected (the true Voronoi adjacency for collinear points).
+        canonical = [
+            i for i in range(len(self.points)) if self.alias_of.get(i, i) == i
+        ]
+        if len(canonical) >= 2 and all(not nbrs for nbrs in adjacency.values()):
+            ordered = sorted(
+                canonical, key=lambda i: (self.points[i].x, self.points[i].y)
+            )
+            for a, b in zip(ordered, ordered[1:]):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        return adjacency
+
+    def _expand_to_groups(self, canonicals: Set[int]) -> Set[int]:
+        """All input indices living in the duplicate groups of ``canonicals``."""
+        if not self._has_duplicates:
+            return set(canonicals)
+        expanded: Set[int] = set()
+        for canonical in canonicals:
+            expanded.update(self._groups.get(canonical, (canonical,)))
+        return expanded
+
+    def _invalidate(self, indices: Iterable[int]) -> None:
+        for index in indices:
+            self._neighbor_cache.pop(index, None)
+
+    # -- convenience ------------------------------------------------------------
+
+    @staticmethod
+    def from_xy(
+        xs: Iterable[float], ys: Iterable[float], **kwargs
+    ) -> "DelaunayTriangulation":
+        """Build from parallel coordinate iterables."""
+        return DelaunayTriangulation(
+            [Point(float(x), float(y)) for x, y in zip(xs, ys)], **kwargs
+        )

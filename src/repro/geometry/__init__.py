@@ -1,0 +1,60 @@
+"""Planar geometry kernel for the area-query reproduction.
+
+This package is a from-scratch replacement for the geometry engine the
+paper's implementation relied on (a shapely-style library).  It provides
+exactly the primitives the two area-query algorithms need:
+
+* :class:`~repro.geometry.point.Point` — immutable 2-D points with vector
+  arithmetic.
+* Robust orientation and in-circle predicates
+  (:mod:`repro.geometry.predicates`) with an exact-arithmetic fallback, used
+  by the Delaunay substrate.
+* :class:`~repro.geometry.segment.Segment` — segment/segment and
+  segment/polygon intersection tests, used by Algorithm 1's boundary
+  expansion rule.
+* :class:`~repro.geometry.rectangle.Rect` — axis-aligned boxes (MBR algebra)
+  used by every spatial index.
+* :class:`~repro.geometry.polygon.Polygon` — simple (possibly concave)
+  polygons with exact point-containment, the refinement test of both query
+  methods.
+* Random simple-polygon generation (:mod:`repro.geometry.random_shapes`)
+  reproducing the paper's query workload ("a randomly generated polygon of
+  ten points").
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.predicates import (
+    Orientation,
+    incircle,
+    orientation,
+    orientation_value,
+)
+from repro.geometry.circle import Circle
+from repro.geometry.rectangle import Rect
+from repro.geometry.region import QueryRegion, interior_seed_position
+from repro.geometry.segment import Segment
+from repro.geometry.polygon import Polygon
+from repro.geometry.random_shapes import (
+    random_query_polygon,
+    random_simple_polygon,
+    random_star_polygon,
+    scale_polygon_to_query_size,
+)
+
+__all__ = [
+    "Point",
+    "Orientation",
+    "orientation",
+    "orientation_value",
+    "incircle",
+    "Rect",
+    "Circle",
+    "QueryRegion",
+    "interior_seed_position",
+    "Segment",
+    "Polygon",
+    "random_query_polygon",
+    "random_simple_polygon",
+    "random_star_polygon",
+    "scale_polygon_to_query_size",
+]

@@ -1,0 +1,118 @@
+"""Circular query regions.
+
+A circle is the natural query area for "everything within distance r of
+this location" — the radius-bounded variant of the range queries the
+paper's introduction lists.  :class:`Circle` implements the
+:class:`~repro.geometry.region.QueryRegion` protocol, so both area-query
+methods accept it unchanged; its boundary tests are exact up to the
+inherent squaring in float distance comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A closed disc with centre ``center`` and radius ``radius``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if not self.radius > 0.0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+
+    # -- QueryRegion protocol -------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Enclosed area, pi * r^2."""
+        return math.pi * self.radius * self.radius
+
+    @cached_property
+    def mbr(self) -> Rect:
+        """Tight axis-aligned bounding square."""
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    @property
+    def centroid(self) -> Point:
+        """The centre (always interior, so seeding never needs a fallback)."""
+        return self.center
+
+    def contains_point(self, p: Point, *, boundary: bool = True) -> bool:
+        """Closed-disc membership (squared-distance comparison, no sqrt)."""
+        squared = p.squared_distance_to(self.center)
+        limit = self.radius * self.radius
+        if boundary:
+            return squared <= limit
+        return squared < limit
+
+    def point_on_boundary(self, p: Point) -> bool:
+        """True iff ``p`` lies exactly on the circle (in float arithmetic)."""
+        return p.squared_distance_to(self.center) == self.radius * self.radius
+
+    def crosses_boundary_xy(
+        self, sx: float, sy: float, ex: float, ey: float
+    ) -> bool:
+        """True iff the segment meets the circle's boundary.
+
+        Equivalent to: the closest point of the segment to the centre is at
+        distance <= r while the farthest endpoint is at distance >= r.
+        """
+        r2 = self.radius * self.radius
+        closest = Segment(Point(sx, sy), Point(ex, ey)).closest_point_to(
+            self.center
+        )
+        if closest.squared_distance_to(self.center) > r2:
+            return False  # segment entirely outside
+        start_inside = (
+            Point(sx, sy).squared_distance_to(self.center) <= r2
+        )
+        end_inside = Point(ex, ey).squared_distance_to(self.center) <= r2
+        if start_inside and end_inside:
+            # Fully inside the closed disc: touches the boundary only if an
+            # endpoint or the chord grazes the circle itself.
+            return (
+                Point(sx, sy).squared_distance_to(self.center) == r2
+                or Point(ex, ey).squared_distance_to(self.center) == r2
+            )
+        return True  # one side in, one side out (or tangent from outside)
+
+    def intersects_segment(self, segment: Segment) -> bool:
+        """Closed-disc vs closed-segment intersection."""
+        return (
+            segment.closest_point_to(self.center).squared_distance_to(
+                self.center
+            )
+            <= self.radius * self.radius
+        )
+
+    # -- conveniences ----------------------------------------------------------
+
+    @property
+    def perimeter(self) -> float:
+        """Circumference, 2 * pi * r."""
+        return 2.0 * math.pi * self.radius
+
+    def scaled(self, factor: float) -> "Circle":
+        """A concentric copy with the radius scaled by ``factor``."""
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return Circle(self.center, self.radius * factor)
+
+    def translated(self, dx: float, dy: float) -> "Circle":
+        """A copy shifted by ``(dx, dy)``."""
+        return Circle(self.center + Point(dx, dy), self.radius)

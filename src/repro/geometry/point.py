@@ -1,0 +1,128 @@
+"""Immutable 2-D points.
+
+The whole library speaks :class:`Point`.  It is deliberately a tiny frozen
+dataclass rather than a numpy array: the query algorithms touch points one at
+a time (hash them, compare them, compute a couple of distances), and a plain
+Python object with ``__slots__`` is both faster and clearer for that access
+pattern.  Bulk storage (the database's point table) uses numpy arrays and
+converts at the edges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the Euclidean plane.
+
+    Supports vector arithmetic (``+``, ``-``, scalar ``*`` and ``/``),
+    iteration/unpacking (``x, y = p``) and is hashable, so it can be used in
+    sets and as dictionary keys — Algorithm 1 keeps its *visited* set keyed
+    by point identity.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product, treating both points as vectors from the origin."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 3-D cross product of the two vectors."""
+        return self.x * other.y - self.y * other.x
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt in hot loops)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def norm(self) -> float:
+        """Euclidean length of the vector from the origin to this point."""
+        return math.hypot(self.x, self.y)
+
+    def squared_norm(self) -> float:
+        """Squared Euclidean length."""
+        return self.x * self.x + self.y * self.y
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def rotated(self, angle: float, about: "Point" | None = None) -> "Point":
+        """Return this point rotated by ``angle`` radians around ``about``.
+
+        ``about`` defaults to the origin.
+        """
+        cx, cy = (about.x, about.y) if about is not None else (0.0, 0.0)
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        dx = self.x - cx
+        dy = self.y - cy
+        return Point(cx + dx * cos_a - dy * sin_a, cy + dx * sin_a + dy * cos_a)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    @staticmethod
+    def from_sequence(xy: Sequence[float]) -> "Point":
+        """Build a :class:`Point` from any two-element sequence."""
+        if len(xy) != 2:
+            raise ValueError(f"expected a 2-element sequence, got {len(xy)}")
+        return Point(float(xy[0]), float(xy[1]))
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    total_x = 0.0
+    total_y = 0.0
+    count = 0
+    for p in points:
+        total_x += p.x
+        total_y += p.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid of an empty point collection is undefined")
+    return Point(total_x / count, total_y / count)
+
+
+def collinear(a: Point, b: Point, c: Point, tolerance: float = 0.0) -> bool:
+    """True if the three points lie on a common line.
+
+    With the default zero tolerance this is an exact floating-point test of
+    the doubled signed triangle area; pass a small positive ``tolerance`` to
+    treat nearly-degenerate triples as collinear.
+    """
+    area2 = (b - a).cross(c - a)
+    return abs(area2) <= tolerance

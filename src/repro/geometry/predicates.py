@@ -1,0 +1,214 @@
+"""Robust geometric predicates.
+
+The Delaunay substrate (and through it every Voronoi-neighbour lookup the
+core algorithm makes) rests on two predicates:
+
+* ``orientation(a, b, c)`` — does ``c`` lie to the left of, to the right of,
+  or on the directed line ``a -> b``?
+* ``incircle(a, b, c, d)`` — does ``d`` lie inside the circumcircle of the
+  (counter-clockwise) triangle ``a, b, c``?
+
+Evaluated naively in floating point these can return the wrong *sign* when
+the true value is near zero, which corrupts the triangulation topology (and
+with it the correctness of the area query).  We use the standard two-stage
+scheme: a fast float evaluation with a forward error bound, falling back to
+exact rational arithmetic (:mod:`fractions`) only in the uncertain zone.
+Python's unbounded integers make the exact stage simple and always correct;
+the float fast path keeps the common case cheap.
+
+Validity domain
+---------------
+As with Shewchuk's original predicates, the error-bound analysis assumes no
+intermediate overflow or underflow: coordinate *differences* and their
+pairwise products must stay inside the normal double range.  In practice:
+coordinate magnitudes in ``[1e-75, 1e75]`` (or exact zeros) are always
+safe for the in-circle test, and anything a real spatial workload uses is
+far inside that.  Feeding denormal-scale coordinates (``~1e-308``) can
+silently underflow the fast path to an exact zero that the bound cannot
+flag.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from fractions import Fraction
+
+from repro.geometry.point import Point
+
+# Machine epsilon for IEEE-754 doubles (2^-52); forward error bounds below
+# follow Shewchuk's "Adaptive Precision Floating-Point Arithmetic" constants.
+_EPS = 2.220446049250313e-16
+_ORIENT_ERR_BOUND = (3.0 + 16.0 * _EPS) * _EPS
+_INCIRCLE_ERR_BOUND = (10.0 + 96.0 * _EPS) * _EPS
+
+
+class Orientation(IntEnum):
+    """Sign of the signed area of triangle ``(a, b, c)``."""
+
+    CLOCKWISE = -1
+    COLLINEAR = 0
+    COUNTERCLOCKWISE = 1
+
+
+def orientation_sign(
+    ax: float, ay: float, bx: float, by: float, cx: float, cy: float
+) -> float:
+    """Raw-coordinate form of :func:`orientation_value`.
+
+    The hot loops of the area-query algorithms (point-in-polygon,
+    segment intersection) call this directly on floats to avoid
+    :class:`Point` attribute access and wrapper overhead; the sign guarantee
+    is identical.
+    """
+    detleft = (ax - cx) * (by - cy)
+    detright = (ay - cy) * (bx - cx)
+    det = detleft - detright
+
+    if detleft > 0.0:
+        if detright <= 0.0:
+            return det
+        detsum = detleft + detright
+    elif detleft < 0.0:
+        if detright >= 0.0:
+            return det
+        detsum = -detleft - detright
+    else:
+        return det
+
+    # The two products have the same sign and similar magnitude: the
+    # subtraction may have cancelled catastrophically.  Check the error bound
+    # and fall back to exact arithmetic when the float result is untrusted.
+    if abs(det) >= _ORIENT_ERR_BOUND * detsum:
+        return det
+    return _orientation_exact(ax, ay, bx, by, cx, cy)
+
+
+def orientation_value(a: Point, b: Point, c: Point) -> float:
+    """Exactly-signed doubled area of triangle ``(a, b, c)``.
+
+    Returns a float whose *sign* is guaranteed correct: positive if the
+    points turn counter-clockwise, negative if clockwise, exactly ``0.0`` if
+    collinear.  The magnitude is only approximate when the exact fallback is
+    taken, but callers of this module only ever use the sign.
+    """
+    return orientation_sign(a.x, a.y, b.x, b.y, c.x, c.y)
+
+
+def _orientation_exact(
+    ax: float, ay: float, bx: float, by: float, cx: float, cy: float
+) -> float:
+    fax, fay = Fraction(ax), Fraction(ay)
+    fbx, fby = Fraction(bx), Fraction(by)
+    fcx, fcy = Fraction(cx), Fraction(cy)
+    det = (fax - fcx) * (fby - fcy) - (fay - fcy) * (fbx - fcx)
+    if det > 0:
+        return 1.0
+    if det < 0:
+        return -1.0
+    return 0.0
+
+
+def orientation(a: Point, b: Point, c: Point) -> Orientation:
+    """Robust orientation of the ordered triple ``(a, b, c)``."""
+    value = orientation_value(a, b, c)
+    if value > 0.0:
+        return Orientation.COUNTERCLOCKWISE
+    if value < 0.0:
+        return Orientation.CLOCKWISE
+    return Orientation.COLLINEAR
+
+
+def incircle(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Robustly-signed in-circle test.
+
+    For a *counter-clockwise* triangle ``a, b, c``, the result is positive if
+    ``d`` lies strictly inside the circumcircle, negative if strictly
+    outside, and exactly ``0.0`` if the four points are cocircular.  (For a
+    clockwise triangle the sign flips, as with the classical determinant.)
+    """
+    adx = a.x - d.x
+    ady = a.y - d.y
+    bdx = b.x - d.x
+    bdy = b.y - d.y
+    cdx = c.x - d.x
+    cdy = c.y - d.y
+
+    bdxcdy = bdx * cdy
+    cdxbdy = cdx * bdy
+    alift = adx * adx + ady * ady
+
+    cdxady = cdx * ady
+    adxcdy = adx * cdy
+    blift = bdx * bdx + bdy * bdy
+
+    adxbdy = adx * bdy
+    bdxady = bdx * ady
+    clift = cdx * cdx + cdy * cdy
+
+    det = (
+        alift * (bdxcdy - cdxbdy)
+        + blift * (cdxady - adxcdy)
+        + clift * (adxbdy - bdxady)
+    )
+
+    permanent = (
+        (abs(bdxcdy) + abs(cdxbdy)) * alift
+        + (abs(cdxady) + abs(adxcdy)) * blift
+        + (abs(adxbdy) + abs(bdxady)) * clift
+    )
+    if abs(det) >= _INCIRCLE_ERR_BOUND * permanent:
+        return det
+    return _incircle_exact(a, b, c, d)
+
+
+def _incircle_exact(a: Point, b: Point, c: Point, d: Point) -> float:
+    ax, ay = Fraction(a.x), Fraction(a.y)
+    bx, by = Fraction(b.x), Fraction(b.y)
+    cx, cy = Fraction(c.x), Fraction(c.y)
+    dx, dy = Fraction(d.x), Fraction(d.y)
+
+    adx, ady = ax - dx, ay - dy
+    bdx, bdy = bx - dx, by - dy
+    cdx, cdy = cx - dx, cy - dy
+
+    alift = adx * adx + ady * ady
+    blift = bdx * bdx + bdy * bdy
+    clift = cdx * cdx + cdy * cdy
+
+    det = (
+        alift * (bdx * cdy - cdx * bdy)
+        + blift * (cdx * ady - adx * cdy)
+        + clift * (adx * bdy - bdx * ady)
+    )
+    if det > 0:
+        return 1.0
+    if det < 0:
+        return -1.0
+    return 0.0
+
+
+def circumcenter(a: Point, b: Point, c: Point) -> Point:
+    """Circumcentre of the (non-degenerate) triangle ``a, b, c``.
+
+    Raises :class:`ValueError` for collinear input, where no circumcircle
+    exists.  Used by the Voronoi dual: a Voronoi vertex is the circumcentre
+    of its Delaunay triangle.
+    """
+    d = 2.0 * ((a.x - c.x) * (b.y - c.y) - (a.y - c.y) * (b.x - c.x))
+    if d == 0.0:
+        raise ValueError("circumcenter of collinear points is undefined")
+    a2 = a.squared_norm()
+    b2 = b.squared_norm()
+    c2 = c.squared_norm()
+    ux = (
+        (a2 - c2) * (b.y - c.y) - (b2 - c2) * (a.y - c.y)
+    ) / d
+    uy = (
+        (b2 - c2) * (a.x - c.x) - (a2 - c2) * (b.x - c.x)
+    ) / d
+    return Point(ux, uy)
+
+
+def circumradius(a: Point, b: Point, c: Point) -> float:
+    """Radius of the circumcircle of triangle ``a, b, c``."""
+    return circumcenter(a, b, c).distance_to(a)

@@ -1,0 +1,197 @@
+"""Random simple polygons — the paper's query workload.
+
+Every experiment in the paper issues "a randomly generated polygon of ten
+points" whose *query size* (MBR area divided by the area of the solution
+space) is the sweep knob.  This module generates such polygons:
+
+* :func:`random_star_polygon` — vertices at random radii sorted by angle
+  around a centre.  Always simple, usually concave; this is the generator
+  the experiment harness uses because it is fast and its irregularity is
+  controllable.
+* :func:`random_simple_polygon` — fully random vertex sets untangled into a
+  simple polygon by 2-opt edge swaps; slower but samples a wider shape
+  space.  Used in tests and available to users.
+* :func:`scale_polygon_to_query_size` — rescales and re-places a polygon so
+  its MBR covers exactly the requested fraction of a space rectangle, i.e.
+  the paper's ``query size`` parameter.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+
+
+def random_star_polygon(
+    n_vertices: int = 10,
+    rng: Optional[random.Random] = None,
+    *,
+    center: Point = Point(0.5, 0.5),
+    mean_radius: float = 0.25,
+    irregularity: float = 0.6,
+    spikiness: float = 0.45,
+) -> Polygon:
+    """A random simple (star-shaped) polygon around ``center``.
+
+    Angles advance around the circle with jitter controlled by
+    ``irregularity`` (0 = regular spacing, 1 = fully random spacing) and each
+    vertex radius is drawn around ``mean_radius`` with relative spread
+    ``spikiness``.  The result is always simple because vertices are sorted
+    by angle around an interior point, and with the default spikiness it is
+    concave with high probability — matching the paper's "irregular polygon,
+    more often even a concave polygon".
+    """
+    if n_vertices < 3:
+        raise ValueError(f"need at least 3 vertices, got {n_vertices}")
+    if not 0.0 <= irregularity <= 1.0:
+        raise ValueError(f"irregularity must be in [0, 1], got {irregularity}")
+    if not 0.0 <= spikiness < 1.0:
+        raise ValueError(f"spikiness must be in [0, 1), got {spikiness}")
+    rng = rng if rng is not None else random.Random()
+
+    # Random angular steps that sum to 2*pi.
+    base_step = 2.0 * math.pi / n_vertices
+    jitter = irregularity * base_step
+    steps = [
+        base_step + rng.uniform(-jitter, jitter) for _ in range(n_vertices)
+    ]
+    step_sum = sum(steps)
+    steps = [s * (2.0 * math.pi / step_sum) for s in steps]
+
+    vertices: List[Point] = []
+    angle = rng.uniform(0.0, 2.0 * math.pi)
+    for step in steps:
+        radius = mean_radius * (1.0 + rng.uniform(-spikiness, spikiness))
+        radius = max(radius, mean_radius * 0.05)
+        vertices.append(
+            Point(
+                center.x + radius * math.cos(angle),
+                center.y + radius * math.sin(angle),
+            )
+        )
+        angle += step
+    return Polygon(vertices)
+
+
+def random_simple_polygon(
+    n_vertices: int = 10,
+    rng: Optional[random.Random] = None,
+    *,
+    bounds: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    max_untangle_passes: int = 200,
+) -> Polygon:
+    """A simple polygon on uniformly random vertices inside ``bounds``.
+
+    Vertices are drawn uniformly, then the closed tour is untangled by 2-opt
+    reversals (each swap removes one edge crossing and strictly shortens the
+    tour, so the process terminates); in the rare event the pass budget runs
+    out, fresh vertices are drawn.  The output distribution covers convex and
+    strongly concave shapes alike.
+    """
+    if n_vertices < 3:
+        raise ValueError(f"need at least 3 vertices, got {n_vertices}")
+    rng = rng if rng is not None else random.Random()
+
+    while True:
+        ring = [
+            Point(
+                rng.uniform(bounds.min_x, bounds.max_x),
+                rng.uniform(bounds.min_y, bounds.max_y),
+            )
+            for _ in range(n_vertices)
+        ]
+        if len(set(ring)) < n_vertices:
+            continue
+        if _untangle(ring, max_untangle_passes):
+            polygon = Polygon(ring)
+            if polygon.area > 0.0 and polygon.is_simple():
+                return polygon
+
+
+def _untangle(ring: List[Point], max_passes: int) -> bool:
+    """Remove edge crossings from a closed tour by 2-opt reversals in place."""
+    from repro.geometry.segment import segments_intersect
+
+    n = len(ring)
+    for _ in range(max_passes):
+        crossed = False
+        for i in range(n):
+            a, b = ring[i], ring[(i + 1) % n]
+            for j in range(i + 2, n):
+                if i == 0 and j == n - 1:
+                    continue  # adjacent through the closing edge
+                c, d = ring[j], ring[(j + 1) % n]
+                if segments_intersect(a, b, c, d):
+                    # Reverse the path b..c: the crossing pair (ab, cd)
+                    # becomes the non-crossing pair (ac, bd).
+                    ring[i + 1 : j + 1] = reversed(ring[i + 1 : j + 1])
+                    crossed = True
+                    a, b = ring[i], ring[(i + 1) % n]
+        if not crossed:
+            return True
+    return False
+
+
+def scale_polygon_to_query_size(
+    polygon: Polygon,
+    query_size: float,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    rng: Optional[random.Random] = None,
+) -> Polygon:
+    """Rescale/translate ``polygon`` so MBR(polygon).area == query_size * space.area.
+
+    This realises the paper's *query size* knob: "the area of the query
+    area's MBR divided by the total area of the solution space".  The scaled
+    polygon is placed uniformly at random inside ``space`` (or centred, when
+    no ``rng`` is given).
+    """
+    if not 0.0 < query_size <= 1.0:
+        raise ValueError(f"query_size must be in (0, 1], got {query_size}")
+    mbr = polygon.mbr
+    if mbr.area <= 0.0:
+        raise ValueError("cannot scale a polygon with a degenerate MBR")
+
+    target_area = query_size * space.area
+    factor = math.sqrt(target_area / mbr.area)
+    # Keep the aspect ratio; if the scaled MBR would exceed the space in one
+    # dimension, clamp the factor so the polygon still fits.
+    max_factor = min(
+        space.width / mbr.width if mbr.width > 0 else math.inf,
+        space.height / mbr.height if mbr.height > 0 else math.inf,
+    )
+    factor = min(factor, max_factor)
+    scaled = polygon.scaled(factor)
+
+    smbr = scaled.mbr
+    free_x = space.width - smbr.width
+    free_y = space.height - smbr.height
+    if rng is not None:
+        dx = space.min_x + rng.uniform(0.0, max(free_x, 0.0)) - smbr.min_x
+        dy = space.min_y + rng.uniform(0.0, max(free_y, 0.0)) - smbr.min_y
+    else:
+        dx = space.min_x + max(free_x, 0.0) / 2.0 - smbr.min_x
+        dy = space.min_y + max(free_y, 0.0) / 2.0 - smbr.min_y
+    return scaled.translated(dx, dy)
+
+
+def random_query_polygon(
+    query_size: float,
+    n_vertices: int = 10,
+    rng: Optional[random.Random] = None,
+    *,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> Polygon:
+    """One query area exactly as the paper's experiments draw them.
+
+    A random 10-vertex star polygon, rescaled so its MBR covers
+    ``query_size`` of the solution space and dropped at a uniformly random
+    position.
+    """
+    rng = rng if rng is not None else random.Random()
+    shape = random_star_polygon(n_vertices, rng)
+    return scale_polygon_to_query_size(shape, query_size, space, rng)

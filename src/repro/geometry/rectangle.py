@@ -1,0 +1,212 @@
+"""Axis-aligned rectangles (MBR algebra).
+
+Every spatial index in :mod:`repro.index` stores and compares minimum
+bounding rectangles; the traditional area-query baseline filters with the
+query polygon's MBR.  :class:`Rect` is the shared currency for all of that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed — a point's
+    MBR is a degenerate rectangle — but inverted bounds are rejected.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"inverted rectangle bounds: ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rect":
+        """The minimum bounding rectangle of a non-empty point collection."""
+        iterator = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("MBR of an empty point collection is undefined")
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for p in iterator:
+            if p.x < min_x:
+                min_x = p.x
+            elif p.x > max_x:
+                max_x = p.x
+            if p.y < min_y:
+                min_y = p.y
+            elif p.y > max_y:
+                max_y = p.y
+        return Rect(min_x, min_y, max_x, max_y)
+
+    @staticmethod
+    def from_point(p: Point) -> "Rect":
+        """The degenerate MBR of a single point."""
+        return Rect(p.x, p.y, p.x, p.y)
+
+    @staticmethod
+    def from_bounds(bounds: Sequence[float]) -> "Rect":
+        """Build from a ``(min_x, min_y, max_x, max_y)`` sequence."""
+        if len(bounds) != 4:
+            raise ValueError(f"expected 4 bounds, got {len(bounds)}")
+        return Rect(*map(float, bounds))
+
+    # -- basic measures ----------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Width times height (0.0 for degenerate rectangles)."""
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree split criterion."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        """The rectangle's midpoint."""
+        return Point(
+            (self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0
+        )
+
+    def corners(self) -> Iterator[Point]:
+        """The four corners in counter-clockwise order."""
+        yield Point(self.min_x, self.min_y)
+        yield Point(self.max_x, self.min_y)
+        yield Point(self.max_x, self.max_y)
+        yield Point(self.min_x, self.max_y)
+
+    # -- relations ---------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        return (
+            self.min_x <= p.x <= self.max_x
+            and self.min_y <= p.y <= self.max_y
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside (or equals) this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two closed rectangles share at least one point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of overlap with ``other`` (0.0 when disjoint)."""
+        overlap = self.intersection(other)
+        return overlap.area if overlap is not None else 0.0
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def union_point(self, p: Point) -> "Rect":
+        """The smallest rectangle covering this one and ``p``."""
+        return Rect(
+            min(self.min_x, p.x),
+            min(self.min_y, p.y),
+            max(self.max_x, p.x),
+            max(self.max_y, p.y),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (Guttman's ChooseLeaf)."""
+        return self.union(other).area - self.area
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the closest point of the rectangle.
+
+        Zero when the point is inside.  This is ``MINDIST`` in the R-tree
+        nearest-neighbour literature and drives the best-first NN search.
+        """
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def squared_distance_to_point(self, p: Point) -> float:
+        """Squared ``MINDIST`` (avoids the sqrt in priority queues)."""
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return dx * dx + dy * dy
+
+    def expanded(self, amount: float) -> "Rect":
+        """A copy grown by ``amount`` on every side (shrunk if negative)."""
+        return Rect(
+            self.min_x - amount,
+            self.min_y - amount,
+            self.max_x + amount,
+            self.max_y + amount,
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)``."""
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+
+def union_all(rects: Iterable[Rect]) -> Rect:
+    """The smallest rectangle covering every rectangle in ``rects``."""
+    iterator = iter(rects)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("union of an empty rectangle collection is undefined")
+    for rect in iterator:
+        result = result.union(rect)
+    return result

@@ -1,0 +1,148 @@
+"""Ear-clipping triangulation of simple polygons.
+
+Two consumers inside the library:
+
+* :func:`repro.core.voronoi_query.interior_position` — the paper's
+  "arbitrary position in A" must be found for *any* simple polygon,
+  including shapes where the centroid and all diagonal midpoints fall
+  outside; any triangle of a triangulation supplies an interior point
+  directly.
+* :meth:`sample_interior` — uniform random points inside a polygon
+  (area-weighted triangle choice + uniform barycentric sampling), used by
+  workload generators and available to applications.
+
+The clipping loop is the classical O(n^2) ear removal with robust
+orientation tests — query polygons have tens of vertices, so simplicity
+beats an O(n log n) monotone decomposition here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.predicates import Orientation, orientation
+
+Triangle = Tuple[Point, Point, Point]
+
+
+def triangulate_polygon(vertices: Sequence[Point]) -> List[Triangle]:
+    """Triangulate a simple polygon given as a CCW vertex ring.
+
+    Returns ``len(vertices) - 2`` triangles covering the polygon exactly.
+    Collinear (zero-area) ears are clipped away without emitting a
+    triangle.  Raises :class:`ValueError` if no ear can be found, which for
+    a simple input ring can only mean the ring is degenerate (zero area).
+    """
+    ring: List[Point] = list(vertices)
+    if len(ring) < 3:
+        raise ValueError(f"need at least 3 vertices, got {len(ring)}")
+
+    triangles: List[Triangle] = []
+    guard = 0
+    while len(ring) > 3:
+        guard += 1
+        if guard > 2 * len(vertices) * len(vertices):
+            raise ValueError(
+                "ear clipping failed to converge; is the polygon simple?"
+            )
+        ear_index = _find_ear(ring)
+        if ear_index is None:
+            raise ValueError(
+                "no ear found; the polygon is degenerate or not simple"
+            )
+        previous = ring[ear_index - 1]
+        tip = ring[ear_index]
+        following = ring[(ear_index + 1) % len(ring)]
+        if (
+            orientation(previous, tip, following)
+            is Orientation.COUNTERCLOCKWISE
+        ):
+            triangles.append((previous, tip, following))
+        # Collinear ears are dropped silently (zero area).
+        del ring[ear_index]
+    if orientation(*ring) is Orientation.COUNTERCLOCKWISE:
+        triangles.append((ring[0], ring[1], ring[2]))
+    return triangles
+
+
+def _find_ear(ring: List[Point]) -> Optional[int]:
+    """Index of a clippable ear tip in the CCW ring."""
+    n = len(ring)
+    for i in range(n):
+        previous = ring[i - 1]
+        tip = ring[i]
+        following = ring[(i + 1) % n]
+        turn = orientation(previous, tip, following)
+        if turn is Orientation.CLOCKWISE:
+            continue  # reflex vertex: not an ear
+        if turn is Orientation.COLLINEAR:
+            return i  # degenerate ear: clip it away, emits nothing
+        # Convex tip: an ear iff no other vertex lies inside the candidate
+        # triangle (boundary counts as inside to stay safe with touching
+        # vertices).
+        if not any(
+            _point_in_triangle(ring[j], previous, tip, following)
+            for j in range(n)
+            if ring[j] not in (previous, tip, following)
+        ):
+            return i
+    return None
+
+
+def _point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:
+    """Closed-triangle membership for a CCW triangle."""
+    return (
+        orientation(a, b, p) is not Orientation.CLOCKWISE
+        and orientation(b, c, p) is not Orientation.CLOCKWISE
+        and orientation(c, a, p) is not Orientation.CLOCKWISE
+    )
+
+
+def triangle_area(triangle: Triangle) -> float:
+    """Area of one triangle."""
+    a, b, c = triangle
+    return abs((b - a).cross(c - a)) / 2.0
+
+
+def triangle_interior_point(triangle: Triangle) -> Point:
+    """The centroid of a triangle — always strictly interior."""
+    a, b, c = triangle
+    return Point((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0)
+
+
+def sample_point_in_triangle(
+    triangle: Triangle, rng: random.Random
+) -> Point:
+    """Uniform random point inside a triangle (barycentric reflection)."""
+    a, b, c = triangle
+    u = rng.random()
+    v = rng.random()
+    if u + v > 1.0:
+        u, v = 1.0 - u, 1.0 - v
+    return Point(
+        a.x + u * (b.x - a.x) + v * (c.x - a.x),
+        a.y + u * (b.y - a.y) + v * (c.y - a.y),
+    )
+
+
+def sample_interior(
+    vertices: Sequence[Point],
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> List[Point]:
+    """``count`` points uniform over the polygon's interior.
+
+    Triangulates once, then draws triangles with probability proportional
+    to area and samples uniformly within each.
+    """
+    rng = rng if rng is not None else random.Random()
+    triangles = [
+        t for t in triangulate_polygon(vertices) if triangle_area(t) > 0.0
+    ]
+    if not triangles:
+        raise ValueError("cannot sample a zero-area polygon")
+    weights = [triangle_area(t) for t in triangles]
+    chosen = rng.choices(triangles, weights=weights, k=count)
+    return [sample_point_in_triangle(t, rng) for t in chosen]

@@ -1,0 +1,175 @@
+"""Uniform grid index.
+
+The simplest useful spatial index: space is cut into ``resolution x
+resolution`` equal cells and each cell keeps a bucket of entries.  It serves
+two roles here: a cheap baseline for the index ablation, and a second
+independent oracle (besides brute force) in the test suite — its query logic
+shares no code with the tree indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import Entry, SpatialIndex
+
+_DEFAULT_RESOLUTION = 64
+
+
+class GridIndex(SpatialIndex):
+    """Fixed-resolution uniform grid over a bounding box.
+
+    Points outside ``bounds`` are clamped into the border cells, so the
+    index remains correct (if less efficient) for out-of-range data.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+        resolution: int = _DEFAULT_RESOLUTION,
+    ) -> None:
+        super().__init__()
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        if bounds.width <= 0.0 or bounds.height <= 0.0:
+            raise ValueError("grid bounds must have positive area")
+        self.extent = bounds
+        self.resolution = resolution
+        self._cells: Dict[Tuple[int, int], List[Entry]] = defaultdict(list)
+        self._count = 0
+
+    # -- cell addressing ----------------------------------------------------
+
+    def _cell_of(self, point: Point) -> Tuple[int, int]:
+        cx = int(
+            (point.x - self.extent.min_x) / self.extent.width * self.resolution
+        )
+        cy = int(
+            (point.y - self.extent.min_y) / self.extent.height * self.resolution
+        )
+        return (
+            min(max(cx, 0), self.resolution - 1),
+            min(max(cy, 0), self.resolution - 1),
+        )
+
+    def _cell_box(self, cx: int, cy: int) -> Rect:
+        w = self.extent.width / self.resolution
+        h = self.extent.height / self.resolution
+        return Rect(
+            self.extent.min_x + cx * w,
+            self.extent.min_y + cy * h,
+            self.extent.min_x + (cx + 1) * w,
+            self.extent.min_y + (cy + 1) * h,
+        )
+
+    # -- construction ------------------------------------------------------
+
+    def insert(self, point: Point, item_id: int) -> None:
+        self._cells[self._cell_of(point)].append((point, item_id))
+        self._count += 1
+
+    def delete(self, point: Point, item_id: int) -> bool:
+        bucket = self._cells.get(self._cell_of(point))
+        if not bucket:
+            return False
+        try:
+            bucket.remove((point, item_id))
+        except ValueError:
+            return False
+        self._count -= 1
+        return True
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- queries -----------------------------------------------------------
+
+    def window_query(self, window: Rect) -> List[Entry]:
+        overlap = window.intersection(self.extent)
+        results: List[Entry] = []
+        if overlap is None:
+            # Window entirely outside the nominal bounds; clamped points may
+            # still match, so scan the border cells via the clamp.
+            lo = self._cell_of(Point(window.min_x, window.min_y))
+            hi = self._cell_of(Point(window.max_x, window.max_y))
+        else:
+            lo = self._cell_of(Point(overlap.min_x, overlap.min_y))
+            hi = self._cell_of(Point(overlap.max_x, overlap.max_y))
+        for cx in range(lo[0], hi[0] + 1):
+            for cy in range(lo[1], hi[1] + 1):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                self.stats.node_accesses += 1
+                self.stats.entry_tests += len(bucket)
+                results.extend(
+                    entry for entry in bucket if window.contains_point(entry[0])
+                )
+        return results
+
+    def nearest_neighbor(self, query: Point) -> Optional[Entry]:
+        results = self.k_nearest_neighbors(query, 1)
+        return results[0] if results else None
+
+    def k_nearest_neighbors(self, query: Point, k: int) -> List[Entry]:
+        """Expanding-ring search around the query's cell."""
+        if k <= 0 or self._count == 0:
+            return []
+        center = self._cell_of(query)
+        best: List[Tuple[float, int, Point]] = []
+        cell_w = self.extent.width / self.resolution
+        cell_h = self.extent.height / self.resolution
+        max_radius = self.resolution  # rings beyond this cover everything
+
+        for radius in range(0, max_radius + 1):
+            for cx, cy in self._ring_cells(center, radius):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                self.stats.node_accesses += 1
+                self.stats.entry_tests += len(bucket)
+                for point, item_id in bucket:
+                    best.append(
+                        (point.squared_distance_to(query), item_id, point)
+                    )
+            if len(best) >= k:
+                best.sort(key=lambda t: (t[0], t[1]))
+                # The k-th candidate is only final once the next unexplored
+                # ring cannot contain anything closer.
+                kth_distance = math.sqrt(best[k - 1][0])
+                ring_distance = radius * min(cell_w, cell_h)
+                if kth_distance <= ring_distance:
+                    break
+        best.sort(key=lambda t: (t[0], t[1]))
+        return [(point, item_id) for _, item_id, point in best[:k]]
+
+    def _ring_cells(
+        self, center: Tuple[int, int], radius: int
+    ) -> Iterator[Tuple[int, int]]:
+        cx0, cy0 = center
+        if radius == 0:
+            if 0 <= cx0 < self.resolution and 0 <= cy0 < self.resolution:
+                yield (cx0, cy0)
+            return
+        lo_x, hi_x = cx0 - radius, cx0 + radius
+        lo_y, hi_y = cy0 - radius, cy0 + radius
+        for cx in range(lo_x, hi_x + 1):
+            for cy in (lo_y, hi_y):
+                if 0 <= cx < self.resolution and 0 <= cy < self.resolution:
+                    yield (cx, cy)
+        for cy in range(lo_y + 1, hi_y):
+            for cx in (lo_x, hi_x):
+                if 0 <= cx < self.resolution and 0 <= cy < self.resolution:
+                    yield (cx, cy)
+
+    def items(self) -> Iterator[Entry]:
+        for bucket in self._cells.values():
+            yield from bucket
+
+    def occupancy(self) -> Dict[Tuple[int, int], int]:
+        """Bucket sizes keyed by cell, for diagnostics and tests."""
+        return {cell: len(bucket) for cell, bucket in self._cells.items() if bucket}

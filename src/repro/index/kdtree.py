@@ -1,0 +1,288 @@
+"""Dynamic k-d tree over 2-D points.
+
+One of the classical indexes the paper's related work surveys (Bentley
+1975).  Supports the same interface as the R-tree — window query and
+(k-)nearest-neighbour — so the ablation bench can swap it into the
+traditional filter–refine pipeline.
+
+The tree alternates split axes by depth.  Deletion is implemented by
+tombstoning plus periodic rebuilds (amortised O(log n)); bulk loading builds
+a perfectly balanced tree by median splitting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import Entry, SpatialIndex
+
+_REBUILD_TOMBSTONE_FRACTION = 0.5
+
+
+class _KDNode:
+    __slots__ = ("point", "item_id", "axis", "left", "right", "deleted")
+
+    def __init__(self, point: Point, item_id: int, axis: int) -> None:
+        self.point = point
+        self.item_id = item_id
+        self.axis = axis  # 0 = x, 1 = y
+        self.left: Optional["_KDNode"] = None
+        self.right: Optional["_KDNode"] = None
+        self.deleted = False
+
+    def key(self) -> float:
+        return self.point.x if self.axis == 0 else self.point.y
+
+
+class KDTree(SpatialIndex):
+    """A 2-D k-d tree with window and best-first NN queries."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._root: Optional[_KDNode] = None
+        self._count = 0
+        self._tombstones = 0
+
+    # -- construction ------------------------------------------------------
+
+    def insert(self, point: Point, item_id: int) -> None:
+        if self._root is None:
+            self._root = _KDNode(point, item_id, axis=0)
+        else:
+            node = self._root
+            while True:
+                coordinate = point.x if node.axis == 0 else point.y
+                branch = "left" if coordinate < node.key() else "right"
+                child = getattr(node, branch)
+                if child is None:
+                    setattr(
+                        node,
+                        branch,
+                        _KDNode(point, item_id, axis=1 - node.axis),
+                    )
+                    break
+                node = child
+        self._count += 1
+
+    def bulk_load(self, entries) -> None:
+        """Median-split balanced build (replaces repeated insertion)."""
+        entries = list(entries)
+        existing = list(self.items())
+        all_entries = existing + entries
+        self._root = _build_balanced(all_entries, axis=0)
+        self._count = len(all_entries)
+        self._tombstones = 0
+
+    def delete(self, point: Point, item_id: int) -> bool:
+        node = self._root
+        while node is not None:
+            if (
+                not node.deleted
+                and node.point == point
+                and node.item_id == item_id
+            ):
+                node.deleted = True
+                self._count -= 1
+                self._tombstones += 1
+                self._maybe_rebuild()
+                return True
+            coordinate = point.x if node.axis == 0 else point.y
+            # Equal keys go right on insert, but an equal-key duplicate may
+            # also match this node's key exactly; search both sides when
+            # the coordinate equals the split key.
+            if coordinate < node.key():
+                node = node.left
+            elif coordinate > node.key():
+                node = node.right
+            else:
+                # Ambiguous: exhaustive search of both subtrees from here.
+                return self._delete_exhaustive(node, point, item_id)
+        return False
+
+    def _delete_exhaustive(
+        self, start: _KDNode, point: Point, item_id: int
+    ) -> bool:
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if (
+                not node.deleted
+                and node.point == point
+                and node.item_id == item_id
+            ):
+                node.deleted = True
+                self._count -= 1
+                self._tombstones += 1
+                self._maybe_rebuild()
+                return True
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return False
+
+    def _maybe_rebuild(self) -> None:
+        if (
+            self._count > 0
+            and self._tombstones > self._count * _REBUILD_TOMBSTONE_FRACTION
+        ):
+            live = list(self.items())
+            self._root = _build_balanced(live, axis=0)
+            self._tombstones = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- queries -----------------------------------------------------------
+
+    def window_query(self, window: Rect) -> List[Entry]:
+        results: List[Entry] = []
+        if self._root is None:
+            return results
+        stack: List[Tuple[_KDNode, float, float, float, float]] = [
+            (
+                self._root,
+                float("-inf"),
+                float("-inf"),
+                float("inf"),
+                float("inf"),
+            )
+        ]
+        while stack:
+            node, min_x, min_y, max_x, max_y = stack.pop()
+            self.stats.node_accesses += 1
+            if not node.deleted:
+                self.stats.entry_tests += 1
+                if window.contains_point(node.point):
+                    results.append((node.point, node.item_id))
+            key = node.key()
+            if node.axis == 0:
+                if node.left is not None and window.min_x < key:
+                    stack.append((node.left, min_x, min_y, key, max_y))
+                if node.right is not None and window.max_x >= key:
+                    stack.append((node.right, key, min_y, max_x, max_y))
+            else:
+                if node.left is not None and window.min_y < key:
+                    stack.append((node.left, min_x, min_y, max_x, key))
+                if node.right is not None and window.max_y >= key:
+                    stack.append((node.right, min_x, key, max_x, max_y))
+        return results
+
+    def nearest_neighbor(self, query: Point) -> Optional[Entry]:
+        results = self.k_nearest_neighbors(query, 1)
+        return results[0] if results else None
+
+    def k_nearest_neighbors(self, query: Point, k: int) -> List[Entry]:
+        """Best-first traversal over subtree bounding boxes."""
+        if k <= 0 or self._root is None:
+            return []
+        counter = itertools.count()
+        world = Rect(
+            float("-inf"), float("-inf"), float("inf"), float("inf")
+        )
+        # Heap items: (distance, kind, tiebreak, payload, box); kind 0 =
+        # subtree (explored before equal-distance entries), kind 1 = entry
+        # tie-broken by id — deterministic results on duplicate locations.
+        heap: List[Tuple[float, int, int, object, Optional[Rect]]] = [
+            (0.0, 0, next(counter), self._root, world)
+        ]
+        results: List[Entry] = []
+        while heap and len(results) < k:
+            _, kind, _, item, box = heapq.heappop(heap)
+            if kind == 0:
+                self.stats.node_accesses += 1
+                node: _KDNode = item  # type: ignore[assignment]
+                assert box is not None
+                if not node.deleted:
+                    self.stats.entry_tests += 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            node.point.squared_distance_to(query),
+                            1,
+                            node.item_id,
+                            (node.point, node.item_id),
+                            None,
+                        ),
+                    )
+                key = node.key()
+                if node.axis == 0:
+                    child_boxes = (
+                        Rect(box.min_x, box.min_y, key, box.max_y),
+                        Rect(key, box.min_y, box.max_x, box.max_y),
+                    )
+                else:
+                    child_boxes = (
+                        Rect(box.min_x, box.min_y, box.max_x, key),
+                        Rect(box.min_x, key, box.max_x, box.max_y),
+                    )
+                for child, child_box in zip(
+                    (node.left, node.right), child_boxes
+                ):
+                    if child is not None:
+                        heapq.heappush(
+                            heap,
+                            (
+                                _box_squared_distance(child_box, query),
+                                0,
+                                next(counter),
+                                child,
+                                child_box,
+                            ),
+                        )
+            else:
+                results.append(item)  # type: ignore[arg-type]
+        return results
+
+    def items(self) -> Iterator[Entry]:
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if not node.deleted:
+                yield (node.point, node.item_id)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth (1 for a single-node tree, 0 when empty)."""
+        best = 0
+        stack: List[Tuple[Optional[_KDNode], int]] = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if node is None:
+                continue
+            best = max(best, depth)
+            stack.append((node.left, depth + 1))
+            stack.append((node.right, depth + 1))
+        return best
+
+
+def _build_balanced(entries: List[Entry], axis: int) -> Optional[_KDNode]:
+    if not entries:
+        return None
+    entries.sort(key=lambda e: e[0].x if axis == 0 else e[0].y)
+    median = len(entries) // 2
+    # Push equal keys to the right subtree to match insert()'s convention.
+    while median > 0 and (
+        (entries[median - 1][0].x if axis == 0 else entries[median - 1][0].y)
+        == (entries[median][0].x if axis == 0 else entries[median][0].y)
+    ):
+        median -= 1
+    point, item_id = entries[median]
+    node = _KDNode(point, item_id, axis)
+    node.left = _build_balanced(entries[:median], 1 - axis)
+    node.right = _build_balanced(entries[median + 1 :], 1 - axis)
+    return node
+
+
+def _box_squared_distance(box: Rect, p: Point) -> float:
+    dx = max(box.min_x - p.x, 0.0, p.x - box.max_x)
+    dy = max(box.min_y - p.y, 0.0, p.y - box.max_y)
+    return dx * dx + dy * dy

@@ -1,0 +1,25 @@
+"""Persistence for spatial databases and workloads.
+
+* :func:`~repro.io.persist.save_database` /
+  :func:`~repro.io.persist.load_database` — store a
+  :class:`~repro.core.database.SpatialDatabase` on disk (numpy ``.npz``
+  payload + embedded config) and restore it with its access structures
+  rebuilt.
+* :func:`~repro.io.persist.save_points` /
+  :func:`~repro.io.persist.load_points` — bare point-set round-trips for
+  exchanging workloads between runs.
+"""
+
+from repro.io.persist import (
+    load_database,
+    load_points,
+    save_database,
+    save_points,
+)
+
+__all__ = [
+    "save_database",
+    "load_database",
+    "save_points",
+    "load_points",
+]

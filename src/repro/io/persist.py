@@ -1,0 +1,94 @@
+"""Disk round-trips for point sets and databases.
+
+Format: a single numpy ``.npz`` archive holding
+
+* ``xy`` — an ``(n, 2)`` float64 array, row id = array row (so ids survive
+  the round-trip exactly), and
+* ``config`` — a JSON-encoded scalar with the database configuration
+  (index kind, backend kind, format version).
+
+Design choice: we persist *data + configuration*, not the index/diagram
+byte layout.  Both access structures rebuild deterministically from the
+data (STR bulk load; Delaunay uniqueness up to degeneracies), rebuilds are
+fast relative to I/O at library scale, and the format stays readable by
+plain numpy — the same trade most point-data systems make for their bulk
+snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.core.database import SpatialDatabase
+
+_FORMAT_VERSION = 1
+
+
+def save_points(path: str | os.PathLike, points: List[Point]) -> None:
+    """Write a bare point list to ``path`` (numpy ``.npz``)."""
+    xy = np.asarray([(p.x, p.y) for p in points], dtype=np.float64).reshape(
+        len(points), 2
+    )
+    np.savez_compressed(path, xy=xy)
+
+
+def load_points(path: str | os.PathLike) -> List[Point]:
+    """Read a point list written by :func:`save_points` (or a database file)."""
+    with np.load(path, allow_pickle=False) as archive:
+        xy = archive["xy"]
+    return [Point(float(x), float(y)) for x, y in xy]
+
+
+def save_database(path: str | os.PathLike, db: SpatialDatabase) -> None:
+    """Write ``db``'s points and configuration to ``path``.
+
+    The file extension ``.npz`` is appended by numpy if missing.
+    """
+    xy = np.asarray(
+        [(p.x, p.y) for p in db.points], dtype=np.float64
+    ).reshape(len(db.points), 2)
+    config = json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "index_kind": db._index_kind,
+            "backend_kind": db._backend_kind,
+            "count": len(db.points),
+        }
+    )
+    np.savez_compressed(path, xy=xy, config=np.asarray(config))
+
+
+def load_database(
+    path: str | os.PathLike, *, prepare: bool = False
+) -> SpatialDatabase:
+    """Restore a database written by :func:`save_database`.
+
+    Row ids are preserved exactly (row order is the id order).  Pass
+    ``prepare=True`` to rebuild the Voronoi backend eagerly; by default it
+    stays lazy, like a freshly constructed database.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        xy = archive["xy"]
+        config = json.loads(str(archive["config"]))
+    if config.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported database file version {config.get('version')!r}"
+        )
+    if int(config["count"]) != len(xy):
+        raise ValueError(
+            f"corrupt database file: header count {config['count']} != "
+            f"payload rows {len(xy)}"
+        )
+    db = SpatialDatabase.from_points(
+        (Point(float(x), float(y)) for x, y in xy),
+        index_kind=config["index_kind"],
+        backend_kind=config["backend_kind"],
+    )
+    if prepare:
+        db.prepare()
+    return db

@@ -1,0 +1,25 @@
+"""Dependency-free SVG rendering of spatial data.
+
+GIS results want to be *seen*.  This package writes standalone SVG files
+with nothing beyond the standard library:
+
+* :mod:`repro.viz.svg` — a minimal SVG document builder (circles, polygons,
+  polylines, text, groups).
+* :mod:`repro.viz.figures` — renderers for the library's objects: point
+  sets, query polygons, candidate/result classifications (the paper's
+  Fig. 2), and Voronoi/Delaunay diagrams (the paper's Fig. 3).
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.figures import (
+    render_candidate_comparison,
+    render_query_result,
+    render_voronoi_delaunay,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "render_query_result",
+    "render_candidate_comparison",
+    "render_voronoi_delaunay",
+]

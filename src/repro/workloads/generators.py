@@ -1,0 +1,107 @@
+"""Seeded synthetic point datasets.
+
+The paper's databases are uniform random points in the solution space (the
+unit square here; the paper never states units, and only ratios matter).
+Clustered and grid datasets are provided beyond the paper for robustness
+testing — the Voronoi method's invariants are distribution-free, and the
+test suite exercises them on all three.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+
+def uniform_points(
+    n: int,
+    seed: int = 0,
+    *,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> List[Point]:
+    """``n`` points uniform in ``space`` (the paper's data distribution)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = random.Random(seed)
+    return [
+        Point(
+            rng.uniform(space.min_x, space.max_x),
+            rng.uniform(space.min_y, space.max_y),
+        )
+        for _ in range(n)
+    ]
+
+
+def clustered_points(
+    n: int,
+    seed: int = 0,
+    *,
+    clusters: int = 10,
+    spread: float = 0.03,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> List[Point]:
+    """``n`` points in Gaussian clusters (city-like density variation).
+
+    Cluster centres are uniform in ``space``; members are normal around the
+    centre with standard deviation ``spread`` (clipped into the space so all
+    indexes built on default bounds stay valid).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    rng = random.Random(seed)
+    centers = [
+        (
+            rng.uniform(space.min_x, space.max_x),
+            rng.uniform(space.min_y, space.max_y),
+        )
+        for _ in range(clusters)
+    ]
+    points: List[Point] = []
+    for _ in range(n):
+        cx, cy = centers[rng.randrange(clusters)]
+        x = min(max(rng.gauss(cx, spread), space.min_x), space.max_x)
+        y = min(max(rng.gauss(cy, spread), space.min_y), space.max_y)
+        points.append(Point(x, y))
+    return points
+
+
+def grid_points(
+    n: int,
+    *,
+    jitter: float = 0.0,
+    seed: int = 0,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> List[Point]:
+    """About ``n`` points on a regular grid, optionally jittered.
+
+    A worst-ish case for Delaunay degeneracy (many cocircular quadruples
+    when ``jitter == 0``), which is exactly why the tests use it.  Returns
+    ``ceil(sqrt(n))**2`` points.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    side = math.ceil(math.sqrt(n))
+    rng = random.Random(seed)
+    step_x = space.width / side
+    step_y = space.height / side
+    points: List[Point] = []
+    for i in range(side):
+        for j in range(side):
+            x = space.min_x + (i + 0.5) * step_x
+            y = space.min_y + (j + 0.5) * step_y
+            if jitter > 0.0:
+                x += rng.uniform(-jitter, jitter) * step_x
+                y += rng.uniform(-jitter, jitter) * step_y
+            points.append(
+                Point(
+                    min(max(x, space.min_x), space.max_x),
+                    min(max(y, space.min_y), space.max_y),
+                )
+            )
+    return points

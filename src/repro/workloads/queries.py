@@ -1,0 +1,99 @@
+"""Query-area workloads.
+
+The paper's experiments issue "a randomly generated polygon of ten points"
+per repetition, scaled so the MBR covers a chosen fraction (*query size*) of
+the solution space.  :func:`make_query_areas` reproduces that; the shape
+variants (convex / rectangle) feed the polygon-shape ablation bench, which
+probes the paper's introduction claim that the traditional method is fine
+for rectangle-like areas and bad for irregular ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.geometry.polygon import Polygon, convex_hull
+from repro.geometry.random_shapes import (
+    random_star_polygon,
+    scale_polygon_to_query_size,
+)
+from repro.geometry.rectangle import Rect
+
+_SHAPES = ("irregular", "convex", "rectangle")
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible stream of query areas.
+
+    Parameters mirror the paper's experimental knobs: ``query_size`` is
+    MBR(area) / area(space); ``n_vertices`` is 10 in every paper experiment;
+    ``shape`` selects the ablation variants.
+    """
+
+    query_size: float
+    n_vertices: int = 10
+    shape: str = "irregular"
+    seed: int = 0
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.query_size <= 1.0:
+            raise ValueError(
+                f"query_size must be in (0, 1], got {self.query_size}"
+            )
+        if self.shape not in _SHAPES:
+            raise ValueError(
+                f"shape must be one of {_SHAPES}, got {self.shape!r}"
+            )
+        if self.n_vertices < 3:
+            raise ValueError(
+                f"n_vertices must be >= 3, got {self.n_vertices}"
+            )
+
+    def areas(self, count: int) -> List[Polygon]:
+        """The first ``count`` query areas of this workload (deterministic)."""
+        rng = random.Random(self.seed)
+        return [self._one(rng) for _ in range(count)]
+
+    def _one(self, rng: random.Random) -> Polygon:
+        if self.shape == "rectangle":
+            # A rectangle with a random aspect ratio: MBR area == own area,
+            # the best case for the traditional method.
+            aspect = rng.uniform(0.4, 2.5)
+            width = (self.query_size * aspect) ** 0.5
+            height = self.query_size / width
+            width = min(width, 1.0)
+            height = min(height, 1.0)
+            x = rng.uniform(0.0, 1.0 - width) + self.space.min_x
+            y = rng.uniform(0.0, 1.0 - height) + self.space.min_y
+            return Polygon.from_rect(Rect(x, y, x + width, y + height))
+
+        shape = random_star_polygon(self.n_vertices, rng)
+        if self.shape == "convex":
+            hull = convex_hull(shape.vertices)
+            shape = Polygon(hull)
+        return scale_polygon_to_query_size(
+            shape, self.query_size, self.space, rng
+        )
+
+
+def make_query_areas(
+    query_size: float,
+    count: int,
+    *,
+    n_vertices: int = 10,
+    shape: str = "irregular",
+    seed: int = 0,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> List[Polygon]:
+    """Convenience wrapper: the paper's query workload as a list."""
+    return QueryWorkload(
+        query_size=query_size,
+        n_vertices=n_vertices,
+        shape=shape,
+        seed=seed,
+        space=space,
+    ).areas(count)

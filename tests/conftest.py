@@ -1,0 +1,53 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Polygon, Rect
+from repro.workloads.generators import uniform_points
+
+
+@pytest.fixture(scope="session")
+def uniform_200():
+    """200 uniform points in the unit square (session-cached)."""
+    return uniform_points(200, seed=42)
+
+
+@pytest.fixture(scope="session")
+def uniform_1000():
+    """1000 uniform points in the unit square (session-cached)."""
+    return uniform_points(1000, seed=7)
+
+
+@pytest.fixture
+def rng():
+    """A fresh seeded RNG per test."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def unit_square():
+    return Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def concave_polygon():
+    """An L-shaped (concave) polygon inside the unit square."""
+    return Polygon(
+        [
+            Point(0.1, 0.1),
+            Point(0.9, 0.1),
+            Point(0.9, 0.5),
+            Point(0.5, 0.5),
+            Point(0.5, 0.9),
+            Point(0.1, 0.9),
+        ]
+    )
+
+
+@pytest.fixture
+def triangle():
+    return Polygon([Point(0.0, 0.0), Point(1.0, 0.0), Point(0.0, 1.0)])

@@ -1,0 +1,177 @@
+"""Failure injection and degenerate-input behaviour of the core queries."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.core.database import SpatialDatabase
+from repro.core.exceptions import (
+    EmptyDatabaseError,
+    InvalidQueryAreaError,
+    ReproError,
+)
+from repro.core.voronoi_query import interior_position, voronoi_area_query
+from repro.geometry.random_shapes import random_query_polygon
+from repro.workloads.generators import uniform_points
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        assert issubclass(EmptyDatabaseError, ReproError)
+        assert issubclass(InvalidQueryAreaError, ReproError)
+
+    def test_catchable_as_base(self, concave_polygon):
+        with pytest.raises(ReproError):
+            SpatialDatabase().area_query(concave_polygon)
+
+
+class TestDegenerateAreas:
+    def test_sliver_polygon(self):
+        db = SpatialDatabase.from_points(uniform_points(200, seed=131)).prepare()
+        sliver = Polygon([(0.0, 0.5), (1.0, 0.500001), (1.0, 0.5)])
+        voronoi = db.area_query(sliver, method="voronoi")
+        traditional = db.area_query(sliver, method="traditional")
+        assert voronoi.ids == traditional.ids
+
+    def test_polygon_with_collinear_run(self):
+        # Redundant collinear vertices on an edge must not break anything.
+        db = SpatialDatabase.from_points(uniform_points(200, seed=133)).prepare()
+        area = Polygon(
+            [
+                (0.2, 0.2),
+                (0.5, 0.2),  # collinear with previous and next
+                (0.8, 0.2),
+                (0.8, 0.8),
+                (0.2, 0.8),
+            ]
+        )
+        voronoi = db.area_query(area, method="voronoi")
+        traditional = db.area_query(area, method="traditional")
+        assert voronoi.ids == traditional.ids
+
+    def test_query_vertex_coincides_with_data_point(self):
+        points = uniform_points(100, seed=135)
+        db = SpatialDatabase.from_points(points).prepare()
+        anchor = points[0]
+        area = Polygon(
+            [
+                anchor,  # polygon vertex exactly on a data point
+                Point(anchor.x + 0.2, anchor.y),
+                Point(anchor.x + 0.2, anchor.y + 0.2),
+                Point(anchor.x, anchor.y + 0.2),
+            ]
+        )
+        voronoi = db.area_query(area, method="voronoi")
+        traditional = db.area_query(area, method="traditional")
+        assert voronoi.ids == traditional.ids
+        assert 0 in voronoi.ids  # boundary-inclusive semantics
+
+    def test_data_point_on_query_edge(self):
+        db = SpatialDatabase()
+        db.extend([(0.5, 0.5), (0.25, 0.5), (0.9, 0.9)])
+        db.prepare()
+        area = Polygon([(0.25, 0.25), (0.75, 0.25), (0.75, 0.75), (0.25, 0.75)])
+        # (0.25, 0.5) lies exactly on the left edge; closed semantics
+        # include it.
+        result = db.area_query(area, method="voronoi")
+        assert result.ids == [0, 1]
+        assert db.area_query(area, method="traditional").ids == [0, 1]
+
+
+class TestRefinementFaults:
+    def test_always_false_contains(self):
+        """If refinement rejects everything, the Voronoi expansion must
+        still terminate (expansion only proceeds over crossing links)."""
+        points = uniform_points(150, seed=137)
+        db = SpatialDatabase.from_points(points).prepare()
+        area = random_query_polygon(0.1, rng=random.Random(139))
+        result = voronoi_area_query(
+            db.index,
+            db.backend,
+            db.points,
+            area,
+            contains=lambda polygon, p: False,
+        )
+        assert result.ids == []
+        # It still validated the shell it could reach.
+        assert result.stats.validations >= 1
+
+    def test_always_true_contains(self):
+        """If refinement accepts everything, the expansion floods the whole
+        connected graph and returns every row — bounded, terminating."""
+        points = uniform_points(150, seed=141)
+        db = SpatialDatabase.from_points(points).prepare()
+        area = random_query_polygon(0.1, rng=random.Random(143))
+        result = voronoi_area_query(
+            db.index,
+            db.backend,
+            db.points,
+            area,
+            contains=lambda polygon, p: True,
+        )
+        assert result.ids == list(range(150))
+
+    def test_counting_hook_sees_every_candidate(self):
+        points = uniform_points(200, seed=145)
+        db = SpatialDatabase.from_points(points).prepare()
+        area = random_query_polygon(0.05, rng=random.Random(147))
+        seen = []
+
+        def counting(polygon, p):
+            seen.append(p)
+            return polygon.contains_point(p)
+
+        result = voronoi_area_query(
+            db.index, db.backend, db.points, area, contains=counting
+        )
+        assert len(seen) == result.stats.validations
+
+
+class TestInteriorPositionFailure:
+    def test_interior_position_raises_on_zero_area(self):
+        degenerate = Polygon([(0, 0), (1, 0), (0.5, 0), (0.25, 0)])
+        with pytest.raises((InvalidQueryAreaError, ValueError)):
+            interior_position(degenerate)
+
+
+class TestExtremeScales:
+    def test_very_small_coordinates(self):
+        rng = random.Random(149)
+        points = [
+            Point(rng.random() * 1e-9, rng.random() * 1e-9) for _ in range(80)
+        ]
+        db = SpatialDatabase.from_points(points).prepare()
+        area = Polygon(
+            [(0.0, 0.0), (5e-10, 0.0), (5e-10, 5e-10), (0.0, 5e-10)]
+        )
+        voronoi = db.area_query(area, method="voronoi")
+        traditional = db.area_query(area, method="traditional")
+        assert voronoi.ids == traditional.ids
+
+    def test_very_large_coordinates(self):
+        rng = random.Random(151)
+        points = [
+            Point(rng.random() * 1e9, rng.random() * 1e9) for _ in range(80)
+        ]
+        db = SpatialDatabase.from_points(points).prepare()
+        area = Polygon(
+            [(0.0, 0.0), (5e8, 0.0), (5e8, 5e8), (0.0, 5e8)]
+        )
+        voronoi = db.area_query(area, method="voronoi")
+        traditional = db.area_query(area, method="traditional")
+        assert voronoi.ids == traditional.ids
+
+    def test_negative_coordinate_space(self):
+        rng = random.Random(153)
+        points = [
+            Point(rng.random() - 5.0, rng.random() - 5.0) for _ in range(80)
+        ]
+        db = SpatialDatabase.from_points(points).prepare()
+        area = Polygon(
+            [(-4.8, -4.8), (-4.2, -4.8), (-4.2, -4.2), (-4.8, -4.2)]
+        )
+        voronoi = db.area_query(area, method="voronoi")
+        traditional = db.area_query(area, method="traditional")
+        assert voronoi.ids == traditional.ids

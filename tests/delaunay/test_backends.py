@@ -1,0 +1,109 @@
+"""Unit tests for the pure and scipy Delaunay backends."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.delaunay.backends import (
+    PureDelaunayBackend,
+    ScipyDelaunayBackend,
+    make_backend,
+)
+from repro.workloads.generators import clustered_points, uniform_points
+
+
+class TestPureBackend:
+    def test_size_and_name(self, uniform_200):
+        backend = PureDelaunayBackend(uniform_200)
+        assert backend.size == 200
+        assert backend.name == "pure"
+
+    def test_neighbors_nonempty(self, uniform_200):
+        backend = PureDelaunayBackend(uniform_200)
+        for i in range(200):
+            assert len(backend.neighbors(i)) > 0
+
+    def test_neighbor_table_matches_neighbors(self, uniform_200):
+        backend = PureDelaunayBackend(uniform_200)
+        table = backend.neighbor_table()
+        assert len(table) == 200
+        for i in range(200):
+            assert table[i] == backend.neighbors(i)
+
+    def test_neighbor_table_cached(self, uniform_200):
+        backend = PureDelaunayBackend(uniform_200)
+        assert backend.neighbor_table() is backend.neighbor_table()
+
+
+class TestScipyBackend:
+    def test_size_and_name(self, uniform_200):
+        backend = ScipyDelaunayBackend(uniform_200)
+        assert backend.size == 200
+        assert backend.name == "scipy"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ScipyDelaunayBackend([])
+
+    def test_single_point(self):
+        backend = ScipyDelaunayBackend([Point(0.5, 0.5)])
+        assert backend.neighbors(0) == ()
+
+    def test_two_points(self):
+        backend = ScipyDelaunayBackend([Point(0, 0), Point(1, 1)])
+        assert backend.neighbors(0) == (1,)
+        assert backend.neighbors(1) == (0,)
+
+    def test_collinear_chain(self):
+        points = [Point(float(i), float(i)) for i in range(5)]
+        backend = ScipyDelaunayBackend(points)
+        assert backend.neighbors(0) == (1,)
+        assert backend.neighbors(2) == (1, 3)
+
+    def test_duplicates(self):
+        points = [Point(0, 0), Point(1, 0), Point(0, 1), Point(0, 0)]
+        backend = ScipyDelaunayBackend(points)
+        # Copies are mutually adjacent and share the spatial neighbourhood.
+        assert 3 in backend.neighbors(0)
+        assert 0 in backend.neighbors(3)
+        assert set(backend.neighbors(3)) - {0} == set(
+            backend.neighbors(0)
+        ) - {3}
+
+
+class TestBackendAgreement:
+    """The core substitution guarantee: both backends give identical
+    neighbour sets, so query traversals are identical regardless of which
+    one built the diagram."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_uniform_agreement(self, seed):
+        points = uniform_points(150, seed=seed)
+        pure = PureDelaunayBackend(points)
+        scipy_backend = ScipyDelaunayBackend(points)
+        for i in range(len(points)):
+            assert set(pure.neighbors(i)) == set(scipy_backend.neighbors(i)), i
+
+    def test_clustered_agreement(self):
+        points = clustered_points(150, seed=3, clusters=5)
+        pure = PureDelaunayBackend(points)
+        scipy_backend = ScipyDelaunayBackend(points)
+        for i in range(len(points)):
+            assert set(pure.neighbors(i)) == set(scipy_backend.neighbors(i)), i
+
+    def test_with_duplicates_agreement(self):
+        points = uniform_points(50, seed=4)
+        points += points[:10]  # 10 duplicates
+        pure = PureDelaunayBackend(points)
+        scipy_backend = ScipyDelaunayBackend(points)
+        for i in range(len(points)):
+            assert set(pure.neighbors(i)) == set(scipy_backend.neighbors(i)), i
+
+
+class TestRegistry:
+    def test_make_backend(self, uniform_200):
+        assert make_backend("pure", uniform_200).name == "pure"
+        assert make_backend("scipy", uniform_200).name == "scipy"
+
+    def test_unknown_backend(self, uniform_200):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("cgal", uniform_200)

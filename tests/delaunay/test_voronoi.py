@@ -1,0 +1,112 @@
+"""Unit tests for the Voronoi diagram dual."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.delaunay.voronoi import VoronoiDiagram
+from repro.workloads.generators import uniform_points
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestCellGeometry:
+    def test_single_generator_cell_is_clip_box(self):
+        vd = VoronoiDiagram([Point(0.5, 0.5)], clip=UNIT)
+        cell = vd.cell(0)
+        assert cell.polygon is not None
+        assert cell.area == pytest.approx(1.0)
+
+    def test_two_generators_split_by_bisector(self):
+        vd = VoronoiDiagram([Point(0.25, 0.5), Point(0.75, 0.5)], clip=UNIT)
+        assert vd.cell(0).area == pytest.approx(0.5)
+        assert vd.cell(1).area == pytest.approx(0.5)
+
+    def test_generator_inside_its_cell(self, uniform_200):
+        vd = VoronoiDiagram(uniform_200, clip=UNIT)
+        for i in range(0, 200, 10):
+            assert vd.cell(i).contains(uniform_200[i])
+
+    def test_cells_tile_clip_box(self, uniform_200):
+        vd = VoronoiDiagram(uniform_200, clip=UNIT)
+        assert vd.total_cell_area() == pytest.approx(1.0, rel=1e-6)
+
+    def test_cells_interiors_disjoint(self):
+        points = uniform_points(40, seed=12)
+        vd = VoronoiDiagram(points, clip=UNIT)
+        rng = random.Random(3)
+        for _ in range(200):
+            q = Point(rng.random(), rng.random())
+            # A random probe must lie in exactly the nearest generator's
+            # cell (ties on shared edges are boundary-inclusive).
+            nearest = min(
+                range(40), key=lambda i: points[i].squared_distance_to(q)
+            )
+            assert vd.cell(nearest).contains(q)
+
+    def test_default_clip_covers_generators(self, uniform_200):
+        vd = VoronoiDiagram(uniform_200)
+        for p in uniform_200:
+            assert vd.clip.contains_point(p)
+
+    def test_hull_cells_flagged_unbounded(self):
+        points = [Point(0.2, 0.2), Point(0.8, 0.2), Point(0.5, 0.8),
+                  Point(0.5, 0.4)]
+        vd = VoronoiDiagram(points, clip=UNIT)
+        # The three outer generators have unbounded (clipped) cells.
+        assert vd.cell(0).is_unbounded
+        assert vd.cell(1).is_unbounded
+        assert vd.cell(2).is_unbounded
+
+    def test_cells_list(self, uniform_200):
+        vd = VoronoiDiagram(uniform_200, clip=UNIT)
+        cells = vd.cells()
+        assert len(cells) == 200
+        assert all(cell.generator_index == i for i, cell in enumerate(cells))
+
+
+class TestNearestGenerator:
+    def test_matches_brute_force(self, uniform_200):
+        vd = VoronoiDiagram(uniform_200, clip=UNIT)
+        rng = random.Random(17)
+        for _ in range(100):
+            q = Point(rng.random(), rng.random())
+            got = vd.nearest_generator(q)
+            best = min(
+                range(200),
+                key=lambda i: uniform_200[i].squared_distance_to(q),
+            )
+            assert uniform_200[got].squared_distance_to(
+                q
+            ) == uniform_200[best].squared_distance_to(q)
+
+    def test_generator_maps_to_itself(self, uniform_200):
+        vd = VoronoiDiagram(uniform_200, clip=UNIT)
+        for i in range(0, 200, 25):
+            got = vd.nearest_generator(uniform_200[i])
+            assert uniform_200[got] == uniform_200[i]
+
+
+class TestDuplicateGenerators:
+    def test_alias_shares_cell(self):
+        points = [Point(0.25, 0.5), Point(0.75, 0.5), Point(0.25, 0.5)]
+        vd = VoronoiDiagram(points, clip=UNIT)
+        assert vd.cell(2).polygon == vd.cell(0).polygon
+        assert vd.cell(2).generator_index == 2
+
+    def test_total_area_ignores_aliases(self):
+        points = [Point(0.25, 0.5), Point(0.75, 0.5), Point(0.25, 0.5)]
+        vd = VoronoiDiagram(points, clip=UNIT)
+        assert vd.total_cell_area() == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            VoronoiDiagram([])
+
+    def test_neighbors_delegate_to_triangulation(self, uniform_200):
+        vd = VoronoiDiagram(uniform_200, clip=UNIT)
+        assert vd.neighbors(0) == vd.triangulation.neighbors(0)

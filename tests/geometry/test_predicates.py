@@ -1,0 +1,124 @@
+"""Unit tests for the robust predicates."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.predicates import (
+    Orientation,
+    circumcenter,
+    circumradius,
+    incircle,
+    orientation,
+    orientation_sign,
+    orientation_value,
+)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert (
+            orientation(Point(0, 0), Point(1, 0), Point(0, 1))
+            is Orientation.COUNTERCLOCKWISE
+        )
+
+    def test_clockwise(self):
+        assert (
+            orientation(Point(0, 0), Point(0, 1), Point(1, 0))
+            is Orientation.CLOCKWISE
+        )
+
+    def test_collinear(self):
+        assert (
+            orientation(Point(0, 0), Point(1, 1), Point(2, 2))
+            is Orientation.COLLINEAR
+        )
+
+    def test_antisymmetry(self):
+        a, b, c = Point(0.1, 0.9), Point(0.4, 0.2), Point(0.8, 0.5)
+        assert orientation(a, b, c).value == -orientation(b, a, c).value
+
+    def test_cyclic_invariance(self):
+        a, b, c = Point(0.1, 0.9), Point(0.4, 0.2), Point(0.8, 0.5)
+        assert orientation(a, b, c) is orientation(b, c, a)
+        assert orientation(a, b, c) is orientation(c, a, b)
+
+    def test_nearly_collinear_resolved_exactly(self):
+        # Classic robustness case: tiny offsets around a long skinny
+        # triangle.  The exact fallback must make a consistent call.
+        a = Point(0.0, 0.0)
+        b = Point(1e17, 1e17)
+        on_line = Point(0.5e17, 0.5e17)
+        assert orientation(a, b, on_line) is Orientation.COLLINEAR
+
+    def test_subulp_perturbation_detected(self):
+        a = Point(0.0, 0.0)
+        b = Point(1.0, 1.0)
+        above = Point(0.5, 0.5 + 1e-17)  # rounds to 0.5 in float, collinear
+        below = Point(0.5, math.nextafter(0.5, 1.0))  # one ulp above
+        assert orientation(a, b, above) is Orientation.COLLINEAR
+        assert orientation(a, b, below) is Orientation.COUNTERCLOCKWISE
+
+    def test_orientation_sign_matches_value(self):
+        a, b, c = Point(0.3, 0.2), Point(0.7, 0.9), Point(0.1, 0.5)
+        assert orientation_sign(
+            a.x, a.y, b.x, b.y, c.x, c.y
+        ) == orientation_value(a, b, c)
+
+    def test_degenerate_identical_points(self):
+        p = Point(0.5, 0.5)
+        assert orientation(p, p, p) is Orientation.COLLINEAR
+        assert orientation(p, p, Point(1, 1)) is Orientation.COLLINEAR
+
+
+class TestIncircle:
+    def test_point_inside_circumcircle(self):
+        # Unit circle through (1,0), (0,1), (-1,0); origin is inside.
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        assert incircle(a, b, c, Point(0, 0)) > 0.0
+
+    def test_point_outside_circumcircle(self):
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        assert incircle(a, b, c, Point(2, 2)) < 0.0
+
+    def test_cocircular_is_exactly_zero(self):
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        assert incircle(a, b, c, Point(0, -1)) == 0.0
+
+    def test_sign_flips_for_clockwise_triangle(self):
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        inside = Point(0.1, 0.2)
+        assert incircle(a, b, c, inside) > 0.0
+        assert incircle(a, c, b, inside) < 0.0
+
+    def test_near_cocircular_robust(self):
+        # Four points nearly on a circle; the exact fallback must decide.
+        a, b, c = Point(1, 0), Point(0, 1), Point(-1, 0)
+        just_inside = Point(0.0, -math.nextafter(1.0, 0.0))
+        just_outside = Point(0.0, -math.nextafter(1.0, 2.0))
+        assert incircle(a, b, c, just_inside) > 0.0
+        assert incircle(a, b, c, just_outside) < 0.0
+
+
+class TestCircumcenter:
+    def test_right_triangle(self):
+        # Circumcentre of a right triangle is the hypotenuse midpoint.
+        center = circumcenter(Point(0, 0), Point(2, 0), Point(0, 2))
+        assert center.x == pytest.approx(1.0)
+        assert center.y == pytest.approx(1.0)
+
+    def test_equidistance(self):
+        a, b, c = Point(0.1, 0.3), Point(0.9, 0.2), Point(0.5, 0.8)
+        center = circumcenter(a, b, c)
+        r1 = center.distance_to(a)
+        assert center.distance_to(b) == pytest.approx(r1)
+        assert center.distance_to(c) == pytest.approx(r1)
+
+    def test_circumradius(self):
+        r = circumradius(Point(1, 0), Point(0, 1), Point(-1, 0))
+        assert r == pytest.approx(1.0)
+
+    def test_collinear_raises(self):
+        with pytest.raises(ValueError):
+            circumcenter(Point(0, 0), Point(1, 1), Point(2, 2))

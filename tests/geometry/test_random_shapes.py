@@ -1,0 +1,134 @@
+"""Unit tests for the random polygon workload generators."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.random_shapes import (
+    random_query_polygon,
+    random_simple_polygon,
+    random_star_polygon,
+    scale_polygon_to_query_size,
+)
+from repro.geometry.rectangle import Rect
+
+
+class TestStarPolygon:
+    def test_vertex_count(self):
+        for n in (3, 5, 10, 25):
+            assert len(random_star_polygon(n, random.Random(1))) == n
+
+    def test_always_simple(self):
+        for seed in range(30):
+            polygon = random_star_polygon(10, random.Random(seed))
+            assert polygon.is_simple(), f"seed {seed} produced a non-simple polygon"
+
+    def test_positive_area(self):
+        for seed in range(20):
+            assert random_star_polygon(10, random.Random(seed)).area > 0.0
+
+    def test_deterministic_for_seed(self):
+        p1 = random_star_polygon(10, random.Random(99))
+        p2 = random_star_polygon(10, random.Random(99))
+        assert p1 == p2
+
+    def test_often_concave(self):
+        # The paper's workload is "irregular, more often even concave";
+        # with default spikiness most samples must be concave.
+        concave = sum(
+            not random_star_polygon(10, random.Random(seed)).is_convex()
+            for seed in range(50)
+        )
+        assert concave >= 40
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_star_polygon(2)
+        with pytest.raises(ValueError):
+            random_star_polygon(10, irregularity=1.5)
+        with pytest.raises(ValueError):
+            random_star_polygon(10, spikiness=1.0)
+
+
+class TestSimplePolygon:
+    def test_always_simple(self):
+        for seed in range(15):
+            polygon = random_simple_polygon(8, random.Random(seed))
+            assert polygon.is_simple()
+
+    def test_vertex_count(self):
+        assert len(random_simple_polygon(12, random.Random(3))) == 12
+
+    def test_vertices_within_bounds(self):
+        bounds = Rect(2.0, 3.0, 4.0, 5.0)
+        polygon = random_simple_polygon(8, random.Random(5), bounds=bounds)
+        for v in polygon.vertices:
+            assert bounds.contains_point(v)
+
+    def test_rejects_tiny_vertex_count(self):
+        with pytest.raises(ValueError):
+            random_simple_polygon(2)
+
+
+class TestScaleToQuerySize:
+    @pytest.mark.parametrize("query_size", [0.01, 0.02, 0.08, 0.32])
+    def test_mbr_fraction(self, query_size):
+        polygon = random_star_polygon(10, random.Random(7))
+        scaled = scale_polygon_to_query_size(polygon, query_size)
+        assert scaled.mbr.area == pytest.approx(query_size, rel=1e-6)
+
+    def test_full_space_clamped_by_aspect_ratio(self):
+        # A non-square polygon cannot reach MBR area 1.0 inside the unit
+        # square without distortion; the scale factor is clamped so the
+        # polygon still fits.
+        polygon = random_star_polygon(10, random.Random(7))
+        scaled = scale_polygon_to_query_size(polygon, 1.0)
+        assert scaled.mbr.area <= 1.0
+        assert Rect(0.0, 0.0, 1.0, 1.0).contains_rect(scaled.mbr)
+
+    def test_fits_in_space(self):
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        rng = random.Random(11)
+        for _ in range(25):
+            polygon = random_star_polygon(10, rng)
+            scaled = scale_polygon_to_query_size(polygon, 0.25, space, rng)
+            assert space.contains_rect(scaled.mbr)
+
+    def test_shape_preserved(self):
+        polygon = random_star_polygon(10, random.Random(13))
+        scaled = scale_polygon_to_query_size(polygon, 0.05)
+        # Area / MBR-area ratio is scale-invariant.
+        original_ratio = polygon.area / polygon.mbr.area
+        scaled_ratio = scaled.area / scaled.mbr.area
+        assert scaled_ratio == pytest.approx(original_ratio, rel=1e-9)
+
+    def test_invalid_query_size(self):
+        polygon = random_star_polygon(10, random.Random(1))
+        with pytest.raises(ValueError):
+            scale_polygon_to_query_size(polygon, 0.0)
+        with pytest.raises(ValueError):
+            scale_polygon_to_query_size(polygon, 1.5)
+
+
+class TestQueryPolygon:
+    def test_paper_defaults(self):
+        polygon = random_query_polygon(0.01, rng=random.Random(5))
+        assert len(polygon) == 10
+        assert polygon.mbr.area == pytest.approx(0.01, rel=1e-6)
+        assert polygon.is_simple()
+
+    def test_random_placement_varies(self):
+        rng = random.Random(17)
+        centers = {
+            random_query_polygon(0.01, rng=rng).centroid.as_tuple()
+            for _ in range(10)
+        }
+        assert len(centers) == 10
+
+    def test_polygon_inside_unit_square(self):
+        rng = random.Random(23)
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        for _ in range(20):
+            polygon = random_query_polygon(0.08, rng=rng)
+            assert space.contains_rect(polygon.mbr)

@@ -1,0 +1,116 @@
+"""Unit tests for ear-clipping polygon triangulation."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.triangulate import (
+    sample_interior,
+    triangle_area,
+    triangle_interior_point,
+    triangulate_polygon,
+)
+from repro.geometry.random_shapes import random_star_polygon
+
+
+class TestTriangulation:
+    def test_triangle_is_itself(self):
+        ring = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        triangles = triangulate_polygon(ring)
+        assert len(triangles) == 1
+
+    def test_square_into_two(self):
+        square = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        triangles = triangulate_polygon(square.vertices)
+        assert len(triangles) == 2
+
+    def test_triangle_count(self):
+        for seed in range(10):
+            polygon = random_star_polygon(12, random.Random(seed))
+            triangles = triangulate_polygon(polygon.vertices)
+            assert len(triangles) == 10  # n - 2
+
+    def test_areas_sum_to_polygon_area(self):
+        for seed in range(15):
+            polygon = random_star_polygon(10, random.Random(seed))
+            triangles = triangulate_polygon(polygon.vertices)
+            total = sum(triangle_area(t) for t in triangles)
+            assert total == pytest.approx(polygon.area, rel=1e-9)
+
+    def test_concave_polygon(self, concave_polygon):
+        triangles = triangulate_polygon(concave_polygon.vertices)
+        total = sum(triangle_area(t) for t in triangles)
+        assert total == pytest.approx(concave_polygon.area, rel=1e-9)
+        # No triangle may cover the notch: all centroids inside the polygon.
+        for t in triangles:
+            assert concave_polygon.contains_point(triangle_interior_point(t))
+
+    def test_collinear_vertex_dropped(self):
+        # A square with a redundant mid-edge vertex still triangulates.
+        ring = [
+            Point(0, 0),
+            Point(0.5, 0),
+            Point(1, 0),
+            Point(1, 1),
+            Point(0, 1),
+        ]
+        triangles = triangulate_polygon(ring)
+        total = sum(triangle_area(t) for t in triangles)
+        assert total == pytest.approx(1.0)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            triangulate_polygon([Point(0, 0), Point(1, 1)])
+
+
+class TestInteriorPoint:
+    def test_horseshoe_interior(self):
+        horseshoe = Polygon(
+            [
+                (0.0, 0.0),
+                (1.0, 0.0),
+                (1.0, 1.0),
+                (0.0, 1.0),
+                (0.0, 0.8),
+                (0.8, 0.8),
+                (0.8, 0.2),
+                (0.0, 0.2),
+            ]
+        )
+        p = horseshoe.interior_point()
+        assert horseshoe.contains_point(p)
+        assert not horseshoe.point_on_boundary(p)
+
+    def test_random_polygons(self):
+        for seed in range(20):
+            polygon = random_star_polygon(10, random.Random(seed))
+            p = polygon.interior_point()
+            assert polygon.contains_point(p)
+
+
+class TestSampling:
+    def test_samples_inside(self, concave_polygon):
+        rng = random.Random(271)
+        for p in concave_polygon.sample_interior(300, rng):
+            assert concave_polygon.contains_point(p)
+
+    def test_sampling_is_roughly_uniform(self):
+        # An L-shape: the three quadrant squares must each get ~1/3.
+        polygon = Polygon(
+            [(0, 0), (1, 0), (1, 0.5), (0.5, 0.5), (0.5, 1), (0, 1)]
+        )
+        rng = random.Random(273)
+        samples = polygon.sample_interior(3000, rng)
+        lower_left = sum(1 for p in samples if p.x < 0.5 and p.y < 0.5)
+        lower_right = sum(1 for p in samples if p.x >= 0.5 and p.y < 0.5)
+        upper_left = sum(1 for p in samples if p.x < 0.5 and p.y >= 0.5)
+        for count in (lower_left, lower_right, upper_left):
+            assert 800 < count < 1200
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ValueError):
+            sample_interior(
+                [Point(0, 0), Point(1, 1), Point(2, 2)], 5, random.Random(1)
+            )

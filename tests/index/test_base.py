@@ -1,0 +1,127 @@
+"""Unit tests for the index base interface and the brute-force oracle."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index import INDEX_REGISTRY, make_index
+from repro.index.base import BruteForceIndex, IndexStats, validate_entries
+
+
+class TestBruteForce:
+    def test_insert_and_len(self):
+        index = BruteForceIndex()
+        index.insert(Point(0.5, 0.5), 1)
+        index.insert(Point(0.2, 0.8), 2)
+        assert len(index) == 2
+
+    def test_window_query(self):
+        index = BruteForceIndex()
+        index.insert(Point(0.5, 0.5), 1)
+        index.insert(Point(0.9, 0.9), 2)
+        hits = index.window_query(Rect(0.0, 0.0, 0.6, 0.6))
+        assert [item_id for _, item_id in hits] == [1]
+
+    def test_window_query_inclusive_boundary(self):
+        index = BruteForceIndex()
+        index.insert(Point(1.0, 1.0), 1)
+        assert len(index.window_query(Rect(0, 0, 1, 1))) == 1
+
+    def test_nearest_neighbor(self):
+        index = BruteForceIndex()
+        index.insert(Point(0.0, 0.0), 1)
+        index.insert(Point(1.0, 1.0), 2)
+        entry = index.nearest_neighbor(Point(0.9, 0.9))
+        assert entry is not None and entry[1] == 2
+
+    def test_nearest_neighbor_empty(self):
+        assert BruteForceIndex().nearest_neighbor(Point(0, 0)) is None
+
+    def test_knn_ordering(self):
+        index = BruteForceIndex()
+        for i in range(5):
+            index.insert(Point(float(i), 0.0), i)
+        got = [item_id for _, item_id in index.k_nearest_neighbors(Point(0, 0), 3)]
+        assert got == [0, 1, 2]
+
+    def test_knn_k_zero(self):
+        index = BruteForceIndex()
+        index.insert(Point(0, 0), 1)
+        assert index.k_nearest_neighbors(Point(0, 0), 0) == []
+
+    def test_knn_k_exceeds_size(self):
+        index = BruteForceIndex()
+        index.insert(Point(0, 0), 1)
+        assert len(index.k_nearest_neighbors(Point(0, 0), 10)) == 1
+
+    def test_delete(self):
+        index = BruteForceIndex()
+        index.insert(Point(0.5, 0.5), 1)
+        assert index.delete(Point(0.5, 0.5), 1)
+        assert not index.delete(Point(0.5, 0.5), 1)
+        assert len(index) == 0
+
+    def test_duplicate_locations_allowed(self):
+        index = BruteForceIndex()
+        index.insert(Point(0.5, 0.5), 1)
+        index.insert(Point(0.5, 0.5), 2)
+        hits = index.window_query(Rect(0, 0, 1, 1))
+        assert sorted(item_id for _, item_id in hits) == [1, 2]
+
+    def test_bounds(self):
+        index = BruteForceIndex()
+        assert index.bounds is None
+        index.insert(Point(0.25, 0.5), 1)
+        index.insert(Point(0.75, 0.1), 2)
+        assert index.bounds == Rect(0.25, 0.1, 0.75, 0.5)
+
+    def test_stats_counted(self):
+        index = BruteForceIndex()
+        index.insert(Point(0.5, 0.5), 1)
+        index.stats.reset()
+        index.window_query(Rect(0, 0, 1, 1))
+        assert index.stats.node_accesses == 1
+        assert index.stats.entry_tests == 1
+
+
+class TestIndexStats:
+    def test_reset(self):
+        stats = IndexStats(node_accesses=5, entry_tests=10)
+        stats.reset()
+        assert stats.node_accesses == 0
+        assert stats.entry_tests == 0
+
+    def test_snapshot_is_independent(self):
+        stats = IndexStats(node_accesses=5)
+        snap = stats.snapshot()
+        stats.node_accesses = 99
+        assert snap.node_accesses == 5
+
+
+class TestRegistry:
+    def test_all_registered_kinds_instantiable(self):
+        for kind in INDEX_REGISTRY:
+            index = make_index(kind)
+            index.insert(Point(0.5, 0.5), 1)
+            assert len(index) == 1
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            make_index("btree")
+
+
+class TestValidateEntries:
+    def test_valid(self):
+        validate_entries([(Point(0, 0), 1), (Point(1, 1), 2)])
+
+    def test_rejects_non_point(self):
+        with pytest.raises(TypeError):
+            validate_entries([((0, 0), 1)])
+
+    def test_rejects_non_int_id(self):
+        with pytest.raises(TypeError):
+            validate_entries([(Point(0, 0), "a")])
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            validate_entries([(Point(0, 0), 1, 2)])

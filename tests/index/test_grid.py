@@ -1,0 +1,126 @@
+"""Unit tests for the uniform grid index."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import BruteForceIndex
+from repro.index.grid import GridIndex
+
+
+def _random_entries(n, seed=0):
+    rng = random.Random(seed)
+    return [(Point(rng.random(), rng.random()), i) for i in range(n)]
+
+
+class TestGridBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(resolution=0)
+        with pytest.raises(ValueError):
+            GridIndex(bounds=Rect(0, 0, 0, 1))
+
+    def test_insert_count(self):
+        grid = GridIndex()
+        for point, item_id in _random_entries(100):
+            grid.insert(point, item_id)
+        assert len(grid) == 100
+
+    def test_window_matches_brute_force(self):
+        entries = _random_entries(500, seed=3)
+        grid = GridIndex(resolution=16)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            grid.insert(point, item_id)
+            oracle.insert(point, item_id)
+        for window in (
+            Rect(0, 0, 1, 1),
+            Rect(0.33, 0.33, 0.34, 0.34),
+            Rect(0.5, 0.0, 1.0, 0.5),
+        ):
+            assert sorted(i for _, i in grid.window_query(window)) == sorted(
+                i for _, i in oracle.window_query(window)
+            )
+
+    def test_window_outside_extent(self):
+        grid = GridIndex()
+        grid.insert(Point(0.5, 0.5), 1)
+        assert grid.window_query(Rect(3, 3, 4, 4)) == []
+
+    def test_nn_matches_brute_force(self):
+        entries = _random_entries(300, seed=5)
+        grid = GridIndex(resolution=8)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            grid.insert(point, item_id)
+            oracle.insert(point, item_id)
+        rng = random.Random(7)
+        for _ in range(60):
+            q = Point(rng.random() * 1.5 - 0.25, rng.random() * 1.5 - 0.25)
+            got = grid.nearest_neighbor(q)
+            expected = oracle.nearest_neighbor(q)
+            assert got[0].distance_to(q) == expected[0].distance_to(q)
+
+    def test_knn_matches_brute_force(self):
+        entries = _random_entries(150, seed=9)
+        grid = GridIndex(resolution=8)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            grid.insert(point, item_id)
+            oracle.insert(point, item_id)
+        q = Point(0.62, 0.41)
+        for k in (1, 5, 25, 150):
+            got = [i for _, i in grid.k_nearest_neighbors(q, k)]
+            expected = [i for _, i in oracle.k_nearest_neighbors(q, k)]
+            assert got == expected
+
+
+class TestClamping:
+    def test_out_of_extent_points_clamped_but_queryable(self):
+        grid = GridIndex(bounds=Rect(0, 0, 1, 1))
+        grid.insert(Point(1.7, 1.9), 1)  # clamped into border cell
+        hits = grid.window_query(Rect(1.5, 1.5, 2.0, 2.0))
+        assert [i for _, i in hits] == [1]
+
+    def test_nn_with_clamped_points(self):
+        grid = GridIndex()
+        grid.insert(Point(2.0, 2.0), 1)
+        grid.insert(Point(0.1, 0.1), 2)
+        assert grid.nearest_neighbor(Point(1.8, 1.8))[1] == 1
+
+
+class TestDeletion:
+    def test_delete(self):
+        grid = GridIndex()
+        grid.insert(Point(0.5, 0.5), 1)
+        assert grid.delete(Point(0.5, 0.5), 1)
+        assert not grid.delete(Point(0.5, 0.5), 1)
+        assert len(grid) == 0
+
+    def test_delete_wrong_cell(self):
+        grid = GridIndex()
+        grid.insert(Point(0.1, 0.1), 1)
+        assert not grid.delete(Point(0.9, 0.9), 1)
+
+
+class TestOccupancy:
+    def test_occupancy_totals(self):
+        grid = GridIndex(resolution=4)
+        for point, item_id in _random_entries(100):
+            grid.insert(point, item_id)
+        occupancy = grid.occupancy()
+        assert sum(occupancy.values()) == 100
+        assert all(count > 0 for count in occupancy.values())
+
+    def test_resolution_one_degenerates_to_scan(self):
+        grid = GridIndex(resolution=1)
+        entries = _random_entries(50)
+        for point, item_id in entries:
+            grid.insert(point, item_id)
+        window = Rect(0.25, 0.25, 0.75, 0.75)
+        expected = sorted(
+            i for p, i in entries if window.contains_point(p)
+        )
+        assert sorted(i for _, i in grid.window_query(window)) == expected

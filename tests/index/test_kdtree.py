@@ -1,0 +1,162 @@
+"""Unit tests for the k-d tree."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import BruteForceIndex
+from repro.index.kdtree import KDTree
+
+
+def _random_entries(n, seed=0):
+    rng = random.Random(seed)
+    return [(Point(rng.random(), rng.random()), i) for i in range(n)]
+
+
+class TestKDTreeBasics:
+    def test_empty(self):
+        tree = KDTree()
+        assert len(tree) == 0
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+        assert tree.nearest_neighbor(Point(0, 0)) is None
+        assert tree.depth == 0
+
+    def test_insert_count(self):
+        tree = KDTree()
+        for point, item_id in _random_entries(100):
+            tree.insert(point, item_id)
+        assert len(tree) == 100
+
+    def test_window_matches_brute_force(self):
+        entries = _random_entries(400, seed=3)
+        tree = KDTree()
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        for window in (
+            Rect(0, 0, 1, 1),
+            Rect(0.3, 0.1, 0.6, 0.4),
+            Rect(0.99, 0.99, 1.2, 1.2),
+        ):
+            assert sorted(i for _, i in tree.window_query(window)) == sorted(
+                i for _, i in oracle.window_query(window)
+            )
+
+    def test_nn_matches_brute_force(self):
+        entries = _random_entries(300, seed=5)
+        tree = KDTree()
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        rng = random.Random(9)
+        for _ in range(50):
+            q = Point(rng.random() * 1.4 - 0.2, rng.random() * 1.4 - 0.2)
+            got = tree.nearest_neighbor(q)
+            expected = oracle.nearest_neighbor(q)
+            assert got[0].distance_to(q) == expected[0].distance_to(q)
+
+    def test_knn_matches_brute_force(self):
+        entries = _random_entries(150, seed=7)
+        tree = KDTree()
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        q = Point(0.5, 0.5)
+        for k in (1, 3, 10, 150):
+            got = [i for _, i in tree.k_nearest_neighbors(q, k)]
+            expected = [i for _, i in oracle.k_nearest_neighbors(q, k)]
+            assert got == expected
+
+
+class TestBulkLoad:
+    def test_balanced_build(self):
+        tree = KDTree()
+        tree.bulk_load(_random_entries(1023, seed=11))
+        assert len(tree) == 1023
+        # A balanced tree over 1023 nodes has depth 10; allow tiny slack
+        # for duplicate-key shifts.
+        assert tree.depth <= 12
+
+    def test_bulk_load_preserves_existing(self):
+        tree = KDTree()
+        tree.insert(Point(0.5, 0.5), 999)
+        tree.bulk_load(_random_entries(50, seed=13))
+        assert len(tree) == 51
+        assert 999 in {i for _, i in tree.items()}
+
+    def test_queries_after_bulk_load(self):
+        entries = _random_entries(500, seed=15)
+        tree = KDTree()
+        tree.bulk_load(entries)
+        oracle = BruteForceIndex()
+        oracle.bulk_load(entries)
+        window = Rect(0.2, 0.6, 0.5, 0.9)
+        assert sorted(i for _, i in tree.window_query(window)) == sorted(
+            i for _, i in oracle.window_query(window)
+        )
+
+
+class TestDeletion:
+    def test_tombstone_delete(self):
+        tree = KDTree()
+        tree.insert(Point(0.5, 0.5), 1)
+        assert tree.delete(Point(0.5, 0.5), 1)
+        assert len(tree) == 0
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+
+    def test_delete_missing(self):
+        tree = KDTree()
+        tree.insert(Point(0.5, 0.5), 1)
+        assert not tree.delete(Point(0.4, 0.4), 1)
+        assert not tree.delete(Point(0.5, 0.5), 2)
+
+    def test_mass_delete_triggers_rebuild(self):
+        entries = _random_entries(200, seed=17)
+        tree = KDTree()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+        for point, item_id in entries[:150]:
+            assert tree.delete(point, item_id)
+        assert len(tree) == 50
+        assert sorted(i for _, i in tree.items()) == list(range(150, 200))
+        # Rebuild keeps queries correct.
+        window = Rect(0, 0, 1, 1)
+        assert len(tree.window_query(window)) == 50
+
+    def test_delete_then_nn_ignores_tombstones(self):
+        tree = KDTree()
+        tree.insert(Point(0.5, 0.5), 1)
+        tree.insert(Point(0.9, 0.9), 2)
+        tree.delete(Point(0.5, 0.5), 1)
+        assert tree.nearest_neighbor(Point(0.5, 0.5))[1] == 2
+
+
+class TestDuplicateKeys:
+    def test_equal_coordinates(self):
+        tree = KDTree()
+        for i in range(10):
+            tree.insert(Point(0.5, 0.5), i)
+        hits = tree.window_query(Rect(0.5, 0.5, 0.5, 0.5))
+        assert sorted(i for _, i in hits) == list(range(10))
+
+    def test_delete_one_duplicate(self):
+        tree = KDTree()
+        for i in range(5):
+            tree.insert(Point(0.5, 0.5), i)
+        assert tree.delete(Point(0.5, 0.5), 2)
+        assert sorted(i for _, i in tree.items()) == [0, 1, 3, 4]
+
+    def test_equal_single_coordinate(self):
+        # Many points sharing x; exercises the equal-key descent path.
+        tree = KDTree()
+        for i in range(20):
+            tree.insert(Point(0.5, i / 20.0), i)
+        window = Rect(0.5, 0.0, 0.5, 0.5)
+        assert sorted(i for _, i in tree.window_query(window)) == list(
+            range(11)
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for the PR quadtree."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import BruteForceIndex
+from repro.index.quadtree import QuadTree
+
+
+def _random_entries(n, seed=0):
+    rng = random.Random(seed)
+    return [(Point(rng.random(), rng.random()), i) for i in range(n)]
+
+
+class TestQuadTreeBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QuadTree(capacity=0)
+
+    def test_empty(self):
+        tree = QuadTree()
+        assert len(tree) == 0
+        assert tree.nearest_neighbor(Point(0.5, 0.5)) is None
+
+    def test_insert_count(self):
+        tree = QuadTree(capacity=4)
+        for point, item_id in _random_entries(100):
+            tree.insert(point, item_id)
+        assert len(tree) == 100
+
+    def test_subdivision_occurs(self):
+        tree = QuadTree(capacity=2)
+        for point, item_id in _random_entries(50):
+            tree.insert(point, item_id)
+        assert tree.depth >= 2
+
+    def test_window_matches_brute_force(self):
+        entries = _random_entries(400, seed=3)
+        tree = QuadTree(capacity=8)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        for window in (
+            Rect(0, 0, 1, 1),
+            Rect(0.5, 0.5, 0.75, 0.75),
+            Rect(0.0, 0.9, 0.1, 1.0),
+        ):
+            assert sorted(i for _, i in tree.window_query(window)) == sorted(
+                i for _, i in oracle.window_query(window)
+            )
+
+    def test_nn_matches_brute_force(self):
+        entries = _random_entries(250, seed=5)
+        tree = QuadTree(capacity=8)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        rng = random.Random(7)
+        for _ in range(40):
+            q = Point(rng.random(), rng.random())
+            got = tree.nearest_neighbor(q)
+            expected = oracle.nearest_neighbor(q)
+            assert got[0].distance_to(q) == expected[0].distance_to(q)
+
+    def test_knn_matches_brute_force(self):
+        entries = _random_entries(120, seed=9)
+        tree = QuadTree(capacity=4)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        q = Point(0.2, 0.8)
+        for k in (1, 7, 120):
+            got = [i for _, i in tree.k_nearest_neighbors(q, k)]
+            expected = [i for _, i in oracle.k_nearest_neighbors(q, k)]
+            assert got == expected
+
+
+class TestOutOfBoundsGrowth:
+    def test_point_outside_initial_bounds(self):
+        tree = QuadTree(bounds=Rect(0, 0, 1, 1), capacity=4)
+        tree.insert(Point(0.5, 0.5), 1)
+        tree.insert(Point(2.5, 2.5), 2)  # outside: tree must grow
+        assert len(tree) == 2
+        hits = tree.window_query(Rect(2, 2, 3, 3))
+        assert [i for _, i in hits] == [2]
+
+    def test_negative_coordinates(self):
+        tree = QuadTree(bounds=Rect(0, 0, 1, 1), capacity=4)
+        tree.insert(Point(-1.0, -1.0), 1)
+        tree.insert(Point(0.5, 0.5), 2)
+        assert len(tree.window_query(Rect(-2, -2, 1, 1))) == 2
+
+    def test_growth_preserves_existing_points(self):
+        tree = QuadTree(capacity=2)
+        entries = _random_entries(30, seed=11)
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+        tree.insert(Point(5.0, 5.0), 999)
+        assert sorted(i for _, i in tree.items()) == sorted(
+            [i for _, i in entries] + [999]
+        )
+
+
+class TestDeletion:
+    def test_delete(self):
+        tree = QuadTree(capacity=4)
+        tree.insert(Point(0.5, 0.5), 1)
+        assert tree.delete(Point(0.5, 0.5), 1)
+        assert not tree.delete(Point(0.5, 0.5), 1)
+        assert len(tree) == 0
+
+    def test_delete_outside_bounds(self):
+        tree = QuadTree()
+        assert not tree.delete(Point(5, 5), 1)
+
+    def test_delete_keeps_queries_correct(self):
+        entries = _random_entries(100, seed=13)
+        tree = QuadTree(capacity=4)
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+        for point, item_id in entries[:50]:
+            assert tree.delete(point, item_id)
+        assert sorted(i for _, i in tree.items()) == list(range(50, 100))
+
+
+class TestDuplicates:
+    def test_many_identical_points_capped_depth(self):
+        # Identical points cannot be separated by subdivision; the max-depth
+        # guard must keep them in one leaf instead of recursing forever.
+        tree = QuadTree(capacity=2)
+        for i in range(50):
+            tree.insert(Point(0.25, 0.25), i)
+        assert len(tree) == 50
+        hits = tree.window_query(Rect(0.25, 0.25, 0.25, 0.25))
+        assert sorted(i for _, i in hits) == list(range(50))

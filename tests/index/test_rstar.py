@@ -1,0 +1,130 @@
+"""Unit tests for the R*-tree variant."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import BruteForceIndex
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+
+def _random_entries(n, seed=0):
+    rng = random.Random(seed)
+    return [(Point(rng.random(), rng.random()), i) for i in range(n)]
+
+
+class TestRStarBasics:
+    def test_insert_and_count(self):
+        tree = RStarTree(max_entries=8)
+        for point, item_id in _random_entries(200, seed=1):
+            tree.insert(point, item_id)
+        assert len(tree) == 200
+
+    def test_invariants(self):
+        tree = RStarTree(max_entries=8)
+        for point, item_id in _random_entries(300, seed=2):
+            tree.insert(point, item_id)
+        tree.check_invariants()
+
+    def test_window_matches_brute_force(self):
+        entries = _random_entries(400, seed=3)
+        tree = RStarTree(max_entries=8)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        for window in (
+            Rect(0, 0, 1, 1),
+            Rect(0.25, 0.25, 0.5, 0.5),
+            Rect(0.8, 0.1, 0.95, 0.4),
+        ):
+            assert sorted(i for _, i in tree.window_query(window)) == sorted(
+                i for _, i in oracle.window_query(window)
+            )
+
+    def test_nn_matches_brute_force(self):
+        entries = _random_entries(250, seed=5)
+        tree = RStarTree(max_entries=8)
+        oracle = BruteForceIndex()
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+            oracle.insert(point, item_id)
+        rng = random.Random(7)
+        for _ in range(40):
+            q = Point(rng.random(), rng.random())
+            got = tree.nearest_neighbor(q)
+            expected = oracle.nearest_neighbor(q)
+            assert got[0].distance_to(q) == expected[0].distance_to(q)
+
+    def test_delete(self):
+        entries = _random_entries(120, seed=9)
+        tree = RStarTree(max_entries=4)
+        for point, item_id in entries:
+            tree.insert(point, item_id)
+        for point, item_id in entries[:60]:
+            assert tree.delete(point, item_id)
+        assert sorted(i for _, i in tree.items()) == list(range(60, 120))
+
+    def test_duplicates(self):
+        tree = RStarTree(max_entries=4)
+        for i in range(12):
+            tree.insert(Point(0.3, 0.3), i)
+        hits = tree.window_query(Rect(0.3, 0.3, 0.3, 0.3))
+        assert sorted(i for _, i in hits) == list(range(12))
+
+
+class TestRStarQuality:
+    def test_less_overlap_than_plain_rtree(self):
+        """R* should produce equal-or-less sibling overlap on clustered data.
+
+        This is its design goal; allow some slack because both are heuristic.
+        """
+        rng = random.Random(11)
+        entries = []
+        for cluster in range(10):
+            cx, cy = rng.random(), rng.random()
+            for i in range(40):
+                entries.append(
+                    (
+                        Point(cx + rng.gauss(0, 0.01), cy + rng.gauss(0, 0.01)),
+                        cluster * 40 + i,
+                    )
+                )
+        plain = RTree(max_entries=8)
+        star = RStarTree(max_entries=8)
+        for point, item_id in entries:
+            plain.insert(point, item_id)
+            star.insert(point, item_id)
+
+        def total_leaf_overlap(tree):
+            leaves = []
+            stack = [tree._root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    if node.mbr is not None:
+                        leaves.append(node.mbr)
+                else:
+                    stack.extend(node.children)
+            overlap = 0.0
+            for i in range(len(leaves)):
+                for j in range(i + 1, len(leaves)):
+                    overlap += leaves[i].intersection_area(leaves[j])
+            return overlap
+
+        assert total_leaf_overlap(star) <= total_leaf_overlap(plain) * 1.5
+
+    def test_same_query_results_as_rtree(self):
+        entries = _random_entries(300, seed=13)
+        plain = RTree(max_entries=8)
+        star = RStarTree(max_entries=8)
+        for point, item_id in entries:
+            plain.insert(point, item_id)
+            star.insert(point, item_id)
+        window = Rect(0.1, 0.4, 0.6, 0.9)
+        assert sorted(i for _, i in plain.window_query(window)) == sorted(
+            i for _, i in star.window_query(window)
+        )

@@ -1,0 +1,112 @@
+"""Tests for counting window queries (COUNT(*) aggregates)."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index import (
+    BruteForceIndex,
+    GridIndex,
+    KDTree,
+    QuadTree,
+    RStarTree,
+    RTree,
+)
+
+
+def _random_entries(n, seed=0):
+    rng = random.Random(seed)
+    return [(Point(rng.random(), rng.random()), i) for i in range(n)]
+
+
+def _random_windows(count, seed=0):
+    rng = random.Random(seed)
+    windows = []
+    for _ in range(count):
+        x1, x2 = sorted((rng.random(), rng.random()))
+        y1, y2 = sorted((rng.random(), rng.random()))
+        windows.append(Rect(x1, y1, x2, y2))
+    return windows
+
+
+class TestDefaultWindowCount:
+    @pytest.mark.parametrize(
+        "cls", [BruteForceIndex, KDTree, QuadTree, GridIndex]
+    )
+    def test_matches_window_query(self, cls):
+        index = cls()
+        for point, item_id in _random_entries(300, seed=301):
+            index.insert(point, item_id)
+        for window in _random_windows(20, seed=303):
+            assert index.window_count(window) == len(
+                index.window_query(window)
+            )
+
+
+class TestRTreeWeightedCount:
+    @pytest.mark.parametrize("cls", [RTree, RStarTree])
+    def test_matches_window_query_dynamic(self, cls):
+        index = cls(max_entries=8)
+        for point, item_id in _random_entries(500, seed=305):
+            index.insert(point, item_id)
+        index.check_invariants()
+        for window in _random_windows(30, seed=307):
+            assert index.window_count(window) == len(
+                index.window_query(window)
+            )
+
+    def test_matches_after_bulk_load(self):
+        index = RTree()
+        index.bulk_load(_random_entries(800, seed=309))
+        index.check_invariants()
+        for window in _random_windows(30, seed=311):
+            assert index.window_count(window) == len(
+                index.window_query(window)
+            )
+
+    def test_matches_after_deletions(self):
+        entries = _random_entries(300, seed=313)
+        index = RTree(max_entries=4)
+        for point, item_id in entries:
+            index.insert(point, item_id)
+        for point, item_id in entries[:150]:
+            assert index.delete(point, item_id)
+        index.check_invariants()
+        for window in _random_windows(20, seed=315):
+            assert index.window_count(window) == len(
+                index.window_query(window)
+            )
+
+    def test_full_window_counts_everything(self):
+        index = RTree()
+        index.bulk_load(_random_entries(400, seed=317))
+        assert index.window_count(Rect(-1, -1, 2, 2)) == 400
+
+    def test_empty_tree(self):
+        assert RTree().window_count(Rect(0, 0, 1, 1)) == 0
+
+    def test_aggregate_visits_fewer_nodes(self):
+        """Full containment prunes descent: counting a huge window must
+        touch far fewer nodes than materialising the same window."""
+        index = RTree(max_entries=8)
+        index.bulk_load(_random_entries(3000, seed=319))
+        window = Rect(0.05, 0.05, 0.95, 0.95)
+
+        index.stats.reset()
+        count = index.window_count(window)
+        count_accesses = index.stats.node_accesses
+
+        index.stats.reset()
+        materialised = index.window_query(window)
+        query_accesses = index.stats.node_accesses
+
+        assert count == len(materialised)
+        assert count_accesses < query_accesses / 2
+
+    def test_count_in_window_alias(self):
+        index = RTree()
+        index.bulk_load(_random_entries(100, seed=321))
+        window = Rect(0.2, 0.2, 0.8, 0.8)
+        assert index.count_in_window(window) == index.window_count(window)

@@ -1,0 +1,44 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "Table I" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--points", "2000", "--query-size", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates saved" in out
+
+    def test_experiments_forwarding(self, capsys):
+        exit_code = main(
+            [
+                "experiments",
+                "table2",
+                "--repetitions",
+                "2",
+                "--data-size",
+                "600",
+            ]
+        )
+        assert exit_code == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_figures(self, tmp_path, capsys):
+        assert main(["figures", "--output", str(tmp_path)]) == 0
+        for name in ("fig2.svg", "fig3.svg"):
+            document = (tmp_path / name).read_text()
+            ET.fromstring(document)  # well-formed
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,72 @@
+"""Unit tests for the query-area workloads."""
+
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.workloads.queries import QueryWorkload, make_query_areas
+
+
+class TestQueryWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(query_size=0.0)
+        with pytest.raises(ValueError):
+            QueryWorkload(query_size=1.5)
+        with pytest.raises(ValueError):
+            QueryWorkload(query_size=0.1, shape="blob")
+        with pytest.raises(ValueError):
+            QueryWorkload(query_size=0.1, n_vertices=2)
+
+    def test_deterministic(self):
+        w = QueryWorkload(query_size=0.05, seed=3)
+        assert w.areas(5) == QueryWorkload(query_size=0.05, seed=3).areas(5)
+
+    def test_seed_matters(self):
+        a = QueryWorkload(query_size=0.05, seed=3).areas(3)
+        b = QueryWorkload(query_size=0.05, seed=4).areas(3)
+        assert a != b
+
+    def test_irregular_shape_properties(self):
+        areas = QueryWorkload(query_size=0.02, seed=5).areas(10)
+        for area in areas:
+            assert len(area) == 10
+            assert area.is_simple()
+            assert area.mbr.area == pytest.approx(0.02, rel=1e-6)
+
+    def test_convex_shape(self):
+        areas = QueryWorkload(query_size=0.02, shape="convex", seed=7).areas(10)
+        for area in areas:
+            assert area.is_convex()
+            assert area.mbr.area == pytest.approx(0.02, rel=1e-6)
+
+    def test_rectangle_shape(self):
+        areas = QueryWorkload(
+            query_size=0.02, shape="rectangle", seed=9
+        ).areas(10)
+        for area in areas:
+            assert len(area) == 4
+            # Rectangle: own area equals MBR area equals query size.
+            assert area.area == pytest.approx(0.02, rel=1e-6)
+            assert area.mbr.area == pytest.approx(0.02, rel=1e-6)
+
+    def test_areas_fit_in_space(self):
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        for shape in ("irregular", "convex", "rectangle"):
+            for area in QueryWorkload(
+                query_size=0.32, shape=shape, seed=11
+            ).areas(10):
+                assert space.expanded(1e-9).contains_rect(area.mbr)
+
+    def test_irregular_covers_less_than_mbr(self):
+        # The whole point of the paper: the irregular polygon's own area is
+        # well below its MBR's.
+        areas = QueryWorkload(query_size=0.1, seed=13).areas(20)
+        mean_ratio = sum(a.area / a.mbr.area for a in areas) / len(areas)
+        assert mean_ratio < 0.75
+
+
+class TestMakeQueryAreas:
+    def test_wrapper(self):
+        areas = make_query_areas(0.01, 4, seed=15)
+        assert len(areas) == 4
+        assert all(a.mbr.area == pytest.approx(0.01, rel=1e-6) for a in areas)

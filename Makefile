@@ -1,0 +1,37 @@
+# Developer entry points. Every target sets PYTHONPATH=src, so no install
+# step is needed; see README.md for what each target is for.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test docs-check bench-smoke bench demo
+
+## tier-1 test suite (the gate every change must keep green)
+test:
+	$(PYTEST) -x -q
+
+## documentation gate: fails on any public item without a docstring
+docs-check:
+	$(PYTEST) tests/test_api_documentation.py -q
+
+## fast benchmark smoke: batch-engine suite with its speedup assertions
+## (timing collection disabled; the 1.5x throughput assert still runs)
+bench-smoke:
+	$(PYTEST) benchmarks/bench_batch_engine.py -q --benchmark-disable
+
+## full benchmark run: every paper artefact + the batch engine (slow;
+## REPRO_BENCH_SCALE=paper selects the paper's 1E5-1E6 sweep)
+bench:
+	$(PYTEST) benchmarks/bench_table1.py benchmarks/bench_table2.py \
+		benchmarks/bench_fig4.py benchmarks/bench_fig5.py \
+		benchmarks/bench_fig6.py benchmarks/bench_fig7.py \
+		benchmarks/bench_ablation_indexes.py \
+		benchmarks/bench_ablation_backend.py \
+		benchmarks/bench_ablation_polygon.py \
+		benchmarks/bench_ablation_knn.py \
+		benchmarks/bench_ablation_iocost.py \
+		benchmarks/bench_batch_engine.py
+
+## one-shot demo of both methods + the batch engine
+demo:
+	PYTHONPATH=src python -m repro demo
+	PYTHONPATH=src python -m repro batch

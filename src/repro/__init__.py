@@ -39,6 +39,10 @@ Packages
 ``repro.core``
     The two area-query algorithms, the :class:`SpatialDatabase` facade, and
     per-query statistics.
+``repro.engine``
+    The serving layer: batch query execution with cross-query sharing, a
+    cost-based planner picking the cheaper method per query
+    (``method="auto"``), and an LRU result cache.
 ``repro.workloads``
     Seeded dataset/query generators and the experiment harness regenerating
     every table and figure of the paper.

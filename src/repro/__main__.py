@@ -5,6 +5,10 @@ Commands
 ``demo``
     One-shot demonstration: build a database, run one query with both
     methods, print the work-counter comparison.
+``batch``
+    Batch-engine demonstration: serve a repeated-query trace through
+    :meth:`SpatialDatabase.batch_area_query`, print the planner's
+    ``explain`` for a sample region and the loop-vs-batch throughput table.
 ``experiments``
     Forwarders to :mod:`repro.workloads.experiments` (tables/figures of the
     paper); everything after ``experiments`` is passed through, e.g.
@@ -50,6 +54,51 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro import SpatialDatabase
+    from repro.workloads.experiments import (
+        ExperimentConfig,
+        make_query_trace,
+        render_batch_table,
+        run_batch_throughput_experiment,
+    )
+    from repro.workloads.generators import uniform_points
+
+    print(f"Building a database of {args.points:,} uniform points...")
+    db = SpatialDatabase.from_points(
+        uniform_points(args.points, seed=args.seed), backend_kind="scipy"
+    ).prepare()
+
+    probes = make_query_trace(args.query_size, 4, 1, seed=args.seed + 17)
+    model = db.engine.planner.calibrate(probes)
+    print(
+        f"Calibrated cost model: validation {model.validation_cost:.4f} ms, "
+        f"node access {model.node_access_cost:.4f} ms"
+    )
+
+    sample = probes[0]
+    print("\nPlanner decision for a sample region (predicted vs measured):")
+    print(db.explain(sample, execute=True).render())
+
+    def progress(message: str) -> None:
+        print(f"  [{message}]", file=sys.stderr)
+
+    rows = run_batch_throughput_experiment(
+        ExperimentConfig(seed=args.seed),
+        distinct=args.queries,
+        repeat=args.repeat,
+        query_size=args.query_size,
+        database=db,
+        progress=progress,
+    )
+    print(
+        f"\nThroughput over {args.queries * args.repeat} requests "
+        f"({args.queries} distinct regions x {args.repeat} hits):"
+    )
+    print(render_batch_table(rows))
+    return 0
+
+
 def _cmd_experiments(argv: Sequence[str]) -> int:
     from repro.workloads.experiments import main as experiments_main
 
@@ -90,7 +139,7 @@ def _cmd_info() -> int:
     print("reproduction of Li, 'Area Queries Based on Voronoi Diagrams', ICDE 2020")
     print()
     print("packages: repro.geometry  repro.index  repro.delaunay  repro.core")
-    print("          repro.workloads repro.io     repro.viz")
+    print("          repro.engine    repro.workloads repro.io     repro.viz")
     print()
     print("experiment index (see DESIGN.md / EXPERIMENTS.md):")
     for artefact, command in [
@@ -101,6 +150,7 @@ def _cmd_info() -> int:
         ("Fig. 6  ", "experiments fig6"),
         ("Fig. 7  ", "experiments fig7"),
         ("Fig. 2/3", "figures"),
+        ("Batch   ", "batch"),
     ]:
         print(f"  {artefact}  python -m repro {command}")
     return 0
@@ -125,6 +175,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     demo.add_argument("--query-size", type=float, default=0.01)
     demo.add_argument("--seed", type=int, default=0)
 
+    batch = subparsers.add_parser(
+        "batch", help="batch engine: planner explain + throughput table"
+    )
+    batch.add_argument("--points", type=int, default=10_000)
+    batch.add_argument(
+        "--queries", type=int, default=30, help="distinct regions in the trace"
+    )
+    batch.add_argument(
+        "--repeat", type=int, default=3, help="hits per distinct region"
+    )
+    batch.add_argument("--query-size", type=float, default=0.01)
+    batch.add_argument("--seed", type=int, default=0)
+
     subparsers.add_parser(
         "experiments", help="regenerate the paper's tables/figures"
     )
@@ -139,6 +202,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "info":

@@ -6,7 +6,10 @@
 * a **spatial index** (R-tree by default — the paper's choice for both the
   window query of the baseline and the NN seed of the Voronoi method), and
 * a **Voronoi neighbour backend** (built lazily on first use, since the
-  traditional method never needs it).
+  traditional method never needs it), and
+* a **batch query engine** (also lazy — see :mod:`repro.engine`) that
+  serves :meth:`SpatialDatabase.batch_area_query`, the cost-based
+  ``method="auto"`` planner, and :meth:`SpatialDatabase.explain`.
 
 Typical use::
 
@@ -22,7 +25,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -36,7 +39,11 @@ from repro.core.stats import QueryResult
 from repro.core.traditional_query import traditional_area_query
 from repro.core.voronoi_query import voronoi_area_query
 
-_METHODS = ("traditional", "voronoi")
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.batch import BatchQueryEngine, BatchResult
+    from repro.engine.planner import PlanExplanation
+
+_METHODS = ("traditional", "voronoi", "auto")
 
 
 class SpatialDatabase:
@@ -65,6 +72,8 @@ class SpatialDatabase:
         self._index_kind = index_kind
         self._backend_kind = backend_kind
         self._backend: Optional[DelaunayBackend] = None
+        self._engine: Optional["BatchQueryEngine"] = None
+        self._version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -96,6 +105,7 @@ class SpatialDatabase:
         row_id = len(self._points)
         self._points.append(p)
         self._index.insert(p, row_id)
+        self._version += 1
         backend = self._backend
         if backend is not None:
             add_point = getattr(backend, "add_point", None)
@@ -122,10 +132,20 @@ class SpatialDatabase:
             (p, start + offset) for offset, p in enumerate(normalized)
         )
         self._backend = None
+        self._version += 1
         return list(range(start, len(self._points)))
 
     def __len__(self) -> int:
         return len(self._points)
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version, bumped by every mutation.
+
+        The engine's result cache stamps entries with this value, so any
+        ``insert``/``extend`` implicitly invalidates cached query results.
+        """
+        return self._version
 
     def point(self, row_id: int) -> Point:
         """The point stored at ``row_id``."""
@@ -164,6 +184,20 @@ class SpatialDatabase:
 
     # -- queries -----------------------------------------------------------
 
+    @property
+    def engine(self) -> "BatchQueryEngine":
+        """The batch query engine over this database (built on first use).
+
+        One engine (and thus one result cache and one planner) is shared
+        by every :meth:`batch_area_query` / :meth:`explain` call and by
+        ``area_query(method="auto")``.
+        """
+        if self._engine is None:
+            from repro.engine.batch import BatchQueryEngine
+
+            self._engine = BatchQueryEngine(self)
+        return self._engine
+
     def area_query(
         self, area: QueryRegion, method: str = "voronoi"
     ) -> QueryResult:
@@ -173,9 +207,11 @@ class SpatialDatabase:
         (possibly concave) :class:`~repro.geometry.polygon.Polygon` as in
         the paper, or a :class:`~repro.geometry.circle.Circle` for
         radius-bounded queries.  ``method`` selects the paper's algorithm
-        (``"voronoi"``) or the filter–refine baseline (``"traditional"``).
-        Both return identical id lists; they differ in the
-        :class:`QueryStats` they report.
+        (``"voronoi"``), the filter–refine baseline (``"traditional"``),
+        or the cost-based planner's per-query choice between the two
+        (``"auto"``, see :mod:`repro.engine.planner`).  All return
+        identical id lists; they differ in the :class:`QueryStats` they
+        report.
         """
         if method not in _METHODS:
             raise ValueError(
@@ -185,11 +221,42 @@ class SpatialDatabase:
             raise EmptyDatabaseError("area query on an empty database")
         if area.area <= 0.0:
             raise InvalidQueryAreaError("query area has zero area")
+        if method == "auto":
+            method = self.engine.planner.choose(area)
         if method == "traditional":
             return traditional_area_query(self._index, area)
         return voronoi_area_query(
             self._index, self.backend, self._points, area
         )
+
+    def batch_area_query(
+        self,
+        regions: Sequence[QueryRegion],
+        method: str = "auto",
+        *,
+        use_cache: bool = True,
+    ) -> "BatchResult":
+        """Answer many area queries at once (see :mod:`repro.engine.batch`).
+
+        Returns a :class:`~repro.engine.batch.BatchResult` — a sequence of
+        :class:`QueryResult` in submission order, id-identical to looping
+        :meth:`area_query`, plus batch-level sharing statistics in
+        ``.stats``.  ``method="auto"`` lets the cost-based planner pick
+        the cheaper method per query.
+        """
+        return self.engine.batch_area_query(
+            regions, method, use_cache=use_cache
+        )
+
+    def explain(
+        self, area: QueryRegion, *, execute: bool = False
+    ) -> "PlanExplanation":
+        """The planner's cost breakdown and method choice for ``area``.
+
+        With ``execute=True`` both methods are also run and their measured
+        costs reported next to the predictions (``EXPLAIN ANALYZE``).
+        """
+        return self.engine.planner.explain(area, execute=execute)
 
     def window_query(self, window: Rect) -> List[int]:
         """Row ids of points inside an axis-aligned rectangle."""

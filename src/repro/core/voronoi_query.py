@@ -63,6 +63,7 @@ def voronoi_area_query(
     area: QueryRegion,
     *,
     seed_position: Optional[Point] = None,
+    seed_id: Optional[int] = None,
     contains: Callable[[QueryRegion, Point], bool] | None = None,
 ) -> QueryResult:
     """Run Algorithm 1.
@@ -81,6 +82,13 @@ def voronoi_area_query(
     seed_position:
         Override for the arbitrary interior position ``pA`` (defaults to
         :func:`interior_position`).
+    seed_id:
+        Row id of an already-known seed point — the nearest database point
+        to a position inside ``area``.  When given, the index NN search
+        (and the interior-position computation) is skipped entirely; the
+        batch engine uses this to reuse seeds between nearby queries by
+        walking the Voronoi neighbour graph instead of descending the
+        index (see :mod:`repro.engine.batch`).
     contains:
         Override for the refinement predicate (test hook); defaults to the
         exact :meth:`Polygon.contains_point`.
@@ -107,17 +115,18 @@ def voronoi_area_query(
     nodes_before = index.stats.node_accesses
 
     started = time.perf_counter()
-    if seed_position is not None:
-        position = seed_position
-    else:
-        from repro.geometry.region import interior_seed_position
+    if seed_id is None:
+        if seed_position is not None:
+            position = seed_position
+        else:
+            from repro.geometry.region import interior_seed_position
 
-        position = interior_seed_position(area)
-    seed_entry = index.nearest_neighbor(position)
-    if seed_entry is None:
-        stats.time_ms = (time.perf_counter() - started) * 1000.0
-        return QueryResult(ids=[], stats=stats)
-    seed_point, seed_id = seed_entry
+            position = interior_seed_position(area)
+        seed_entry = index.nearest_neighbor(position)
+        if seed_entry is None:
+            stats.time_ms = (time.perf_counter() - started) * 1000.0
+            return QueryResult(ids=[], stats=stats)
+        seed_id = seed_entry[1]
 
     candidate_queue: deque[int] = deque([seed_id])
     # A bytearray visited-set: O(1) no-hash membership, one byte per row.

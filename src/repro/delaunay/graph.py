@@ -10,6 +10,13 @@ The correctness argument of the paper (Section III) is graph-theoretic:
 This module provides the traversals and checks that make those claims
 testable, plus generic helpers (components, shortest hop paths) usable by
 applications built on the library.
+
+The helpers operate on plain neighbour tables (``list[tuple[int, ...]]``)
+rather than on a triangulation object, so they work identically over the
+pure and scipy backends — and over any adjacency structure a test wants
+to fabricate.  The batch engine's greedy seed walk
+(:func:`repro.engine.batch.greedy_seed_walk`) relies on the same
+connectivity property (Property 5) that these utilities verify.
 """
 
 from __future__ import annotations

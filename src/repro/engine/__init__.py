@@ -1,0 +1,59 @@
+"""Batch query engine and cost-based planner.
+
+This package is the serving layer above :mod:`repro.core`: where ``core``
+answers one area query, ``engine`` answers *traffic*.
+
+* :mod:`repro.engine.batch` — :class:`BatchQueryEngine`: Hilbert-ordered
+  batch execution with a shared window-query frontier (traditional
+  method), Voronoi seed reuse via greedy graph walks (paper's method), and
+  intra-batch deduplication.
+* :mod:`repro.engine.planner` — :class:`QueryPlanner`: the paper's I/O
+  cost model (validations as record fetches, node accesses as page reads)
+  used to pick ``traditional`` vs ``voronoi`` per query, with an
+  ``explain()`` API exposing predicted vs measured costs.
+* :mod:`repro.engine.cache` — :class:`ResultCache`: an LRU result cache
+  keyed by exact region fingerprint, version-stamped so inserts
+  invalidate.
+* :mod:`repro.engine.order` — Hilbert-curve locality ordering shared by
+  all of the above.
+
+The usual entry points are
+:meth:`repro.core.database.SpatialDatabase.batch_area_query` and
+:meth:`~repro.core.database.SpatialDatabase.explain`, which construct and
+reuse one engine per database.
+"""
+
+from repro.engine.batch import (
+    BatchQueryEngine,
+    BatchResult,
+    BatchStats,
+    greedy_seed_walk,
+)
+from repro.engine.cache import (
+    CacheStats,
+    ResultCache,
+    region_fingerprint,
+)
+from repro.engine.order import hilbert_index, locality_order
+from repro.engine.planner import (
+    CostEstimate,
+    CostModel,
+    PlanExplanation,
+    QueryPlanner,
+)
+
+__all__ = [
+    "BatchQueryEngine",
+    "BatchResult",
+    "BatchStats",
+    "greedy_seed_walk",
+    "ResultCache",
+    "CacheStats",
+    "region_fingerprint",
+    "hilbert_index",
+    "locality_order",
+    "QueryPlanner",
+    "CostModel",
+    "CostEstimate",
+    "PlanExplanation",
+]

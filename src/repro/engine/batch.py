@@ -1,0 +1,416 @@
+"""The batch area-query engine.
+
+Serving area queries one at a time repeats three pieces of work that a
+batch can share:
+
+1. **Index descent** — every traditional query descends the R-tree from the
+   root for its window.  Batched, queries are visited in Hilbert order
+   (:mod:`repro.engine.order`) and *overlapping* windows are grouped: one
+   window query over the group's union MBR feeds every member, which then
+   only re-filters by its own MBR and refines.
+2. **Voronoi seeding** — every Voronoi query runs an index NN search for
+   its seed.  Batched, the seed of the previous (spatially adjacent) query
+   is *walked* to the new query's interior position over the Voronoi
+   neighbour graph.  On a Delaunay graph the steepest-descent walk provably
+   terminates at the true nearest neighbour — if a vertex ``v`` is not the
+   NN of target ``q``, the neighbour ``u`` whose cell the segment ``v->q``
+   enters satisfies ``|uq| <= |ux| + |xq| = |vx| + |xq| = |vq|`` (``x`` the
+   crossing point), with equality impossible for a distinct site — so the
+   seed is exactly the one the index search would have produced, at the
+   cost of a few graph hops instead of a root-to-leaf descent.
+3. **The query itself** — repeated regions (hot tiles, dashboards) are
+   served from an LRU :class:`~repro.engine.cache.ResultCache`, and exact
+   duplicates *within* one batch are computed once.
+
+``method="auto"`` additionally routes every query through the
+:class:`~repro.engine.planner.QueryPlanner`, so each region runs the
+method the cost model predicts cheaper.
+
+Results are returned in submission order and are id-identical to calling
+:meth:`SpatialDatabase.area_query <repro.core.database.SpatialDatabase.area_query>`
+in a loop (both methods return the same id sets — the paper's theorem —
+so this holds for any mix of planned methods).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
+from repro.core.stats import QueryResult, QueryStats
+from repro.core.traditional_query import traditional_area_query
+from repro.core.voronoi_query import voronoi_area_query
+from repro.engine.cache import DEFAULT_CAPACITY, ResultCache, region_fingerprint
+from repro.engine.order import locality_order
+from repro.engine.planner import QueryPlanner
+from repro.geometry.region import QueryRegion, interior_seed_position
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.database import SpatialDatabase
+
+#: Methods accepted by :meth:`BatchQueryEngine.batch_area_query`.
+BATCH_METHODS = ("auto", "traditional", "voronoi")
+
+#: Union-MBR slack for window grouping: a window joins a group only while
+#: the union's area stays at or below this factor times the *largest*
+#: member window's area.  Groups therefore only form around
+#: near-coincident or nested windows (hot tiles, dashboard refreshes) and
+#: can never snowball: under uniform density each member scans at most
+#: ``slack`` times the largest member's own candidate count, however many
+#: windows chain-overlap.  (Comparing against the *sum* of member areas
+#: instead would double-count overlap and let a sliding chain of tiles
+#: collapse into one unbounded group.)
+DEFAULT_WINDOW_SLACK = 1.2
+
+
+@dataclass
+class BatchStats:
+    """Work accounting for one :meth:`BatchQueryEngine.batch_area_query`."""
+
+    total_queries: int = 0
+    #: served from the cross-batch LRU result cache
+    cache_hits: int = 0
+    #: duplicates of an earlier region in the *same* batch (computed once)
+    duplicate_hits: int = 0
+    #: queries actually executed against the database
+    executed: int = 0
+    #: executed queries per method (planner decisions under ``auto``)
+    method_counts: Dict[str, int] = field(default_factory=dict)
+    #: window groups of size >= 2 that shared one index traversal
+    shared_window_groups: int = 0
+    #: traditional queries served from a shared group frontier
+    shared_window_queries: int = 0
+    #: Voronoi seeds obtained by graph walk (index NN search skipped)
+    seed_walk_reuses: int = 0
+    #: Voronoi seeds that needed a full index NN search
+    seed_index_lookups: int = 0
+    #: wall-clock time of the whole batch in milliseconds
+    time_ms: float = 0.0
+
+
+@dataclass
+class BatchResult(Sequence[QueryResult]):
+    """Per-query results (submission order) plus batch-level accounting.
+
+    Behaves as a sequence of :class:`~repro.core.stats.QueryResult`, so
+    existing code written against ``[db.area_query(a) for a in areas]``
+    works unchanged.
+    """
+
+    results: List[QueryResult]
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, item):
+        return self.results[item]
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+def greedy_seed_walk(
+    neighbor_table: List[Tuple[int, ...]],
+    points,
+    start: int,
+    target_x: float,
+    target_y: float,
+    max_hops: int,
+) -> Optional[int]:
+    """Steepest-descent walk to the point nearest ``(target_x, target_y)``.
+
+    From ``start``, repeatedly move to the neighbour closest to the target;
+    stop when no neighbour improves.  On a Delaunay neighbour graph the
+    stopping vertex is the global nearest neighbour of the target (see the
+    module docstring for the argument).  Returns ``None`` if ``max_hops``
+    is exhausted first (caller falls back to the index NN search).
+    """
+    current = start
+    p = points[current]
+    best = (p.x - target_x) ** 2 + (p.y - target_y) ** 2
+    for _ in range(max_hops):
+        next_id = -1
+        for neighbor in neighbor_table[current]:
+            q = points[neighbor]
+            d = (q.x - target_x) ** 2 + (q.y - target_y) ** 2
+            if d < best:
+                best = d
+                next_id = neighbor
+        if next_id < 0:
+            return current
+        current = next_id
+    return None
+
+
+class BatchQueryEngine:
+    """Executes batches of area queries with cross-query sharing.
+
+    Parameters
+    ----------
+    database:
+        The owning :class:`~repro.core.database.SpatialDatabase`.
+    cache_capacity:
+        LRU result-cache size in distinct regions (``0`` disables caching).
+    planner:
+        Cost-based planner used for ``method="auto"`` (default: a fresh
+        :class:`~repro.engine.planner.QueryPlanner` over ``database``).
+    window_slack:
+        Union-MBR slack for traditional window grouping
+        (:data:`DEFAULT_WINDOW_SLACK`).
+    """
+
+    def __init__(
+        self,
+        database: "SpatialDatabase",
+        *,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        planner: Optional[QueryPlanner] = None,
+        window_slack: float = DEFAULT_WINDOW_SLACK,
+    ) -> None:
+        self._db = database
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.planner = planner or QueryPlanner(database)
+        self.window_slack = window_slack
+        #: stats of the most recent batch (None before the first one)
+        self.last_batch_stats: Optional[BatchStats] = None
+
+    # -- public API --------------------------------------------------------
+
+    def batch_area_query(
+        self,
+        regions: Sequence[QueryRegion],
+        method: str = "auto",
+        *,
+        use_cache: bool = True,
+    ) -> BatchResult:
+        """Answer every region in ``regions``; results in submission order.
+
+        ``method`` is ``"traditional"``, ``"voronoi"``, or ``"auto"``
+        (planner decides per query).  Result id lists are identical to
+        running :meth:`SpatialDatabase.area_query` per region.
+        """
+        if method not in BATCH_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; choose from {BATCH_METHODS}"
+            )
+        regions = list(regions)
+        if not len(self._db):
+            raise EmptyDatabaseError("batch area query on an empty database")
+        for region in regions:
+            if region.area <= 0.0:
+                raise InvalidQueryAreaError("query area has zero area")
+
+        started = time.perf_counter()
+        stats = BatchStats(total_queries=len(regions))
+        results: List[Optional[QueryResult]] = [None] * len(regions)
+        version = self._db.version
+
+        # 1. Cache probe + intra-batch dedup.
+        pending: List[int] = []
+        aliases: Dict[int, List[int]] = {}
+        first_seen: Dict[Tuple, int] = {}
+        fingerprints = [region_fingerprint(region) for region in regions]
+        for i, key in enumerate(fingerprints):
+            if key is None:  # uncacheable region type: always execute
+                aliases[i] = []
+                pending.append(i)
+                continue
+            if use_cache and self.cache.capacity > 0:
+                cached = self.cache.get(key, version)
+                if cached is not None:
+                    results[i] = cached
+                    stats.cache_hits += 1
+                    continue
+            owner = first_seen.get(key)
+            if owner is not None:
+                aliases[owner].append(i)
+                stats.duplicate_hits += 1
+                continue
+            first_seen[key] = i
+            aliases[i] = []
+            pending.append(i)
+        stats.executed = len(pending)
+
+        # 2. Plan the method per pending query.
+        if method == "auto":
+            choices = {i: self.planner.choose(regions[i]) for i in pending}
+        else:
+            choices = {i: method for i in pending}
+        for choice in choices.values():
+            stats.method_counts[choice] = (
+                stats.method_counts.get(choice, 0) + 1
+            )
+
+        # 3. Hilbert tour over the pending queries, split by method.
+        pending_regions = [regions[i] for i in pending]
+        tour = [pending[j] for j in locality_order(pending_regions)]
+        traditional_tour = [i for i in tour if choices[i] == "traditional"]
+        voronoi_tour = [i for i in tour if choices[i] == "voronoi"]
+
+        self._run_traditional(regions, traditional_tour, results, stats)
+        self._run_voronoi(regions, voronoi_tour, results, stats)
+
+        # 4. Fill duplicates and populate the cache.
+        for i in pending:
+            result = results[i]
+            assert result is not None
+            if use_cache and fingerprints[i] is not None:
+                self.cache.put(fingerprints[i], version, result)
+            for j in aliases[i]:
+                results[j] = QueryResult(
+                    ids=list(result.ids), stats=replace(result.stats)
+                )
+
+        stats.time_ms = (time.perf_counter() - started) * 1000.0
+        self.last_batch_stats = stats
+        return BatchResult(results=list(results), stats=stats)  # type: ignore[arg-type]
+
+    def explain(self, region: QueryRegion, *, execute: bool = False):
+        """Forward to :meth:`QueryPlanner.explain` (convenience)."""
+        return self.planner.explain(region, execute=execute)
+
+    # -- traditional: shared window frontier -------------------------------
+
+    def _run_traditional(
+        self,
+        regions: Sequence[QueryRegion],
+        tour: List[int],
+        results: List[Optional[QueryResult]],
+        stats: BatchStats,
+    ) -> None:
+        """Run ``tour`` (Hilbert-ordered indices) with grouped windows."""
+        group: List[int] = []
+        union = None
+        max_member_area = 0.0
+        for i in tour:
+            mbr = regions[i].mbr
+            if not group:
+                group, union, max_member_area = [i], mbr, mbr.area
+                continue
+            candidate_union = union.union(mbr)
+            if candidate_union.area <= self.window_slack * max(
+                max_member_area, mbr.area
+            ):
+                group.append(i)
+                union = candidate_union
+                max_member_area = max(max_member_area, mbr.area)
+            else:
+                self._flush_window_group(group, union, results, regions, stats)
+                group, union, max_member_area = [i], mbr, mbr.area
+        if group:
+            self._flush_window_group(group, union, results, regions, stats)
+
+    def _flush_window_group(
+        self,
+        group: List[int],
+        union,
+        results: List[Optional[QueryResult]],
+        regions: Sequence[QueryRegion],
+        stats: BatchStats,
+    ) -> None:
+        """One index traversal for the whole group, then per-member refine.
+
+        The shared descent's node accesses are attributed to the group's
+        first member (splitting them would fabricate fractional counters).
+        """
+        index = self._db.index
+        if len(group) == 1:
+            i = group[0]
+            results[i] = traditional_area_query(index, regions[i])
+            return
+        stats.shared_window_groups += 1
+        stats.shared_window_queries += len(group)
+        nodes_before = index.stats.node_accesses
+        group_started = time.perf_counter()
+        entries = index.window_query(union)
+        shared_nodes = index.stats.node_accesses - nodes_before
+        shared_ms = (time.perf_counter() - group_started) * 1000.0
+        for position, i in enumerate(group):
+            region = regions[i]
+            mbr = region.mbr
+            refine = region.contains_point
+            member_stats = QueryStats(method="traditional")
+            member_started = time.perf_counter()
+            ids: List[int] = []
+            for point, item_id in entries:
+                if not mbr.contains_point(point):
+                    continue
+                member_stats.candidates += 1
+                member_stats.validations += 1
+                if refine(point):
+                    ids.append(item_id)
+                else:
+                    member_stats.redundant_validations += 1
+            member_stats.time_ms = (
+                time.perf_counter() - member_started
+            ) * 1000.0
+            if position == 0:
+                member_stats.index_node_accesses = shared_nodes
+                member_stats.time_ms += shared_ms
+            member_stats.result_size = len(ids)
+            ids.sort()
+            results[i] = QueryResult(ids=ids, stats=member_stats)
+
+    # -- voronoi: seed reuse along the tour --------------------------------
+
+    def _run_voronoi(
+        self,
+        regions: Sequence[QueryRegion],
+        tour: List[int],
+        results: List[Optional[QueryResult]],
+        stats: BatchStats,
+    ) -> None:
+        """Run ``tour`` with the previous query's seed as the walk start."""
+        if not tour:
+            return
+        db = self._db
+        backend = db.backend
+        points = db.points
+        neighbor_table = backend.neighbor_table()
+        max_hops = 64 + int(4.0 * math.sqrt(len(points)))
+        previous_seed: Optional[int] = None
+        for i in tour:
+            region = regions[i]
+            # Seeding work (walk or fallback NN descent) is charged to this
+            # query's stats below, so batch and loop counters stay
+            # comparable — same invariant _flush_window_group keeps for the
+            # shared window descent.
+            seeding_started = time.perf_counter()
+            seeding_nodes_before = db.index.stats.node_accesses
+            position = interior_seed_position(region)
+            seed_id: Optional[int] = None
+            if previous_seed is not None:
+                seed_id = greedy_seed_walk(
+                    neighbor_table,
+                    points,
+                    previous_seed,
+                    position.x,
+                    position.y,
+                    max_hops,
+                )
+                if seed_id is not None:
+                    stats.seed_walk_reuses += 1
+            if seed_id is None:
+                entry = db.index.nearest_neighbor(position)
+                stats.seed_index_lookups += 1
+                if entry is None:  # pragma: no cover - guarded by len check
+                    results[i] = QueryResult(
+                        ids=[], stats=QueryStats(method="voronoi")
+                    )
+                    continue
+                seed_id = entry[1]
+            seeding_nodes = (
+                db.index.stats.node_accesses - seeding_nodes_before
+            )
+            seeding_ms = (time.perf_counter() - seeding_started) * 1000.0
+            result = voronoi_area_query(
+                db.index, backend, points, region, seed_id=seed_id
+            )
+            result.stats.index_node_accesses += seeding_nodes
+            result.stats.time_ms += seeding_ms
+            results[i] = result
+            previous_seed = seed_id

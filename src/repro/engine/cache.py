@@ -1,0 +1,144 @@
+"""LRU result cache keyed by query-region fingerprint.
+
+Production area-query traffic repeats itself: hot map tiles, popular
+geofences, dashboards re-issuing the same polygon every refresh.  The batch
+engine therefore memoises :class:`~repro.core.stats.QueryResult` objects
+behind a *region fingerprint* — a hashable, exact summary of the query
+geometry — so a repeated region costs a dictionary lookup instead of an
+index traversal plus refinement pass.
+
+Correctness guarantees:
+
+* **Method-independence** — the paper's central theorem is that both query
+  methods return the same id set for the same region, so a cached result
+  may be served regardless of which method would have produced it.
+* **Invalidation** — every entry is stamped with the database *version*
+  (bumped by :meth:`~repro.core.database.SpatialDatabase.insert` /
+  ``extend``); a stale stamp is treated as a miss and the entry dropped.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Optional, Tuple
+
+from repro.core.stats import QueryResult
+from repro.geometry.region import QueryRegion
+
+#: Default number of distinct regions remembered by the engine's cache.
+#: Note the bound is an *entry count*, not bytes: each entry retains its
+#: full result id list, so workloads whose queries return very large
+#: results (e.g. 30 %-of-space queries over paper-scale databases) should
+#: size ``BatchQueryEngine(cache_capacity=...)`` down accordingly.
+DEFAULT_CAPACITY = 256
+
+
+def region_fingerprint(region: QueryRegion) -> Optional[Tuple]:
+    """A hashable, exact identity for a query region's geometry.
+
+    Polygons fingerprint as their vertex tuple, circles as centre and
+    radius — in both cases equal fingerprints imply identical geometry,
+    so equal fingerprints answer every area query identically.  Any other
+    :class:`QueryRegion` implementation returns ``None`` (*uncacheable*):
+    the protocol exposes no attribute set that determines an arbitrary
+    region's geometry exactly, and a near-miss fingerprint would let the
+    cache serve one region's ids for a different region.  Callers must
+    treat ``None`` as "always execute, never store".
+    """
+    vertices = getattr(region, "vertices", None)
+    if vertices is not None:
+        return ("polygon", tuple((p.x, p.y) for p in vertices))
+    center = getattr(region, "center", None)
+    radius = getattr(region, "radius", None)
+    if center is not None and radius is not None:
+        return ("circle", center.x, center.y, radius)
+    return None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: misses caused by a version-stamp mismatch (entry existed but the
+    #: database had changed since it was stored)
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    version: int
+    result: QueryResult
+
+
+@dataclass
+class ResultCache:
+    """A bounded LRU mapping region fingerprints to query results.
+
+    Entries are stamped with the database version at store time;
+    :meth:`get` treats a stamp mismatch as a miss (and drops the entry),
+    which makes ``insert``-after-query correct without any explicit
+    invalidation hook.  ``capacity <= 0`` disables caching entirely.
+    """
+
+    capacity: int = DEFAULT_CAPACITY
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, version: int) -> Optional[QueryResult]:
+        """The cached result for ``key`` at database ``version``, or None.
+
+        A hit returns an independent copy (callers may mutate result ids
+        freely) and refreshes the entry's recency.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.version != version:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        result = entry.result
+        return QueryResult(ids=list(result.ids), stats=replace(result.stats))
+
+    def put(self, key: Hashable, version: int, result: QueryResult) -> None:
+        """Store ``result`` for ``key`` at ``version`` (evicting LRU)."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = _Entry(
+            version=version,
+            result=QueryResult(
+                ids=list(result.ids), stats=replace(result.stats)
+            ),
+        )
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        self._entries.clear()

@@ -1,0 +1,310 @@
+"""Cost-based query planning: choose the cheaper area-query method per query.
+
+The paper's two methods have complementary cost profiles (its Section IV,
+and our ``benchmarks/bench_ablation_iocost.py``):
+
+* the **traditional** filter–refine baseline pays one index *window* query
+  plus one refinement per point in the query MBR — cost grows with
+  ``density * area(MBR)``, i.e. it is punished by irregular polygons whose
+  MBR is much larger than the polygon;
+* the **Voronoi** expansion pays one index *NN* descent plus one refinement
+  per internal point and per shell cell — cost grows with
+  ``density * area(polygon) + perimeter * sqrt(density)``, i.e. it is
+  punished by skinny high-perimeter polygons over sparse data, where the
+  boundary shell dwarfs the interior.
+
+:class:`QueryPlanner` turns those formulas into per-query I/O estimates
+(validations as record fetches, index node accesses as page reads — the
+counters of :mod:`repro.core.stats`), weighs them with a
+:class:`CostModel`, and picks the cheaper method.  ``method="auto"`` on
+:meth:`SpatialDatabase.area_query <repro.core.database.SpatialDatabase.area_query>`
+and the batch engine route through it, and :meth:`QueryPlanner.explain`
+exposes the whole decision — predicted and, optionally, measured costs —
+for inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.stats import QueryStats
+from repro.geometry.rectangle import Rect
+from repro.geometry.region import QueryRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.database import SpatialDatabase
+
+#: The two executable methods, in the order estimates are reported.
+PLANNABLE_METHODS = ("traditional", "voronoi")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weights converting :class:`QueryStats` counters into one cost number.
+
+    The unit is arbitrary (only ratios matter for planning); calibration
+    rescales the weights so the unit becomes approximately one millisecond
+    on the measured database.  Defaults reflect the in-memory relative
+    costs observed on the seed benchmarks: a refinement (10-vertex
+    point-in-polygon test) is the unit, an index node visit costs about a
+    third of it, a segment-crossing test about a quarter.
+    """
+
+    #: cost of one exact refinement test (the paper's record validation)
+    validation_cost: float = 1.0
+    #: cost of one index node access (page read in the paper's setting)
+    node_access_cost: float = 0.35
+    #: cost of one segment-vs-boundary test (Voronoi expansion only)
+    segment_test_cost: float = 0.25
+    #: expected boundary-shell cells per unit of ``perimeter * sqrt(density)``
+    shell_width_factor: float = 1.0
+
+    def cost_of(self, stats: QueryStats) -> float:
+        """Apply the weights to *measured* counters of one query."""
+        return (
+            self.validation_cost * stats.validations
+            + self.node_access_cost * stats.index_node_accesses
+            + self.segment_test_cost * stats.segment_tests
+        )
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted work for running one region with one method."""
+
+    method: str
+    validations: float
+    node_accesses: float
+    segment_tests: float
+    #: scalar cost under the planner's :class:`CostModel`
+    cost: float
+
+
+@dataclass
+class PlanExplanation:
+    """The planner's full decision record for one region.
+
+    ``estimates`` always holds both methods' predictions; ``actual`` is
+    populated only by :meth:`QueryPlanner.explain` with ``execute=True``,
+    in which case ``prediction_correct`` says whether the predicted winner
+    also won under measured counters.
+    """
+
+    chosen: str
+    estimates: Dict[str, CostEstimate]
+    actual: Dict[str, QueryStats] = field(default_factory=dict)
+    actual_costs: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def predicted_cost(self) -> float:
+        """Cost predicted for the chosen method."""
+        return self.estimates[self.chosen].cost
+
+    @property
+    def prediction_correct(self) -> Optional[bool]:
+        """Did the predicted winner measure cheapest?  None before execute."""
+        if not self.actual_costs:
+            return None
+        measured_winner = min(self.actual_costs, key=self.actual_costs.get)
+        return measured_winner == self.chosen
+
+    def render(self) -> str:
+        """A small aligned table (used by ``python -m repro batch``)."""
+        lines = [
+            f"{'method':>12} | {'est. valid.':>11} {'est. nodes':>10} "
+            f"{'est. cost':>10}"
+            + ("" if not self.actual_costs else f" | {'meas. cost':>10}")
+        ]
+        for method in PLANNABLE_METHODS:
+            estimate = self.estimates[method]
+            marker = "*" if method == self.chosen else " "
+            line = (
+                f"{marker}{method:>11} | {estimate.validations:>11.1f} "
+                f"{estimate.node_accesses:>10.1f} {estimate.cost:>10.2f}"
+            )
+            if self.actual_costs:
+                line += f" | {self.actual_costs[method]:>10.2f}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Predicts per-method costs for a database and picks the cheaper one.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.core.database.SpatialDatabase` whose size,
+        extent, and index fanout parameterise the estimates.
+    model:
+        Initial :class:`CostModel`; replaced by :meth:`calibrate`.
+    """
+
+    def __init__(
+        self,
+        database: "SpatialDatabase",
+        model: Optional[CostModel] = None,
+    ) -> None:
+        self._db = database
+        self.model = model or CostModel()
+        self._space_cache: Optional[tuple] = None
+
+    # -- database summary --------------------------------------------------
+
+    def _space(self) -> Rect:
+        # index.bounds walks every stored entry, so cache it per version.
+        version = self._db.version
+        if self._space_cache is not None and self._space_cache[0] == version:
+            return self._space_cache[1]
+        bounds = self._db.index.bounds
+        if bounds is None or bounds.area <= 0.0:
+            bounds = Rect(0.0, 0.0, 1.0, 1.0)
+        self._space_cache = (version, bounds)
+        return bounds
+
+    def density(self) -> float:
+        """Points per unit of space area (the estimates' scale factor)."""
+        space = self._space()
+        return len(self._db) / space.area if space.area else float(len(self._db))
+
+    def _fanout(self) -> int:
+        return max(2, int(getattr(self._db.index, "max_entries", 16)))
+
+    def _depth(self) -> float:
+        n = max(2, len(self._db))
+        return max(1.0, math.log(n, self._fanout()))
+
+    # -- estimation --------------------------------------------------------
+
+    def estimate(self, region: QueryRegion) -> Dict[str, CostEstimate]:
+        """Predicted :class:`CostEstimate` for both methods on ``region``."""
+        n = len(self._db)
+        density = self.density()
+        fanout = self._fanout()
+        depth = self._depth()
+        mbr_area = min(region.mbr.area, self._space().area)
+        region_area = min(region.area, mbr_area)
+        perimeter = float(getattr(region, "perimeter", 4.0 * math.sqrt(mbr_area)))
+
+        # Traditional: one window descent + every MBR resident refined.
+        candidates = min(float(n), density * mbr_area)
+        window_leaves = candidates / fanout
+        traditional_nodes = depth + 2.0 * window_leaves
+        traditional = CostEstimate(
+            method="traditional",
+            validations=candidates,
+            node_accesses=traditional_nodes,
+            segment_tests=0.0,
+            cost=(
+                self.model.validation_cost * candidates
+                + self.model.node_access_cost * traditional_nodes
+            ),
+        )
+
+        # Voronoi: one NN descent + internal points + a one-cell-thick
+        # boundary shell (mean Voronoi cell diameter ~ 1/sqrt(density)).
+        internal = min(float(n), density * region_area)
+        shell = (
+            self.model.shell_width_factor * perimeter * math.sqrt(density)
+            if density > 0
+            else 0.0
+        )
+        shell = min(float(n), shell)
+        validations = min(float(n), internal + shell)
+        segment_tests = 4.0 * shell  # ~6 neighbours/cell, some pre-visited
+        voronoi_nodes = depth + 3.0
+        voronoi = CostEstimate(
+            method="voronoi",
+            validations=validations,
+            node_accesses=voronoi_nodes,
+            segment_tests=segment_tests,
+            cost=(
+                self.model.validation_cost * validations
+                + self.model.node_access_cost * voronoi_nodes
+                + self.model.segment_test_cost * segment_tests
+            ),
+        )
+        return {"traditional": traditional, "voronoi": voronoi}
+
+    def choose(self, region: QueryRegion) -> str:
+        """The predicted-cheaper method for ``region`` (ties: voronoi)."""
+        estimates = self.estimate(region)
+        if estimates["traditional"].cost < estimates["voronoi"].cost:
+            return "traditional"
+        return "voronoi"
+
+    def explain(
+        self, region: QueryRegion, *, execute: bool = False
+    ) -> PlanExplanation:
+        """The decision record for ``region``.
+
+        With ``execute=True`` both methods are actually run and their
+        measured stats/costs recorded next to the predictions — the
+        ``EXPLAIN ANALYZE`` of this engine.
+        """
+        estimates = self.estimate(region)
+        explanation = PlanExplanation(
+            chosen=self.choose(region), estimates=estimates
+        )
+        if execute:
+            for method in PLANNABLE_METHODS:
+                result = self._db.area_query(region, method=method)
+                explanation.actual[method] = result.stats
+                explanation.actual_costs[method] = self.model.cost_of(
+                    result.stats
+                )
+        return explanation
+
+    # -- calibration -------------------------------------------------------
+
+    def calibrate(
+        self, probe_regions: Sequence[QueryRegion]
+    ) -> CostModel:
+        """Fit the cost weights to measured wall time on this database.
+
+        Runs both methods over ``probe_regions``, then solves the 2x2
+        least-squares system ``time ~ v * (validations + r * segment_tests)
+        + a * node_accesses`` for the per-validation cost ``v`` and
+        per-node cost ``a`` (``r`` is the fixed segment/validation cost
+        ratio of the current model).  Falls back to the current model if
+        the system is degenerate (e.g. all-zero counters or near-collinear
+        probes).  The fitted model is installed on the planner and
+        returned; its cost unit is then milliseconds.
+        """
+        ratio = (
+            self.model.segment_test_cost / self.model.validation_cost
+            if self.model.validation_cost
+            else 0.25
+        )
+        samples: List[QueryStats] = []
+        for region in probe_regions:
+            for method in PLANNABLE_METHODS:
+                samples.append(self._db.area_query(region, method=method).stats)
+        # Least squares over features (weighted validations, node accesses).
+        s_ff = s_fg = s_gg = s_ft = s_gt = 0.0
+        for stats in samples:
+            f = stats.validations + ratio * stats.segment_tests
+            g = float(stats.index_node_accesses)
+            t = stats.time_ms
+            s_ff += f * f
+            s_fg += f * g
+            s_gg += g * g
+            s_ft += f * t
+            s_gt += g * t
+        determinant = s_ff * s_gg - s_fg * s_fg
+        if determinant <= 1e-12:
+            return self.model
+        v = (s_ft * s_gg - s_gt * s_fg) / determinant
+        a = (s_gt * s_ff - s_ft * s_fg) / determinant
+        if v <= 0.0:
+            return self.model
+        a = max(0.0, a)
+        self.model = CostModel(
+            validation_cost=v,
+            node_access_cost=a,
+            segment_test_cost=ratio * v,
+            shell_width_factor=self.model.shell_width_factor,
+        )
+        return self.model

@@ -5,6 +5,21 @@ integer — in :class:`repro.core.database.SpatialDatabase` it is the row id of
 the point — and duplicates of the same location with different ids are
 allowed.  All implementations keep an :class:`IndexStats` counter block so
 the experiment harness can report index node accesses alongside wall time.
+
+The interface is the minimum both paper methods need:
+
+* :meth:`SpatialIndex.window_query` — the *filter* step of the traditional
+  baseline (called with the query polygon's MBR);
+* :meth:`SpatialIndex.nearest_neighbor` — the Voronoi method's seed lookup
+  (Property 3 of the paper);
+* :meth:`SpatialIndex.k_nearest_neighbors` — used by the kNN ablation;
+* ``insert`` / ``delete`` / ``bulk_load`` — maintenance, so the dynamic
+  workload tests can exercise mixed read/write traffic.
+
+Implementations are interchangeable: :func:`repro.index.make_index` builds
+any registered kind by name, and the equality tests in ``tests/index/``
+compare every implementation's query results against
+:class:`BruteForceIndex` on identical workloads.
 """
 
 from __future__ import annotations

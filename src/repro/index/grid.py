@@ -5,6 +5,16 @@ resolution`` equal cells and each cell keeps a bucket of entries.  It serves
 two roles here: a cheap baseline for the index ablation, and a second
 independent oracle (besides brute force) in the test suite — its query logic
 shares no code with the tree indexes.
+
+Complexity: for uniform data a window query touches the
+``O(window_area * resolution^2)`` overlapped cells plus their occupants,
+so it is excellent for small windows over uniform data and degrades when
+data is skewed into few cells (no adaptivity — that is the quadtree's
+job).  Nearest-neighbour search rings outward cell-by-cell from the query
+cell, which keeps it correct even for points outside ``bounds`` (they are
+clamped into the border cells).  Node accesses count visited cells, so
+grid numbers are directly comparable with the tree indexes in the
+ablation bench.
 """
 
 from __future__ import annotations

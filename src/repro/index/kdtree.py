@@ -8,6 +8,13 @@ traditional filter–refine pipeline.
 The tree alternates split axes by depth.  Deletion is implemented by
 tombstoning plus periodic rebuilds (amortised O(log n)); bulk loading builds
 a perfectly balanced tree by median splitting.
+
+Being a *binary* tree over point coordinates (rather than a bucketed MBR
+tree), its per-node fanout is 2, so ``index_node_accesses`` counts are
+naturally higher than the R-tree's for the same query — the ablation bench
+normalises by reporting both node accesses and wall time.  Incremental
+inserts do not rebalance; heavily skewed insert orders degrade toward
+O(n) paths until the next tombstone-triggered rebuild restores balance.
 """
 
 from __future__ import annotations

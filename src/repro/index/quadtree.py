@@ -5,6 +5,14 @@ Space is recursively quartered; leaves hold up to ``capacity`` points.  The
 tree needs a bounding box at construction time — callers index normalised
 data in the unit square by default, and the box grows automatically if a
 point falls outside it (by re-rooting).
+
+Unlike the R-tree family the decomposition is *space*-driven, not
+data-driven: node boundaries never overlap, so a window query descends
+every subtree intersecting the window with no double-visits, while
+clustered data simply subdivides deeper (down to ``_MAX_DEPTH``, where
+duplicates and near-duplicates stay in one overflowing leaf rather than
+recursing forever).  That makes it the interesting *middle* point of the
+index ablation: adaptive like a tree, overlap-free like the grid.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""The paper's experiment harness: Tables I–II, Figures 4–7.
+"""The paper's experiment harness: Tables I–II, Figures 4–7, batch throughput.
 
 Two sweeps, exactly as in Section IV of the paper:
 
@@ -23,14 +23,21 @@ Run from the command line::
     python -m repro.workloads.experiments table1
     python -m repro.workloads.experiments all --repetitions 20
     python -m repro.workloads.experiments table2 --paper-scale
+    python -m repro.workloads.experiments batch
+
+The ``batch`` target goes beyond the paper: it measures the throughput of
+the batch query engine (:mod:`repro.engine`) against the one-query-at-a-time
+loop on a production-style trace where hot regions repeat.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
-from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.database import SpatialDatabase
 from repro.workloads.generators import uniform_points
@@ -236,6 +243,200 @@ def run_query_size_sweep(
     return rows
 
 
+# -- batch-throughput experiment ---------------------------------------------
+
+
+@dataclass
+class BatchThroughputRow:
+    """One execution strategy's throughput on the shared query trace."""
+
+    strategy: str
+    total_ms: float
+    queries_per_second: float
+    #: throughput relative to the single-query voronoi loop baseline
+    speedup: float
+    #: repeated regions answered once per batch (intra-batch dedup); the
+    #: cross-batch LRU cache never fires here because each strategy
+    #: submits the trace as one batch call
+    duplicate_hits: int = 0
+    method_counts: Dict[str, int] = field(default_factory=dict)
+
+
+#: The strategies measured by :func:`run_batch_throughput_experiment`,
+#: in reporting order.
+TRACE_STRATEGIES = (
+    "loop/voronoi",
+    "loop/traditional",
+    "batch/voronoi",
+    "batch/traditional",
+    "batch/auto",
+)
+
+
+def run_trace_strategy(db: SpatialDatabase, trace, strategy: str):
+    """Answer ``trace`` with one strategy; returns the per-request id lists.
+
+    Shared by the experiment harness and ``benchmarks/bench_batch_engine.py``
+    so both measure exactly the same execution paths.  ``loop/<method>``
+    calls :meth:`SpatialDatabase.area_query` per request; ``batch/<method>``
+    uses the engine with the cross-batch cache disabled (isolating the
+    sharing machinery); ``batch/auto`` is the full engine — planner plus
+    LRU cache, cleared first so repeats within the trace are served by
+    intra-batch dedup, not by earlier runs.
+    """
+    kind, _, method = strategy.partition("/")
+    if kind == "loop":
+        return [db.area_query(area, method=method).ids for area in trace]
+    if kind != "batch":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if method == "auto":
+        db.engine.cache.clear()
+        return [r.ids for r in db.batch_area_query(trace, method="auto")]
+    return [
+        r.ids
+        for r in db.batch_area_query(trace, method=method, use_cache=False)
+    ]
+
+
+def make_query_trace(
+    query_size: float,
+    distinct: int,
+    repeat: int,
+    seed: int = 0,
+):
+    """A production-style trace: ``distinct`` regions, each hit ``repeat``
+    times, shuffled deterministically.
+
+    Real area-query traffic repeats itself (hot map tiles, dashboards,
+    geofence monitors); ``repeat`` controls how hot the trace is.
+    ``repeat=1`` gives an all-distinct trace.
+    """
+    areas = QueryWorkload(query_size=query_size, seed=seed).areas(distinct)
+    trace = [area for area in areas for _ in range(repeat)]
+    random.Random(seed + 1).shuffle(trace)
+    return trace
+
+
+def run_batch_throughput_experiment(
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    data_size: int = 10_000,
+    distinct: int = 30,
+    repeat: int = 3,
+    query_size: float = 0.01,
+    rounds: int = 3,
+    database: Optional[SpatialDatabase] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BatchThroughputRow]:
+    """Measure single-query vs batched throughput on one trace.
+
+    ``database`` lets callers reuse an already-built database (the CLI
+    does, to avoid paying the build twice); when given, ``data_size`` is
+    ignored.
+
+    Strategies (all answering the identical trace, results asserted
+    id-identical):
+
+    * ``loop/voronoi`` — the baseline: :meth:`area_query` per request with
+      the paper's method;
+    * ``loop/traditional`` — same loop with the filter–refine baseline;
+    * ``batch/voronoi``, ``batch/traditional`` — the batch engine with the
+      method fixed and the result cache disabled (isolates the sharing
+      machinery: Hilbert ordering, shared windows, seed reuse);
+    * ``batch/auto`` — the full engine: planner-chosen methods plus the
+      LRU result cache (cleared before each round, so repeats within the
+      trace are answered by intra-batch dedup — reported as
+      ``duplicate_hits``).
+
+    Each strategy runs ``rounds`` times; the fastest round is reported
+    (standard practice to suppress scheduler noise).
+    """
+    if database is not None:
+        db = database
+    else:
+        if progress is not None:
+            progress(f"building database of {data_size:,} points...")
+        db = _build_database(data_size, config)
+    trace = make_query_trace(
+        query_size, distinct, repeat, seed=config.seed
+    )
+    if progress is not None:
+        progress(
+            f"trace: {len(trace)} requests over {distinct} distinct regions"
+        )
+
+    expected = [db.area_query(area, method="voronoi").ids for area in trace]
+
+    def timed(run) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            ids = run()
+            best = min(best, time.perf_counter() - started)
+            if ids != expected:
+                raise AssertionError(
+                    "batch strategy returned different ids than the loop"
+                )
+        return best * 1000.0
+
+    rows: List[BatchThroughputRow] = []
+    for strategy in TRACE_STRATEGIES:
+        total = timed(lambda s=strategy: run_trace_strategy(db, trace, s))
+        batch_stats = (
+            db.engine.last_batch_stats
+            if strategy.startswith("batch/")
+            else None
+        )
+        rows.append(
+            BatchThroughputRow(
+                strategy=strategy,
+                total_ms=total,
+                queries_per_second=len(trace) / (total / 1000.0),
+                speedup=1.0,
+                duplicate_hits=(
+                    batch_stats.duplicate_hits if batch_stats else 0
+                ),
+                method_counts=(
+                    dict(batch_stats.method_counts) if batch_stats else {}
+                ),
+            )
+        )
+        if progress is not None:
+            progress(f"{strategy}: {total:.1f} ms")
+
+    baseline = rows[0].total_ms
+    for row in rows:
+        row.speedup = baseline / row.total_ms if row.total_ms else 0.0
+    return rows
+
+
+def render_batch_table(rows: Sequence[BatchThroughputRow]) -> str:
+    """Render the batch-throughput strategies as an aligned table."""
+    header = (
+        f"{'strategy':>18} | {'total ms':>9} | {'queries/s':>10} | "
+        f"{'speedup':>8} | notes"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        notes = []
+        if row.duplicate_hits:
+            notes.append(f"{row.duplicate_hits} dedup hits")
+        # method_counts is informative only where the planner chose; on
+        # fixed-method rows it would just echo the forced method
+        if row.method_counts and row.strategy.endswith("/auto"):
+            chosen = ", ".join(
+                f"{count} {method}"
+                for method, count in sorted(row.method_counts.items())
+            )
+            notes.append(f"planner: {chosen}")
+        lines.append(
+            f"{row.strategy:>18} | {row.total_ms:>9.1f} | "
+            f"{row.queries_per_second:>10.0f} | {row.speedup:>7.2f}x | "
+            f"{'; '.join(notes)}"
+        )
+    return "\n".join(lines)
+
+
 # -- rendering ----------------------------------------------------------------
 
 
@@ -316,7 +517,7 @@ def render_figure(
 
 # -- command line ---------------------------------------------------------------
 
-_TARGETS = ("table1", "table2", "fig4", "fig5", "fig6", "fig7", "all")
+_TARGETS = ("table1", "table2", "fig4", "fig5", "fig6", "fig7", "batch", "all")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -347,6 +548,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="fixed data size for the query-size sweep",
     )
+    parser.add_argument(
+        "--batch-distinct",
+        type=int,
+        default=30,
+        help="batch target: distinct regions in the trace",
+    )
+    parser.add_argument(
+        "--batch-repeat",
+        type=int,
+        default=3,
+        help="batch target: repetitions of each region in the trace",
+    )
+    parser.add_argument(
+        "--batch-query-size",
+        type=float,
+        default=0.01,
+        help="batch target: query size of the trace regions",
+    )
     args = parser.parse_args(argv)
 
     config = (
@@ -363,6 +582,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     def progress(message: str) -> None:
         print(f"  [{message}]", file=sys.stderr)
+
+    if args.target in ("batch", "all"):
+        batch_rows = run_batch_throughput_experiment(
+            config,
+            data_size=args.data_size or 10_000,
+            distinct=args.batch_distinct,
+            repeat=args.batch_repeat,
+            query_size=args.batch_query_size,
+            progress=progress,
+        )
+        print(
+            "\nBatch engine throughput "
+            f"({args.batch_distinct} regions x {args.batch_repeat} hits, "
+            f"query size {args.batch_query_size:.0%}):"
+        )
+        print(render_batch_table(batch_rows))
+        if args.target == "batch":
+            return 0
 
     need_data = args.target in ("table1", "fig4", "fig5", "all")
     need_query = args.target in ("table2", "fig6", "fig7", "all")

@@ -1,0 +1,184 @@
+"""Result cache: hit/miss accounting, LRU eviction, insert invalidation."""
+
+import pytest
+
+from repro import SpatialDatabase
+from repro.core.stats import QueryResult, QueryStats
+from repro.engine.cache import ResultCache, region_fingerprint
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.workloads.generators import uniform_points
+from repro.workloads.queries import QueryWorkload
+
+
+def _result(ids):
+    return QueryResult(ids=list(ids), stats=QueryStats(method="voronoi"))
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprint_equal_for_equal_polygons():
+    a = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
+    b = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
+    assert region_fingerprint(a) == region_fingerprint(b)
+
+
+def test_fingerprint_distinguishes_geometry():
+    base = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
+    shifted = base.translated(1e-9, 0.0)
+    assert region_fingerprint(base) != region_fingerprint(shifted)
+
+
+def test_fingerprint_distinguishes_shapes():
+    circle = Circle(Point(0.5, 0.5), 0.1)
+    square = Polygon.from_rect(circle.mbr)
+    assert region_fingerprint(circle) != region_fingerprint(square)
+    assert region_fingerprint(circle) == region_fingerprint(
+        Circle(Point(0.5, 0.5), 0.1)
+    )
+
+
+class _OpaqueRegion:
+    """A conforming QueryRegion with no exactly-fingerprintable geometry."""
+
+    def __init__(self, polygon):
+        self._polygon = polygon
+
+    def __getattr__(self, name):
+        if name in ("vertices", "center", "radius"):
+            raise AttributeError(name)
+        return getattr(self._polygon, name)
+
+
+def test_unknown_region_types_are_uncacheable():
+    region = _OpaqueRegion(Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6)))
+    assert region_fingerprint(region) is None
+
+
+def test_uncacheable_regions_always_execute():
+    db = SpatialDatabase.from_points(uniform_points(300, seed=13)).prepare()
+    region = _OpaqueRegion(Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6)))
+    first = db.batch_area_query([region, region])
+    # no dedup, no cache fill: both occurrences executed
+    assert first.stats.executed == 2
+    assert first.stats.cache_hits == 0 and first.stats.duplicate_hits == 0
+    second = db.batch_area_query([region])
+    assert second.stats.cache_hits == 0 and second.stats.executed == 1
+    expected = db.area_query(
+        Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6)), method="traditional"
+    ).ids
+    assert [r.ids for r in first] == [expected, expected]
+
+
+# -- cache mechanics ---------------------------------------------------------
+
+
+def test_hit_and_miss_accounting():
+    cache = ResultCache(capacity=4)
+    assert cache.get("k", version=1) is None
+    cache.put("k", 1, _result([1, 2]))
+    hit = cache.get("k", version=1)
+    assert hit is not None and hit.ids == [1, 2]
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_hits_return_independent_copies():
+    cache = ResultCache(capacity=4)
+    cache.put("k", 1, _result([1, 2]))
+    first = cache.get("k", version=1)
+    first.ids.append(99)
+    second = cache.get("k", version=1)
+    assert second.ids == [1, 2]
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 1, _result([1]))
+    cache.put("b", 1, _result([2]))
+    assert cache.get("a", version=1) is not None  # refresh "a"
+    cache.put("c", 1, _result([3]))  # evicts "b", the LRU entry
+    assert cache.stats.evictions == 1
+    assert cache.get("b", version=1) is None
+    assert cache.get("a", version=1) is not None
+    assert cache.get("c", version=1) is not None
+
+
+def test_version_mismatch_counts_invalidation_and_drops_entry():
+    cache = ResultCache(capacity=4)
+    cache.put("k", 1, _result([1]))
+    assert cache.get("k", version=2) is None
+    assert cache.stats.invalidations == 1
+    assert len(cache) == 0
+
+
+def test_zero_capacity_disables_storage():
+    cache = ResultCache(capacity=0)
+    cache.put("k", 1, _result([1]))
+    assert len(cache) == 0
+    assert cache.get("k", version=1) is None
+
+
+def test_clear_preserves_stats():
+    cache = ResultCache(capacity=4)
+    cache.put("k", 1, _result([1]))
+    cache.get("k", version=1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+# -- database integration ----------------------------------------------------
+
+
+@pytest.fixture()
+def db():
+    return SpatialDatabase.from_points(
+        uniform_points(400, seed=9)
+    ).prepare()
+
+
+def test_repeated_batch_is_served_from_cache(db):
+    regions = QueryWorkload(query_size=0.04, seed=31).areas(8)
+    first = db.batch_area_query(regions, method="auto")
+    assert first.stats.cache_hits == 0
+    second = db.batch_area_query(regions, method="auto")
+    assert second.stats.cache_hits == len(regions)
+    assert second.stats.executed == 0
+    assert [r.ids for r in second] == [r.ids for r in first]
+
+
+def test_insert_invalidates_cached_results(db):
+    region = Polygon.from_rect(Rect(0.4, 0.4, 0.6, 0.6))
+    before = db.batch_area_query([region])[0]
+    new_id = db.insert((0.5, 0.5))
+    after_batch = db.batch_area_query([region])
+    after = after_batch[0]
+    assert after_batch.stats.cache_hits == 0
+    assert new_id in after.ids
+    assert set(after.ids) == set(before.ids) | {new_id}
+    assert after.ids == db.area_query(region, method="traditional").ids
+
+
+def test_cache_hits_are_method_independent(db):
+    """Both methods return identical ids (the paper's theorem), so a
+    cached result may serve either method's request."""
+    regions = QueryWorkload(query_size=0.04, seed=33).areas(4)
+    db.batch_area_query(regions, method="traditional")
+    batch = db.batch_area_query(regions, method="voronoi")
+    assert batch.stats.cache_hits == len(regions)
+    assert [r.ids for r in batch] == [
+        db.area_query(region, method="voronoi").ids for region in regions
+    ]
+
+
+def test_use_cache_false_bypasses_cache(db):
+    regions = QueryWorkload(query_size=0.04, seed=35).areas(3)
+    db.batch_area_query(regions)
+    bypass = db.batch_area_query(regions, use_cache=False)
+    assert bypass.stats.cache_hits == 0
+    assert bypass.stats.executed == len(regions)

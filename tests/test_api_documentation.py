@@ -68,3 +68,46 @@ def test_public_items_documented(module):
     assert not undocumented, (
         f"{module.__name__}: undocumented public items: {undocumented}"
     )
+
+
+def test_engine_package_is_fully_documented():
+    """The engine subsystem ships with complete docs: every module under
+    ``repro.engine`` is collected by the walker above, and every name the
+    package exports resolves to a documented class or function."""
+    engine_modules = {
+        module.__name__
+        for module in ALL_MODULES
+        if module.__name__.startswith("repro.engine")
+    }
+    assert {
+        "repro.engine",
+        "repro.engine.batch",
+        "repro.engine.cache",
+        "repro.engine.order",
+        "repro.engine.planner",
+    } <= engine_modules
+
+    import repro.engine
+
+    undocumented = []
+    for name in repro.engine.__all__:
+        item = getattr(repro.engine, name)
+        if not (inspect.getdoc(item) or "").strip():
+            undocumented.append(name)
+        if inspect.isclass(item):
+            for member_name, member in vars(item).items():
+                if member_name.startswith("_"):
+                    continue
+                if not (
+                    inspect.isfunction(member)
+                    or isinstance(
+                        member, (property, staticmethod, classmethod)
+                    )
+                ):
+                    continue
+                doc = inspect.getdoc(getattr(item, member_name, None))
+                if not (doc or "").strip():
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, (
+        f"undocumented repro.engine exports: {undocumented}"
+    )

@@ -6,8 +6,11 @@ from repro.workloads.experiments import (
     ExperimentConfig,
     SweepRow,
     main,
+    make_query_trace,
+    render_batch_table,
     render_figure,
     render_table,
+    run_batch_throughput_experiment,
     run_data_size_sweep,
     run_query_size_sweep,
 )
@@ -125,6 +128,58 @@ class TestPaperScaleConfig:
         assert config.data_sizes[-1] == 1_000_000
         assert config.query_sizes == (0.01, 0.02, 0.04, 0.08, 0.16, 0.32)
         assert config.repetitions == 1000
+
+
+class TestBatchThroughput:
+    def test_trace_shape_and_determinism(self):
+        trace = make_query_trace(0.02, distinct=5, repeat=3, seed=4)
+        assert len(trace) == 15
+        assert len({area.vertices for area in trace}) == 5  # 3 hits each
+        again = make_query_trace(0.02, distinct=5, repeat=3, seed=4)
+        assert [a.vertices for a in trace] == [a.vertices for a in again]
+
+    def test_experiment_rows_and_rendering(self):
+        rows = run_batch_throughput_experiment(
+            ExperimentConfig(),
+            data_size=800,
+            distinct=4,
+            repeat=2,
+            query_size=0.04,
+            rounds=1,
+        )
+        assert [row.strategy for row in rows] == [
+            "loop/voronoi",
+            "loop/traditional",
+            "batch/voronoi",
+            "batch/traditional",
+            "batch/auto",
+        ]
+        assert rows[0].speedup == pytest.approx(1.0)
+        for row in rows:
+            assert row.total_ms > 0.0
+            assert row.queries_per_second > 0.0
+        table = render_batch_table(rows)
+        assert "batch/auto" in table
+        assert "queries/s" in table
+
+    def test_main_batch_smoke(self, capsys):
+        exit_code = main(
+            [
+                "batch",
+                "--data-size",
+                "600",
+                "--batch-distinct",
+                "3",
+                "--batch-repeat",
+                "2",
+                "--batch-query-size",
+                "0.05",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Batch engine throughput" in out
+        assert "batch/auto" in out
 
 
 class TestCLI:

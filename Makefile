@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test docs-check bench-smoke bench demo
+.PHONY: test docs-check lint bench-smoke bench demo
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -12,6 +12,11 @@ test:
 ## documentation gate: fails on any public item without a docstring
 docs-check:
 	$(PYTEST) tests/test_api_documentation.py -q
+
+## lint gate: ruff when installed, else the bundled fallback linter
+## (tools/lint.py — syntax, unused imports, whitespace hygiene)
+lint:
+	python tools/lint.py src tests benchmarks examples tools
 
 ## fast benchmark smoke: batch-engine suite with its speedup assertions
 ## (timing collection disabled; the 1.5x throughput assert still runs)

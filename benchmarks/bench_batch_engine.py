@@ -3,14 +3,14 @@
 Not a paper artefact: this bench measures the serving layer added on top
 of the reproduction (:mod:`repro.engine`).  The workload is the 10k-point
 uniform database of the laptop-scale sweeps and a production-style trace
-of ``DISTINCT`` regions hit ``REPEAT`` times each (hot map tiles and
+of ``DISTINCT`` specs hit ``REPEAT`` times each (hot map tiles and
 dashboards repeat; ``REPEAT = 1`` rows show the all-distinct case).
 
 Strategies:
 
-* ``loop/<method>`` — one :meth:`SpatialDatabase.area_query` per request,
-  the baseline every other repo path uses;
-* ``batch/<method>`` — :meth:`SpatialDatabase.batch_area_query` with the
+* ``loop/<method>`` — one :meth:`SpatialDatabase.query` per spec, the
+  baseline every other repo path uses;
+* ``batch/<method>`` — :meth:`SpatialDatabase.query_batch` with the
   method fixed and the cross-batch LRU cache disabled, so the measured
   gain comes from the engine's sharing machinery alone (Hilbert ordering,
   shared window frontiers, Voronoi seed reuse, intra-batch dedup);
@@ -22,9 +22,13 @@ The strategy runner is shared with the experiment harness
 (:func:`repro.workloads.experiments.run_trace_strategy`), so this bench
 measures exactly the execution paths ``python -m repro batch`` reports.
 
-``test_batch_speedup_on_trace`` asserts the headline claim: batched
-throughput at least 1.5x the *best* single-query loop on the repeated
-trace.  Results are recorded in ``docs/BENCHMARKS.md``.
+Two acceptance assertions, results recorded in ``docs/BENCHMARKS.md``:
+
+* ``test_batch_speedup_on_trace`` — batched throughput at least 1.5x the
+  *best* single-query loop on the repeated area trace;
+* ``test_heterogeneous_batch_speedup`` — same bar on a mixed trace of
+  area/window/kNN/nearest specs (the heterogeneous grouping must not
+  lose the sharing wins).
 """
 
 import time
@@ -34,6 +38,7 @@ import pytest
 from benchmarks.conftest import get_database
 from repro.workloads.experiments import (
     TRACE_STRATEGIES,
+    make_mixed_trace,
     make_query_trace,
     run_trace_strategy,
 )
@@ -80,9 +85,7 @@ def test_batch_speedup_on_trace():
     loop_ids = None
     for method in ("voronoi", "traditional"):
         loop_times[method], ids = _best_of(
-            lambda m=method: [
-                db.area_query(area, method=m).ids for area in trace
-            ]
+            lambda m=method: run_trace_strategy(db, trace, f"loop/{m}")
         )
         if loop_ids is not None:
             assert ids == loop_ids
@@ -101,6 +104,33 @@ def test_batch_speedup_on_trace():
     )
 
 
+def test_heterogeneous_batch_speedup():
+    """Heterogeneous acceptance bar: a mixed trace of area/window/kNN/
+    nearest specs batched at >= 1.5x the single-query loop, ids equal."""
+    db = get_database(DATA_SIZE)
+    trace = make_mixed_trace(QUERY_SIZE, 32, REPEAT, seed=2020)
+    assert {spec.kind for spec in trace} == {
+        "area",
+        "window",
+        "knn",
+        "nearest",
+    }
+
+    loop_time, loop_ids = _best_of(
+        lambda: run_trace_strategy(db, trace, "loop/auto")
+    )
+    batch_time, batch_ids = _best_of(
+        lambda: run_trace_strategy(db, trace, "batch/auto")
+    )
+
+    assert batch_ids == loop_ids
+    speedup = loop_time / batch_time
+    assert speedup >= 1.5, (
+        f"heterogeneous batch only {speedup:.2f}x the single-query loop "
+        f"(loop {loop_time * 1e3:.1f} ms vs batch {batch_time * 1e3:.1f} ms)"
+    )
+
+
 def test_batch_no_slowdown_distinct():
     """On an all-distinct trace (no dedup, no cache) the engine must not
     be slower than the loop beyond measurement noise."""
@@ -109,9 +139,7 @@ def test_batch_no_slowdown_distinct():
 
     for method in ("voronoi", "traditional"):
         loop_time, loop_ids = _best_of(
-            lambda m=method: [
-                db.area_query(area, method=m).ids for area in trace
-            ]
+            lambda m=method: run_trace_strategy(db, trace, f"loop/{m}")
         )
         batch_time, batch_ids = _best_of(
             lambda m=method: run_trace_strategy(db, trace, f"batch/{m}")

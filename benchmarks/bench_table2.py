@@ -11,7 +11,6 @@ Run ``pytest benchmarks/bench_table2.py --benchmark-only`` for timings or
 ``python -m repro.workloads.experiments table2`` for the rendered table.
 """
 
-import math
 
 import pytest
 

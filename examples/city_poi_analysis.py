@@ -20,7 +20,7 @@ Run with::
 
 import time
 
-from repro import Polygon, SpatialDatabase
+from repro import AreaQuery, Polygon, SpatialDatabase
 from repro.workloads.generators import clustered_points
 
 # An irregular "district" hugging a river bend: concave, 12 vertices.
@@ -56,9 +56,9 @@ def main() -> None:
         f"fills {fill:.0%} of its bounding box."
     )
 
-    voronoi = db.area_query(DISTRICT, method="voronoi")
-    traditional = db.area_query(DISTRICT, method="traditional")
-    assert voronoi.ids == traditional.ids
+    voronoi = db.query(AreaQuery(DISTRICT, method="voronoi"))
+    traditional = db.query(AreaQuery(DISTRICT, method="traditional"))
+    assert voronoi.ids() == traditional.ids()
 
     print(f"\nPOIs inside the district: {len(voronoi):,}")
     print(

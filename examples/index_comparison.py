@@ -18,9 +18,8 @@ Run with::
 """
 
 import random
-import time
 
-from repro import SpatialDatabase, random_query_polygon
+from repro import AreaQuery, SpatialDatabase, random_query_polygon
 from repro.workloads.generators import uniform_points
 
 INDEX_KINDS = ["rtree", "rstar", "kdtree", "quadtree", "grid"]
@@ -53,9 +52,9 @@ def main() -> None:
         candidates = redundant = nodes = 0
         elapsed = 0.0
         for area in areas:
-            result = db.area_query(area, method="traditional")
+            result = db.query(AreaQuery(area, method="traditional"))
             if reference_ids is None:
-                reference_ids = result.ids
+                reference_ids = result.ids()
             candidates += result.stats.candidates
             redundant += result.stats.redundant_validations
             nodes += result.stats.index_node_accesses
@@ -71,7 +70,7 @@ def main() -> None:
     candidates = redundant = nodes = 0
     elapsed = 0.0
     for area in areas:
-        result = db.area_query(area, method="voronoi")
+        result = db.query(AreaQuery(area, method="voronoi"))
         candidates += result.stats.candidates
         redundant += result.stats.redundant_validations
         nodes += result.stats.index_node_accesses

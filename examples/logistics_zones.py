@@ -20,7 +20,7 @@ Run with::
 import random
 import time
 
-from repro import SpatialDatabase
+from repro import AreaQuery, SpatialDatabase
 from repro.core.stats import QueryStats
 from repro.geometry.random_shapes import random_query_polygon
 from repro.workloads.generators import uniform_points
@@ -54,10 +54,10 @@ def main() -> None:
     totals = {"voronoi": QueryStats(), "traditional": QueryStats()}
     assignments: dict[int, list[int]] = {}
     for zone_id, zone in enumerate(zones):
-        voronoi = db.area_query(zone, method="voronoi")
-        traditional = db.area_query(zone, method="traditional")
-        assert voronoi.ids == traditional.ids, f"zone {zone_id} disagreement"
-        assignments[zone_id] = voronoi.ids
+        voronoi = db.query(AreaQuery(zone, method="voronoi"))
+        traditional = db.query(AreaQuery(zone, method="traditional"))
+        assert voronoi.ids() == traditional.ids(), f"zone {zone_id} disagreement"
+        assignments[zone_id] = voronoi.ids()
         totals["voronoi"] = totals["voronoi"].merge(voronoi.stats)
         totals["traditional"] = totals["traditional"].merge(traditional.stats)
 

@@ -19,7 +19,7 @@ import pathlib
 import random
 import sys
 
-from repro import SpatialDatabase, random_query_polygon
+from repro import AreaQuery, SpatialDatabase, random_query_polygon
 from repro.viz.figures import (
     render_candidate_comparison,
     render_voronoi_delaunay,
@@ -41,8 +41,8 @@ def main() -> None:
     fig2 = render_candidate_comparison(db, area)
     (out_dir / "fig2.svg").write_text(fig2, encoding="utf-8")
 
-    voronoi = db.area_query(area, "voronoi")
-    traditional = db.area_query(area, "traditional")
+    voronoi = db.query(AreaQuery(area, method="voronoi"))
+    traditional = db.query(AreaQuery(area, method="traditional"))
     print(
         f"  traditional: {traditional.stats.candidates} candidates | "
         f"voronoi: {voronoi.stats.candidates} candidates | "

@@ -20,7 +20,7 @@ Run with::
 import random
 import time
 
-from repro import SpatialDatabase
+from repro import AreaQuery, KnnQuery, SpatialDatabase
 from repro.geometry import Circle, Point
 from repro.core.knn_query import voronoi_knn_query
 from repro.workloads.generators import clustered_points
@@ -40,9 +40,9 @@ def main() -> None:
         f"(disc fills {disc.area / disc.mbr.area:.0%} of its MBR):"
     )
 
-    voronoi = db.area_query(disc, method="voronoi")
-    traditional = db.area_query(disc, method="traditional")
-    assert voronoi.ids == traditional.ids
+    voronoi = db.query(AreaQuery(disc, method="voronoi"))
+    traditional = db.query(AreaQuery(disc, method="traditional"))
+    assert voronoi.ids() == traditional.ids()
     print(f"    {len(voronoi):,} stations found by both methods")
     print(
         f"    voronoi:     {voronoi.stats.candidates:>6,} candidates "
@@ -56,7 +56,7 @@ def main() -> None:
     # --- k nearest neighbours ---------------------------------------------
     print("\n[2] The 10 nearest stations (Voronoi expansion vs R-tree):")
     knn = voronoi_knn_query(db.index, db.backend, db.points, here, 10)
-    rtree_ids = [i for _, i in db.index.k_nearest_neighbors(here, 10)]
+    rtree_ids = db.query(KnnQuery(here, 10, method="index")).ids()
     assert knn.ids == rtree_ids
     for rank, row in enumerate(knn.ids, start=1):
         distance = db.point(row).distance_to(here)

@@ -7,10 +7,10 @@ paper's contribution, an incremental candidate expansion over Voronoi
 neighbours that touches only the points inside the polygon plus a thin
 boundary shell.
 
-Quickstart::
+Queries are declarative spec objects; the database is one entry point::
 
     import random
-    from repro import SpatialDatabase, random_query_polygon
+    from repro import AreaQuery, KnnQuery, SpatialDatabase, random_query_polygon
     from repro.geometry import Point
 
     rng = random.Random(0)
@@ -19,11 +19,14 @@ Quickstart::
     ).prepare()
     area = random_query_polygon(query_size=0.01, rng=rng)
 
-    voronoi = db.area_query(area, method="voronoi")
-    baseline = db.area_query(area, method="traditional")
-    assert voronoi.ids == baseline.ids
+    result = db.query(AreaQuery(area))            # planner-routed ("auto")
+    voronoi = db.query(AreaQuery(area, method="voronoi"))
+    baseline = db.query(AreaQuery(area, method="traditional"))
+    assert voronoi.ids() == baseline.ids()
     print(f"candidates: {voronoi.stats.candidates} (voronoi) "
           f"vs {baseline.stats.candidates} (traditional)")
+    print(result.explain().render())              # the planner's decision
+    nearest = db.query(KnnQuery((0.5, 0.5), 8)).points()
 
 Packages
 --------
@@ -39,10 +42,15 @@ Packages
 ``repro.core``
     The two area-query algorithms, the :class:`SpatialDatabase` facade, and
     per-query statistics.
+``repro.query``
+    The declarative query API: immutable spec objects
+    (:class:`AreaQuery`, :class:`WindowQuery`, :class:`KnnQuery`,
+    :class:`NearestQuery`), the lazy result handle, and exact JSON
+    (de)serialisation of specs.
 ``repro.engine``
-    The serving layer: batch query execution with cross-query sharing, a
-    cost-based planner picking the cheaper method per query
-    (``method="auto"``), and an LRU result cache.
+    The serving layer: heterogeneous batch execution with cross-query
+    sharing, a cost-based planner routing every query kind
+    (``method="auto"``), and a spec-keyed LRU result cache.
 ``repro.workloads``
     Seeded dataset/query generators and the experiment harness regenerating
     every table and figure of the paper.
@@ -67,13 +75,29 @@ from repro.geometry import (
     random_simple_polygon,
     random_star_polygon,
 )
+from repro.query import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    WindowQuery,
+    dump_specs,
+    load_specs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SpatialDatabase",
+    "Query",
+    "AreaQuery",
+    "WindowQuery",
+    "KnnQuery",
+    "NearestQuery",
     "QueryResult",
     "QueryStats",
+    "dump_specs",
+    "load_specs",
     "traditional_area_query",
     "voronoi_area_query",
     "ReproError",

@@ -3,12 +3,17 @@
 Commands
 --------
 ``demo``
-    One-shot demonstration: build a database, run one query with both
+    One-shot demonstration: build a database, run one area spec with both
     methods, print the work-counter comparison.
+``query``
+    Declarative query runner: load specs from a JSON file
+    (``--spec-file``, format of :mod:`repro.query.serialize`), answer
+    them as one heterogeneous batch, print per-spec summaries and,
+    optionally, the planner's ``--explain`` tables.
 ``batch``
-    Batch-engine demonstration: serve a repeated-query trace through
-    :meth:`SpatialDatabase.batch_area_query`, print the planner's
-    ``explain`` for a sample region and the loop-vs-batch throughput table.
+    Batch-engine demonstration: serve a repeated-spec trace through
+    :meth:`SpatialDatabase.query_batch`, print the planner's ``explain``
+    for a sample spec and the loop-vs-batch throughput table.
 ``experiments``
     Forwarders to :mod:`repro.workloads.experiments` (tables/figures of the
     paper); everything after ``experiments`` is passed through, e.g.
@@ -28,7 +33,7 @@ from typing import Optional, Sequence
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import SpatialDatabase, random_query_polygon
+    from repro import AreaQuery, SpatialDatabase, random_query_polygon
     from repro.workloads.generators import uniform_points
 
     n = args.points
@@ -39,9 +44,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     area = random_query_polygon(
         args.query_size, rng=random.Random(args.seed + 1)
     )
-    voronoi = db.area_query(area, method="voronoi")
-    traditional = db.area_query(area, method="traditional")
-    assert voronoi.ids == traditional.ids
+    voronoi = db.query(AreaQuery(area, method="voronoi"))
+    traditional = db.query(AreaQuery(area, method="traditional"))
+    assert voronoi.ids() == traditional.ids()
     print(
         f"query size {args.query_size:.0%}: {len(voronoi)} results\n"
         f"  voronoi:     {voronoi.stats.candidates:>7,} candidates  "
@@ -51,6 +56,49 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"  candidates saved: "
         f"{1 - voronoi.stats.candidates / traditional.stats.candidates:.0%}"
     )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro import SpatialDatabase, load_specs
+    from repro.workloads.generators import uniform_points
+
+    text = pathlib.Path(args.spec_file).read_text(encoding="utf-8")
+    specs = load_specs(text)
+    if not specs:
+        print("spec file holds no specs", file=sys.stderr)
+        return 1
+
+    print(f"Building a database of {args.points:,} uniform points...")
+    db = SpatialDatabase.from_points(
+        uniform_points(args.points, seed=args.seed), backend_kind="scipy"
+    ).prepare()
+
+    batch = db.query_batch(specs)
+    header = f"{'#':>3}  {'spec':<52} {'method':>11} {'rows':>7} {'ms':>8}"
+    print(header)
+    print("-" * len(header))
+    for i, result in enumerate(batch):
+        stats = result.stats
+        description = result.spec.describe()
+        if len(description) > 52:
+            description = description[:49] + "..."
+        print(
+            f"{i:>3}  {description:<52} {stats.method:>11} "
+            f"{stats.result_size:>7,} {stats.time_ms:>8.2f}"
+        )
+    stats = batch.stats
+    print(
+        f"\n{stats.total_queries} specs: {stats.executed} executed, "
+        f"{stats.cache_hits} cache hits, {stats.duplicate_hits} batch "
+        f"duplicates, {stats.time_ms:.1f} ms total"
+    )
+    if args.explain:
+        for i, result in enumerate(batch):
+            print(f"\nexplain #{i}: {result.spec.describe()}")
+            print(result.explain().render())
     return 0
 
 
@@ -70,14 +118,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ).prepare()
 
     probes = make_query_trace(args.query_size, 4, 1, seed=args.seed + 17)
-    model = db.engine.planner.calibrate(probes)
+    model = db.engine.planner.calibrate([spec.region for spec in probes])
     print(
         f"Calibrated cost model: validation {model.validation_cost:.4f} ms, "
         f"node access {model.node_access_cost:.4f} ms"
     )
 
     sample = probes[0]
-    print("\nPlanner decision for a sample region (predicted vs measured):")
+    print("\nPlanner decision for a sample spec (predicted vs measured):")
     print(db.explain(sample, execute=True).render())
 
     def progress(message: str) -> None:
@@ -139,7 +187,11 @@ def _cmd_info() -> int:
     print("reproduction of Li, 'Area Queries Based on Voronoi Diagrams', ICDE 2020")
     print()
     print("packages: repro.geometry  repro.index  repro.delaunay  repro.core")
-    print("          repro.engine    repro.workloads repro.io     repro.viz")
+    print("          repro.query     repro.engine  repro.workloads")
+    print("          repro.io        repro.viz")
+    print()
+    print("query API: db.query(AreaQuery | WindowQuery | KnnQuery | NearestQuery)")
+    print("           db.query_batch([...])  (see docs/QUERY_API.md)")
     print()
     print("experiment index (see DESIGN.md / EXPERIMENTS.md):")
     for artefact, command in [
@@ -151,6 +203,8 @@ def _cmd_info() -> int:
         ("Fig. 7  ", "experiments fig7"),
         ("Fig. 2/3", "figures"),
         ("Batch   ", "batch"),
+        ("Mixed   ", "experiments mixed"),
+        ("Specs   ", "query --spec-file specs.json"),
     ]:
         print(f"  {artefact}  python -m repro {command}")
     return 0
@@ -174,6 +228,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     demo.add_argument("--points", type=int, default=50_000)
     demo.add_argument("--query-size", type=float, default=0.01)
     demo.add_argument("--seed", type=int, default=0)
+
+    query = subparsers.add_parser(
+        "query", help="run declarative specs from a JSON file"
+    )
+    query.add_argument(
+        "--spec-file",
+        required=True,
+        help="JSON array of query specs (see repro.query.serialize)",
+    )
+    query.add_argument("--points", type=int, default=10_000)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the planner's explain table per spec",
+    )
 
     batch = subparsers.add_parser(
         "batch", help="batch engine: planner explain + throughput table"
@@ -202,6 +272,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "batch":
         return _cmd_batch(args)
     if args.command == "figures":

@@ -1,49 +1,72 @@
 """The user-facing spatial database.
 
-:class:`SpatialDatabase` owns the three pieces both query methods share:
+:class:`SpatialDatabase` owns the pieces every query strategy shares:
 
 * the **point table** (row id -> :class:`Point`),
 * a **spatial index** (R-tree by default — the paper's choice for both the
-  window query of the baseline and the NN seed of the Voronoi method), and
+  window query of the baseline and the NN seed of the Voronoi method),
 * a **Voronoi neighbour backend** (built lazily on first use, since the
   traditional method never needs it), and
-* a **batch query engine** (also lazy — see :mod:`repro.engine`) that
-  serves :meth:`SpatialDatabase.batch_area_query`, the cost-based
-  ``method="auto"`` planner, and :meth:`SpatialDatabase.explain`.
+* a **batch query engine** (also lazy — see :mod:`repro.engine`) holding
+  the cost-based planner and the spec-keyed result cache.
 
-Typical use::
+Queries are issued as declarative spec objects (:mod:`repro.query`)
+through the single entry point :meth:`SpatialDatabase.query` (or
+:meth:`SpatialDatabase.query_batch` for heterogeneous batches)::
 
-    from repro import SpatialDatabase, random_query_polygon
+    from repro import SpatialDatabase, AreaQuery, KnnQuery, random_query_polygon
 
     db = SpatialDatabase.from_points(points)
     area = random_query_polygon(query_size=0.01)
-    result = db.area_query(area, method="voronoi")
-    baseline = db.area_query(area, method="traditional")
-    assert result.ids == baseline.ids
-    print(result.stats.candidates, "vs", baseline.stats.candidates)
+    result = db.query(AreaQuery(area))          # planner picks the method
+    print(result.ids(), result.stats.candidates)
+    print(result.explain().render())            # predicted vs measured
+    near = db.query(KnnQuery((0.5, 0.5), 8)).points()
+
+The pre-spec methods (``area_query``, ``window_query``,
+``k_nearest_neighbors``, ...) remain as thin deprecation shims that
+delegate to the spec path and return identical results; see
+``docs/QUERY_API.md`` for the migration table.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.geometry.point import Point
-from repro.geometry.polygon import Polygon
 from repro.geometry.rectangle import Rect
 from repro.geometry.region import QueryRegion
 from repro.index import make_index
 from repro.index.base import SpatialIndex
 from repro.delaunay.backends import DelaunayBackend, make_backend
-from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
+from repro.core.exceptions import EmptyDatabaseError
 from repro.core.stats import QueryResult
-from repro.core.traditional_query import traditional_area_query
-from repro.core.voronoi_query import voronoi_area_query
+from repro.query.result import BatchQueryResults
+from repro.query.result import QueryResult as LazyQueryResult
+from repro.query.spec import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    WindowQuery,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.engine.batch import BatchQueryEngine, BatchResult
     from repro.engine.planner import PlanExplanation
 
 _METHODS = ("traditional", "voronoi", "auto")
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy query method."""
+    warnings.warn(
+        f"SpatialDatabase.{old} is deprecated; use {new} instead "
+        "(see docs/QUERY_API.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class SpatialDatabase:
@@ -198,10 +221,68 @@ class SpatialDatabase:
             self._engine = BatchQueryEngine(self)
         return self._engine
 
+    def query(self, spec: Query) -> LazyQueryResult:
+        """The single entry point: answer any declarative query spec.
+
+        ``spec`` is an :class:`~repro.query.spec.AreaQuery`,
+        :class:`~repro.query.spec.WindowQuery`,
+        :class:`~repro.query.spec.KnnQuery`, or
+        :class:`~repro.query.spec.NearestQuery`.  Returns a **lazy**
+        :class:`~repro.query.result.QueryResult` immediately; execution
+        happens on first consumption (iteration, ``.ids()``,
+        ``.points()``, ``.stats``, ...) and is memoised on the handle.
+        ``spec.method="auto"`` routes through the cost-based planner;
+        ``result.explain()`` shows the decision with predicted (and, once
+        executed, measured) costs.
+        """
+        return LazyQueryResult(self, spec)
+
+    def query_batch(
+        self, specs: Sequence[Query], *, use_cache: bool = True
+    ) -> BatchQueryResults:
+        """Answer a (possibly heterogeneous) batch of query specs.
+
+        Executes eagerly through the batch engine — that is where
+        cross-query sharing lives: Hilbert-ordered tours, shared window
+        frontiers, Voronoi seed reuse, intra-batch dedup, and the
+        spec-keyed LRU result cache (disable with ``use_cache=False``).
+        Returns a :class:`~repro.query.result.BatchQueryResults` of
+        already-executed lazy handles in submission order, id-identical
+        to calling :meth:`query` per spec, plus batch-level
+        :class:`~repro.engine.batch.BatchStats` in ``.stats``.
+        """
+        batch = self.engine.run_specs(specs, use_cache=use_cache)
+        handles = [
+            LazyQueryResult(self, spec, record=record)
+            for spec, record in zip(specs, batch.results)
+        ]
+        return BatchQueryResults(handles, batch.stats)
+
+    def explain(
+        self, target: "Query | QueryRegion", *, execute: bool = False
+    ) -> "PlanExplanation":
+        """The planner's cost breakdown and method choice for ``target``.
+
+        ``target`` is a query spec (any kind) or a bare query region
+        (treated as ``AreaQuery(region)``).  With ``execute=True`` every
+        executable method is also run and its measured costs reported
+        next to the predictions (``EXPLAIN ANALYZE``).
+        """
+        if isinstance(target, Query):
+            return self.engine.planner.explain_spec(target, execute=execute)
+        return self.engine.planner.explain(target, execute=execute)
+
+    # -- deprecated pre-spec query methods ---------------------------------
+
     def area_query(
         self, area: QueryRegion, method: str = "voronoi"
     ) -> QueryResult:
         """All points inside the closed region ``area``.
+
+        .. deprecated:: 1.1
+            Use ``db.query(AreaQuery(area, method=...))`` instead; this
+            shim delegates to the spec path and returns the identical
+            eager record.
 
         ``area`` is any :class:`~repro.geometry.region.QueryRegion` — a
         (possibly concave) :class:`~repro.geometry.polygon.Polygon` as in
@@ -209,25 +290,17 @@ class SpatialDatabase:
         radius-bounded queries.  ``method`` selects the paper's algorithm
         (``"voronoi"``), the filter–refine baseline (``"traditional"``),
         or the cost-based planner's per-query choice between the two
-        (``"auto"``, see :mod:`repro.engine.planner`).  All return
-        identical id lists; they differ in the :class:`QueryStats` they
-        report.
+        (``"auto"``).  All return identical id lists; they differ in the
+        :class:`QueryStats` they report.
         """
+        _warn_deprecated(
+            "area_query(area, method)", "query(AreaQuery(area, method=...))"
+        )
         if method not in _METHODS:
             raise ValueError(
                 f"unknown method {method!r}; choose from {_METHODS}"
             )
-        if not self._points:
-            raise EmptyDatabaseError("area query on an empty database")
-        if area.area <= 0.0:
-            raise InvalidQueryAreaError("query area has zero area")
-        if method == "auto":
-            method = self.engine.planner.choose(area)
-        if method == "traditional":
-            return traditional_area_query(self._index, area)
-        return voronoi_area_query(
-            self._index, self.backend, self._points, area
-        )
+        return self.query(AreaQuery(area, method=method)).record
 
     def batch_area_query(
         self,
@@ -238,62 +311,76 @@ class SpatialDatabase:
     ) -> "BatchResult":
         """Answer many area queries at once (see :mod:`repro.engine.batch`).
 
+        .. deprecated:: 1.1
+            Use ``db.query_batch([AreaQuery(r, method=...) for r in
+            regions])`` instead; this shim delegates to the same engine
+            and returns the identical records.
+
         Returns a :class:`~repro.engine.batch.BatchResult` — a sequence of
         :class:`QueryResult` in submission order, id-identical to looping
         :meth:`area_query`, plus batch-level sharing statistics in
         ``.stats``.  ``method="auto"`` lets the cost-based planner pick
         the cheaper method per query.
         """
+        _warn_deprecated(
+            "batch_area_query(regions, method)",
+            "query_batch([AreaQuery(region, method=...), ...])",
+        )
         return self.engine.batch_area_query(
             regions, method, use_cache=use_cache
         )
 
-    def explain(
-        self, area: QueryRegion, *, execute: bool = False
-    ) -> "PlanExplanation":
-        """The planner's cost breakdown and method choice for ``area``.
-
-        With ``execute=True`` both methods are also run and their measured
-        costs reported next to the predictions (``EXPLAIN ANALYZE``).
-        """
-        return self.engine.planner.explain(area, execute=execute)
-
     def window_query(self, window: Rect) -> List[int]:
-        """Row ids of points inside an axis-aligned rectangle."""
-        return sorted(item_id for _, item_id in self._index.window_query(window))
+        """Row ids of points inside an axis-aligned rectangle (sorted).
+
+        .. deprecated:: 1.1
+            Use ``db.query(WindowQuery(window))`` instead; this shim runs
+            ``WindowQuery(window, method="index")`` — byte-identical to
+            the old direct index call.
+        """
+        _warn_deprecated("window_query(window)", "query(WindowQuery(window))")
+        return self.query(WindowQuery(window, method="index")).ids()
 
     def nearest_neighbor(self, query: Point) -> Optional[int]:
-        """Row id of the closest point to ``query`` (None when empty)."""
-        entry = self._index.nearest_neighbor(query)
-        return entry[1] if entry is not None else None
+        """Row id of the closest point to ``query`` (None when empty).
+
+        .. deprecated:: 1.1
+            Use ``db.query(NearestQuery(query))`` instead.
+        """
+        _warn_deprecated("nearest_neighbor(query)", "query(NearestQuery(query))")
+        ids = self.query(NearestQuery(query)).ids()
+        return ids[0] if ids else None
 
     def k_nearest_neighbors(
         self, query: Point, k: int, method: str = "index"
     ) -> List[int]:
         """Row ids of the ``k`` closest points, nearest first.
 
+        .. deprecated:: 1.1
+            Use ``db.query(KnnQuery(query, k, method=...))`` instead.
+
         ``method="index"`` runs the best-first search of the spatial index;
         ``method="voronoi"`` runs the incremental expansion over the Voronoi
         neighbour graph (see :mod:`repro.core.knn_query`) — same results,
         different access pattern.
         """
-        if method == "index":
-            return [
-                item_id
-                for _, item_id in self._index.k_nearest_neighbors(query, k)
-            ]
-        if method == "voronoi":
-            from repro.core.knn_query import voronoi_knn_query
-
-            return voronoi_knn_query(
-                self._index, self.backend, self._points, query, k
-            ).ids
-        raise ValueError(
-            f"unknown method {method!r}; choose 'index' or 'voronoi'"
+        _warn_deprecated(
+            "k_nearest_neighbors(query, k, method)",
+            "query(KnnQuery(query, k, method=...))",
         )
+        if method not in ("index", "voronoi"):
+            raise ValueError(
+                f"unknown method {method!r}; choose 'index' or 'voronoi'"
+            )
+        return self.query(KnnQuery(query, k, method=method)).ids()
 
     def voronoi_neighbors(self, row_id: int) -> Tuple[int, ...]:
-        """Row ids of the Voronoi neighbours of ``row_id``."""
+        """Row ids of the Voronoi neighbours of ``row_id``.
+
+        Not a query in the spec sense — it exposes the database's Voronoi
+        adjacency *structure* (Algorithm 1's substrate) and therefore has
+        no deprecation shim.
+        """
         return self.backend.neighbors(row_id)
 
     # -- maintenance ---------------------------------------------------------

@@ -36,28 +36,34 @@ def voronoi_knn_query(
     points: List[Point],
     query: Point,
     k: int,
+    *,
+    seed_id: int | None = None,
 ) -> QueryResult:
     """The ``k`` nearest rows to ``query``, nearest first.
 
     Parameters mirror :func:`repro.core.voronoi_query.voronoi_area_query`:
     the spatial index supplies only the seed 1-NN; all further expansion is
-    over the Voronoi neighbour graph.
+    over the Voronoi neighbour graph.  ``seed_id`` optionally injects an
+    already-known seed — it **must** be the row id of the nearest point to
+    ``query`` (the batch engine guarantees this by walking the Delaunay
+    neighbour graph) — in which case the index NN search is skipped.
 
     Returns a :class:`QueryResult` whose ``ids`` are ordered by distance
     (ties broken by row id) — note this differs from the area query, whose
     ids are sorted ascending.  ``stats.candidates`` counts every point
     whose distance was evaluated.
     """
-    stats = QueryStats(method="voronoi-knn")
+    stats = QueryStats(method="voronoi")
     started = time.perf_counter()
     if k <= 0 or not points:
         stats.time_ms = (time.perf_counter() - started) * 1000.0
         return QueryResult(ids=[], stats=stats)
 
     nodes_before = index.stats.node_accesses
-    seed_entry = index.nearest_neighbor(query)
-    assert seed_entry is not None  # points is non-empty
-    _, seed_id = seed_entry
+    if seed_id is None:
+        seed_entry = index.nearest_neighbor(query)
+        assert seed_entry is not None  # points is non-empty
+        _, seed_id = seed_entry
 
     neighbor_table = backend.neighbor_table()
     visited = bytearray(len(points))

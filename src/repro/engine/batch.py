@@ -1,34 +1,36 @@
-"""The batch area-query engine.
+"""The batch query engine: heterogeneous spec batches with sharing.
 
-Serving area queries one at a time repeats three pieces of work that a
-batch can share:
+Serving queries one at a time repeats work that a batch can share:
 
-1. **Index descent** — every traditional query descends the R-tree from the
-   root for its window.  Batched, queries are visited in Hilbert order
+1. **Index descent** — every traditional/window query descends the R-tree
+   from the root.  Batched, specs are visited in Hilbert order
    (:mod:`repro.engine.order`) and *overlapping* windows are grouped: one
    window query over the group's union MBR feeds every member, which then
    only re-filters by its own MBR and refines.
-2. **Voronoi seeding** — every Voronoi query runs an index NN search for
-   its seed.  Batched, the seed of the previous (spatially adjacent) query
-   is *walked* to the new query's interior position over the Voronoi
-   neighbour graph.  On a Delaunay graph the steepest-descent walk provably
-   terminates at the true nearest neighbour — if a vertex ``v`` is not the
-   NN of target ``q``, the neighbour ``u`` whose cell the segment ``v->q``
-   enters satisfies ``|uq| <= |ux| + |xq| = |vx| + |xq| = |vq|`` (``x`` the
-   crossing point), with equality impossible for a distinct site — so the
-   seed is exactly the one the index search would have produced, at the
-   cost of a few graph hops instead of a root-to-leaf descent.
-3. **The query itself** — repeated regions (hot tiles, dashboards) are
-   served from an LRU :class:`~repro.engine.cache.ResultCache`, and exact
-   duplicates *within* one batch are computed once.
+2. **Voronoi seeding** — every Voronoi execution (area, window, or kNN)
+   runs an index NN search for its seed.  Batched, the seed of the
+   previous (spatially adjacent) query is *walked* to the new query's
+   position over the Voronoi neighbour graph.  On a Delaunay graph the
+   steepest-descent walk provably terminates at the true nearest
+   neighbour — if a vertex ``v`` is not the NN of target ``q``, the
+   neighbour ``u`` whose cell the segment ``v->q`` enters satisfies
+   ``|uq| <= |ux| + |xq| = |vx| + |xq| = |vq|`` (``x`` the crossing
+   point), with equality impossible for a distinct site — so the seed is
+   exactly the one the index search would have produced, at the cost of a
+   few graph hops instead of a root-to-leaf descent.
+3. **The query itself** — repeated specs (hot tiles, dashboards) are
+   served from an LRU :class:`~repro.engine.cache.ResultCache` keyed by
+   the spec objects themselves (see :meth:`repro.query.spec.Query.cache_key`),
+   and exact duplicates *within* one batch are computed once.
 
-``method="auto"`` additionally routes every query through the
-:class:`~repro.engine.planner.QueryPlanner`, so each region runs the
-method the cost model predicts cheaper.
-
-Results are returned in submission order and are id-identical to calling
-:meth:`SpatialDatabase.area_query <repro.core.database.SpatialDatabase.area_query>`
-in a loop (both methods return the same id sets — the paper's theorem —
+:meth:`BatchQueryEngine.run_specs` accepts any mix of
+:class:`~repro.query.spec.AreaQuery`, :class:`~repro.query.spec.WindowQuery`,
+:class:`~repro.query.spec.KnnQuery`, and
+:class:`~repro.query.spec.NearestQuery`; specs are grouped by their
+planner-resolved execution strategy *after* the Hilbert tour, so each
+sharing mechanism sees a spatially coherent sub-tour.  Results are
+returned in submission order and are id-identical to executing each spec
+alone (both area methods return the same id sets — the paper's theorem —
 so this holds for any mix of planned methods).
 """
 
@@ -41,12 +43,20 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
 from repro.core.stats import QueryResult, QueryStats
-from repro.core.traditional_query import traditional_area_query
 from repro.core.voronoi_query import voronoi_area_query
-from repro.engine.cache import DEFAULT_CAPACITY, ResultCache, region_fingerprint
+from repro.engine.cache import DEFAULT_CAPACITY, ResultCache
 from repro.engine.order import locality_order
 from repro.engine.planner import QueryPlanner
+from repro.geometry.polygon import Polygon
 from repro.geometry.region import QueryRegion, interior_seed_position
+from repro.query.executor import execute_spec, finalize_record, resolve_method
+from repro.query.spec import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    WindowQuery,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.database import SpatialDatabase
@@ -68,20 +78,22 @@ DEFAULT_WINDOW_SLACK = 1.2
 
 @dataclass
 class BatchStats:
-    """Work accounting for one :meth:`BatchQueryEngine.batch_area_query`."""
+    """Work accounting for one :meth:`BatchQueryEngine.run_specs`."""
 
     total_queries: int = 0
     #: served from the cross-batch LRU result cache
     cache_hits: int = 0
-    #: duplicates of an earlier region in the *same* batch (computed once)
+    #: duplicates of an earlier spec in the *same* batch (computed once)
     duplicate_hits: int = 0
-    #: queries actually executed against the database
+    #: specs actually executed against the database
     executed: int = 0
-    #: executed queries per method (planner decisions under ``auto``)
+    #: executed specs per concrete method (planner decisions under ``auto``)
     method_counts: Dict[str, int] = field(default_factory=dict)
+    #: executed specs per query kind (area/window/knn/nearest)
+    kind_counts: Dict[str, int] = field(default_factory=dict)
     #: window groups of size >= 2 that shared one index traversal
     shared_window_groups: int = 0
-    #: traditional queries served from a shared group frontier
+    #: frontier-strategy specs served from a shared group traversal
     shared_window_queries: int = 0
     #: Voronoi seeds obtained by graph walk (index NN search skipped)
     seed_walk_reuses: int = 0
@@ -93,11 +105,13 @@ class BatchStats:
 
 @dataclass
 class BatchResult(Sequence[QueryResult]):
-    """Per-query results (submission order) plus batch-level accounting.
+    """Per-query records (submission order) plus batch-level accounting.
 
     Behaves as a sequence of :class:`~repro.core.stats.QueryResult`, so
     existing code written against ``[db.area_query(a) for a in areas]``
-    works unchanged.
+    works unchanged.  (:meth:`SpatialDatabase.query_batch
+    <repro.core.database.SpatialDatabase.query_batch>` wraps these
+    records into lazy handles instead.)
     """
 
     results: List[QueryResult]
@@ -146,20 +160,32 @@ def greedy_seed_walk(
     return None
 
 
+def _execution_region(spec: Query) -> QueryRegion:
+    """The region a Voronoi expansion runs over for ``spec``.
+
+    Area specs expand over their own region; window specs over the
+    rectangle-as-polygon (a :class:`Rect` lacks the boundary-crossing
+    operations Algorithm 1 needs).
+    """
+    if isinstance(spec, WindowQuery):
+        return Polygon.from_rect(spec.rect)
+    return spec.region  # type: ignore[attr-defined]
+
+
 class BatchQueryEngine:
-    """Executes batches of area queries with cross-query sharing.
+    """Executes batches of query specs with cross-query sharing.
 
     Parameters
     ----------
     database:
         The owning :class:`~repro.core.database.SpatialDatabase`.
     cache_capacity:
-        LRU result-cache size in distinct regions (``0`` disables caching).
+        LRU result-cache size in distinct specs (``0`` disables caching).
     planner:
         Cost-based planner used for ``method="auto"`` (default: a fresh
         :class:`~repro.engine.planner.QueryPlanner` over ``database``).
     window_slack:
-        Union-MBR slack for traditional window grouping
+        Union-MBR slack for shared window grouping
         (:data:`DEFAULT_WINDOW_SLACK`).
     """
 
@@ -180,42 +206,39 @@ class BatchQueryEngine:
 
     # -- public API --------------------------------------------------------
 
-    def batch_area_query(
-        self,
-        regions: Sequence[QueryRegion],
-        method: str = "auto",
-        *,
-        use_cache: bool = True,
+    def run_specs(
+        self, specs: Sequence[Query], *, use_cache: bool = True
     ) -> BatchResult:
-        """Answer every region in ``regions``; results in submission order.
+        """Answer every spec in ``specs``; records in submission order.
 
-        ``method`` is ``"traditional"``, ``"voronoi"``, or ``"auto"``
-        (planner decides per query).  Result id lists are identical to
-        running :meth:`SpatialDatabase.area_query` per region.
+        Accepts a heterogeneous mix of query kinds.  Id lists are
+        identical to executing each spec alone via
+        :func:`repro.query.executor.execute_spec`.
         """
-        if method not in BATCH_METHODS:
-            raise ValueError(
-                f"unknown method {method!r}; choose from {BATCH_METHODS}"
-            )
-        regions = list(regions)
-        if not len(self._db):
-            raise EmptyDatabaseError("batch area query on an empty database")
-        for region in regions:
-            if region.area <= 0.0:
-                raise InvalidQueryAreaError("query area has zero area")
+        specs = list(specs)
+        db = self._db
+        for spec in specs:
+            if not isinstance(spec, Query):
+                raise TypeError(f"not a query spec: {spec!r}")
+            if isinstance(spec, AreaQuery):
+                if not len(db):
+                    raise EmptyDatabaseError("area query on an empty database")
+                if spec.region.area <= 0.0:
+                    raise InvalidQueryAreaError("query area has zero area")
 
         started = time.perf_counter()
-        stats = BatchStats(total_queries=len(regions))
-        results: List[Optional[QueryResult]] = [None] * len(regions)
-        version = self._db.version
+        stats = BatchStats(total_queries=len(specs))
+        results: List[Optional[QueryResult]] = [None] * len(specs)
+        version = db.version
 
-        # 1. Cache probe + intra-batch dedup.
+        # 1. Cache probe + intra-batch dedup, both keyed by the
+        #    (method/projection-normalised) spec objects themselves.
         pending: List[int] = []
         aliases: Dict[int, List[int]] = {}
-        first_seen: Dict[Tuple, int] = {}
-        fingerprints = [region_fingerprint(region) for region in regions]
-        for i, key in enumerate(fingerprints):
-            if key is None:  # uncacheable region type: always execute
+        first_seen: Dict[Query, int] = {}
+        keys = [spec.cache_key() for spec in specs]
+        for i, key in enumerate(keys):
+            if key is None:  # uncacheable spec (predicate): always execute
                 aliases[i] = []
                 pending.append(i)
                 continue
@@ -235,59 +258,108 @@ class BatchQueryEngine:
             pending.append(i)
         stats.executed = len(pending)
 
-        # 2. Plan the method per pending query.
-        if method == "auto":
-            choices = {i: self.planner.choose(regions[i]) for i in pending}
-        else:
-            choices = {i: method for i in pending}
-        for choice in choices.values():
+        # 2. Resolve the concrete method per pending spec (planner on auto).
+        choices = {i: resolve_method(db, specs[i]) for i in pending}
+        for i in pending:
+            choice = choices[i]
+            kind = specs[i].kind
             stats.method_counts[choice] = (
                 stats.method_counts.get(choice, 0) + 1
             )
+            stats.kind_counts[kind] = stats.kind_counts.get(kind, 0) + 1
 
-        # 3. Hilbert tour over the pending queries, split by method.
-        pending_regions = [regions[i] for i in pending]
-        tour = [pending[j] for j in locality_order(pending_regions)]
-        traditional_tour = [i for i in tour if choices[i] == "traditional"]
-        voronoi_tour = [i for i in tour if choices[i] == "voronoi"]
+        # 3. Hilbert tour over the pending specs, split by execution
+        #    strategy (each sharing mechanism gets a coherent sub-tour).
+        anchors = [specs[i].anchor() for i in pending]
+        tour = [pending[j] for j in locality_order(anchors)]
+        frontier_tour: List[int] = []
+        voronoi_tour: List[int] = []
+        point_tour: List[int] = []
+        for i in tour:
+            spec = specs[i]
+            if isinstance(spec, (KnnQuery, NearestQuery)):
+                point_tour.append(i)
+            elif choices[i] == "voronoi":
+                voronoi_tour.append(i)
+            else:  # area/traditional or window/index
+                frontier_tour.append(i)
 
-        self._run_traditional(regions, traditional_tour, results, stats)
-        self._run_voronoi(regions, voronoi_tour, results, stats)
+        self._run_window_frontier(specs, frontier_tour, choices, results, stats)
+        self._run_voronoi(specs, voronoi_tour, results, stats)
+        self._run_point_queries(specs, point_tour, choices, results, stats)
 
-        # 4. Fill duplicates and populate the cache.
+        # 4. Fill duplicates and populate the cache.  Every execution path
+        #    above returns finalized records (spec options applied once).
         for i in pending:
-            result = results[i]
-            assert result is not None
-            if use_cache and fingerprints[i] is not None:
-                self.cache.put(fingerprints[i], version, result)
+            record = results[i]
+            assert record is not None
+            if use_cache and keys[i] is not None:
+                self.cache.put(keys[i], version, record)
             for j in aliases[i]:
                 results[j] = QueryResult(
-                    ids=list(result.ids), stats=replace(result.stats)
+                    ids=list(record.ids), stats=replace(record.stats)
                 )
 
         stats.time_ms = (time.perf_counter() - started) * 1000.0
         self.last_batch_stats = stats
         return BatchResult(results=list(results), stats=stats)  # type: ignore[arg-type]
 
-    def explain(self, region: QueryRegion, *, execute: bool = False):
-        """Forward to :meth:`QueryPlanner.explain` (convenience)."""
-        return self.planner.explain(region, execute=execute)
-
-    # -- traditional: shared window frontier -------------------------------
-
-    def _run_traditional(
+    def batch_area_query(
         self,
         regions: Sequence[QueryRegion],
+        method: str = "auto",
+        *,
+        use_cache: bool = True,
+    ) -> BatchResult:
+        """Answer many area queries at once (region-sequence convenience).
+
+        The legacy surface of :meth:`run_specs`: wraps every region in an
+        :class:`~repro.query.spec.AreaQuery` with the given ``method``
+        (``"traditional"``, ``"voronoi"``, or ``"auto"``).  Result id
+        lists are identical to running each region alone.
+        """
+        if method not in BATCH_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; choose from {BATCH_METHODS}"
+            )
+        regions = list(regions)
+        if not len(self._db):
+            raise EmptyDatabaseError("batch area query on an empty database")
+        for region in regions:
+            if region.area <= 0.0:
+                raise InvalidQueryAreaError("query area has zero area")
+        return self.run_specs(
+            [AreaQuery(region, method=method) for region in regions],
+            use_cache=use_cache,
+        )
+
+    def explain(self, spec_or_region, *, execute: bool = False):
+        """Forward to the planner's explain (spec or bare region)."""
+        if isinstance(spec_or_region, Query):
+            return self.planner.explain_spec(spec_or_region, execute=execute)
+        return self.planner.explain(spec_or_region, execute=execute)
+
+    # -- traditional/index: shared window frontier --------------------------
+
+    def _run_window_frontier(
+        self,
+        specs: Sequence[Query],
         tour: List[int],
+        choices: Dict[int, str],
         results: List[Optional[QueryResult]],
         stats: BatchStats,
     ) -> None:
-        """Run ``tour`` (Hilbert-ordered indices) with grouped windows."""
+        """Run ``tour`` (Hilbert-ordered indices) with grouped windows.
+
+        Members are area specs executing traditionally (window = region
+        MBR, refine = point-in-region) and window specs executing on the
+        index (window = the rect itself, refine = rect containment).
+        """
         group: List[int] = []
         union = None
         max_member_area = 0.0
         for i in tour:
-            mbr = regions[i].mbr
+            mbr = specs[i].anchor()
             if not group:
                 group, union, max_member_area = [i], mbr, mbr.area
                 continue
@@ -299,17 +371,22 @@ class BatchQueryEngine:
                 union = candidate_union
                 max_member_area = max(max_member_area, mbr.area)
             else:
-                self._flush_window_group(group, union, results, regions, stats)
+                self._flush_window_group(
+                    group, union, specs, choices, results, stats
+                )
                 group, union, max_member_area = [i], mbr, mbr.area
         if group:
-            self._flush_window_group(group, union, results, regions, stats)
+            self._flush_window_group(
+                group, union, specs, choices, results, stats
+            )
 
     def _flush_window_group(
         self,
         group: List[int],
         union,
+        specs: Sequence[Query],
+        choices: Dict[int, str],
         results: List[Optional[QueryResult]],
-        regions: Sequence[QueryRegion],
         stats: BatchStats,
     ) -> None:
         """One index traversal for the whole group, then per-member refine.
@@ -317,29 +394,39 @@ class BatchQueryEngine:
         The shared descent's node accesses are attributed to the group's
         first member (splitting them would fabricate fractional counters).
         """
-        index = self._db.index
+        db = self._db
         if len(group) == 1:
             i = group[0]
-            results[i] = traditional_area_query(index, regions[i])
+            # execute_spec finalizes (applies predicate/limit) itself.
+            results[i] = execute_spec(db, specs[i], method=choices[i])
             return
         stats.shared_window_groups += 1
         stats.shared_window_queries += len(group)
+        index = db.index
         nodes_before = index.stats.node_accesses
         group_started = time.perf_counter()
         entries = index.window_query(union)
         shared_nodes = index.stats.node_accesses - nodes_before
         shared_ms = (time.perf_counter() - group_started) * 1000.0
         for position, i in enumerate(group):
-            region = regions[i]
-            mbr = region.mbr
-            refine = region.contains_point
-            member_stats = QueryStats(method="traditional")
+            spec = specs[i]
+            if isinstance(spec, AreaQuery):
+                mbr = spec.region.mbr
+                refine = spec.region.contains_point
+                member_stats = QueryStats(method="traditional")
+            else:  # WindowQuery on the index: MBR filter is the query
+                mbr = spec.rect
+                refine = None
+                member_stats = QueryStats(method="index")
             member_started = time.perf_counter()
             ids: List[int] = []
             for point, item_id in entries:
                 if not mbr.contains_point(point):
                     continue
                 member_stats.candidates += 1
+                if refine is None:
+                    ids.append(item_id)
+                    continue
                 member_stats.validations += 1
                 if refine(point):
                     ids.append(item_id)
@@ -353,13 +440,15 @@ class BatchQueryEngine:
                 member_stats.time_ms += shared_ms
             member_stats.result_size = len(ids)
             ids.sort()
-            results[i] = QueryResult(ids=ids, stats=member_stats)
+            results[i] = finalize_record(
+                db, spec, QueryResult(ids=ids, stats=member_stats)
+            )
 
-    # -- voronoi: seed reuse along the tour --------------------------------
+    # -- voronoi regions: seed reuse along the tour -------------------------
 
     def _run_voronoi(
         self,
-        regions: Sequence[QueryRegion],
+        specs: Sequence[Query],
         tour: List[int],
         results: List[Optional[QueryResult]],
         stats: BatchStats,
@@ -374,7 +463,7 @@ class BatchQueryEngine:
         max_hops = 64 + int(4.0 * math.sqrt(len(points)))
         previous_seed: Optional[int] = None
         for i in tour:
-            region = regions[i]
+            region = _execution_region(specs[i])
             # Seeding work (walk or fallback NN descent) is charged to this
             # query's stats below, so batch and loop counters stay
             # comparable — same invariant _flush_window_group keeps for the
@@ -412,5 +501,67 @@ class BatchQueryEngine:
             )
             result.stats.index_node_accesses += seeding_nodes
             result.stats.time_ms += seeding_ms
-            results[i] = result
+            results[i] = finalize_record(db, specs[i], result)
             previous_seed = seed_id
+
+    # -- point queries: kNN / nearest along the tour ------------------------
+
+    def _run_point_queries(
+        self,
+        specs: Sequence[Query],
+        tour: List[int],
+        choices: Dict[int, str],
+        results: List[Optional[QueryResult]],
+        stats: BatchStats,
+    ) -> None:
+        """Run kNN/nearest specs; Voronoi kNN reuses seeds along the tour.
+
+        Index-method point queries are a plain loop — a best-first descent
+        has no frontier worth sharing — but Voronoi kNN executions chain
+        exactly like area queries: the previous seed is walked to the next
+        query position, replacing the index NN descent.
+        """
+        if not tour:
+            return
+        db = self._db
+        previous_seed: Optional[int] = None
+        neighbor_table = None
+        max_hops = 0
+        for i in tour:
+            spec = specs[i]
+            use_walk = (
+                isinstance(spec, KnnQuery)
+                and choices[i] == "voronoi"
+                and len(db) > 0
+                and spec.k > 0
+            )
+            seed_id: Optional[int] = None
+            if use_walk and previous_seed is not None:
+                if neighbor_table is None:
+                    neighbor_table = db.backend.neighbor_table()
+                    max_hops = 64 + int(4.0 * math.sqrt(len(db.points)))
+                seed_id = greedy_seed_walk(
+                    neighbor_table,
+                    db.points,
+                    previous_seed,
+                    spec.point.x,
+                    spec.point.y,
+                    max_hops,
+                )
+                if seed_id is not None:
+                    stats.seed_walk_reuses += 1
+            if use_walk and seed_id is None:
+                stats.seed_index_lookups += 1
+            record = execute_spec(
+                db, spec, method=choices[i], seed_id=seed_id
+            )
+            results[i] = record
+            if use_walk:
+                # The walk target is the spec's own query position, so the
+                # stopping vertex (or the first result, which is the NN for
+                # unfiltered kNN) anchors the next walk.
+                previous_seed = (
+                    seed_id
+                    if seed_id is not None
+                    else (record.ids[0] if record.ids else previous_seed)
+                )

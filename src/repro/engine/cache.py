@@ -1,17 +1,28 @@
-"""LRU result cache keyed by query-region fingerprint.
+"""LRU result cache keyed by query-spec objects.
 
-Production area-query traffic repeats itself: hot map tiles, popular
-geofences, dashboards re-issuing the same polygon every refresh.  The batch
-engine therefore memoises :class:`~repro.core.stats.QueryResult` objects
-behind a *region fingerprint* — a hashable, exact summary of the query
-geometry — so a repeated region costs a dictionary lookup instead of an
-index traversal plus refinement pass.
+Production query traffic repeats itself: hot map tiles, popular
+geofences, dashboards re-issuing the same polygon every refresh.  The
+batch engine therefore memoises :class:`~repro.core.stats.QueryResult`
+records behind the *spec objects themselves*:
+:meth:`repro.query.spec.Query.cache_key` returns the spec normalised for
+caching (execution method and projection stripped — they never change
+the result rows) or ``None`` for uncacheable specs (those carrying a
+``predicate`` closure).  Specs are frozen, hashable dataclasses whose
+equality delegates to their geometry's value equality
+(:class:`~repro.geometry.polygon.Polygon` compares vertex rings,
+:class:`~repro.geometry.circle.Circle` centre and radius), so equal keys
+imply identical geometry and therefore identical results.  A custom
+:class:`~repro.geometry.region.QueryRegion` without value hashing falls
+back to identity semantics: only a query holding the *same object* can
+hit its entry (mutating such an object in place after querying is
+undefined, exactly as for any dict key).
 
 Correctness guarantees:
 
 * **Method-independence** — the paper's central theorem is that both query
   methods return the same id set for the same region, so a cached result
-  may be served regardless of which method would have produced it.
+  may be served regardless of which method would have produced it (the
+  cache key normalises the method away for precisely this reason).
 * **Invalidation** — every entry is stamped with the database *version*
   (bumped by :meth:`~repro.core.database.SpatialDatabase.insert` /
   ``extend``); a stale stamp is treated as a miss and the entry dropped.
@@ -19,14 +30,14 @@ Correctness guarantees:
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Hashable, Optional, Tuple
 
 from repro.core.stats import QueryResult
-from repro.geometry.region import QueryRegion
 
-#: Default number of distinct regions remembered by the engine's cache.
+#: Default number of distinct specs remembered by the engine's cache.
 #: Note the bound is an *entry count*, not bytes: each entry retains its
 #: full result id list, so workloads whose queries return very large
 #: results (e.g. 30 %-of-space queries over paper-scale databases) should
@@ -34,18 +45,23 @@ from repro.geometry.region import QueryRegion
 DEFAULT_CAPACITY = 256
 
 
-def region_fingerprint(region: QueryRegion) -> Optional[Tuple]:
+def region_fingerprint(region) -> Optional[Tuple]:
     """A hashable, exact identity for a query region's geometry.
 
-    Polygons fingerprint as their vertex tuple, circles as centre and
-    radius — in both cases equal fingerprints imply identical geometry,
-    so equal fingerprints answer every area query identically.  Any other
-    :class:`QueryRegion` implementation returns ``None`` (*uncacheable*):
-    the protocol exposes no attribute set that determines an arbitrary
-    region's geometry exactly, and a near-miss fingerprint would let the
-    cache serve one region's ids for a different region.  Callers must
-    treat ``None`` as "always execute, never store".
+    .. deprecated:: 1.1
+        The engine now caches by the spec objects themselves
+        (:meth:`repro.query.spec.Query.cache_key`); nothing in the
+        library calls this any more.  Kept one release as a shim for
+        external callers: polygons fingerprint as their vertex tuple,
+        circles as centre and radius, anything else as ``None``
+        (uncacheable), exactly as in 1.0.
     """
+    warnings.warn(
+        "region_fingerprint is deprecated; cache keys are now the spec "
+        "objects themselves (Query.cache_key), see docs/QUERY_API.md",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     vertices = getattr(region, "vertices", None)
     if vertices is not None:
         return ("polygon", tuple((p.x, p.y) for p in vertices))

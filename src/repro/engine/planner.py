@@ -1,7 +1,7 @@
-"""Cost-based query planning: choose the cheaper area-query method per query.
+"""Cost-based query planning for every query kind.
 
-The paper's two methods have complementary cost profiles (its Section IV,
-and our ``benchmarks/bench_ablation_iocost.py``):
+The paper's two area-query methods have complementary cost profiles (its
+Section IV, and our ``benchmarks/bench_ablation_iocost.py``):
 
 * the **traditional** filter–refine baseline pays one index *window* query
   plus one refinement per point in the query MBR — cost grows with
@@ -13,14 +13,20 @@ and our ``benchmarks/bench_ablation_iocost.py``):
   punished by skinny high-perimeter polygons over sparse data, where the
   boundary shell dwarfs the interior.
 
+The same trade-off recurs for the other query kinds: a **window** query
+can run natively on the index or as a Voronoi expansion over the
+rectangle-as-polygon, and a **kNN** query can descend the index
+best-first or expand incrementally over the Voronoi neighbour graph
+(cost ~``6k`` neighbour inspections, independent of the database size).
+
 :class:`QueryPlanner` turns those formulas into per-query I/O estimates
 (validations as record fetches, index node accesses as page reads — the
 counters of :mod:`repro.core.stats`), weighs them with a
-:class:`CostModel`, and picks the cheaper method.  ``method="auto"`` on
-:meth:`SpatialDatabase.area_query <repro.core.database.SpatialDatabase.area_query>`
-and the batch engine route through it, and :meth:`QueryPlanner.explain`
-exposes the whole decision — predicted and, optionally, measured costs —
-for inspection.
+:class:`CostModel`, and picks the cheapest method.  Every
+``method="auto"`` spec routes through :meth:`QueryPlanner.plan`, and
+:meth:`QueryPlanner.explain_spec` (or ``.explain()`` on a lazy
+:class:`~repro.query.result.QueryResult`) exposes the whole decision —
+predicted and, optionally, measured costs.
 """
 
 from __future__ import annotations
@@ -32,11 +38,19 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from repro.core.stats import QueryStats
 from repro.geometry.rectangle import Rect
 from repro.geometry.region import QueryRegion
+from repro.query.spec import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    WindowQuery,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.database import SpatialDatabase
 
-#: The two executable methods, in the order estimates are reported.
+#: The two executable area-query methods, in the order estimates are
+#: reported (window and kNN kinds report ``"index"``/``"voronoi"``).
 PLANNABLE_METHODS = ("traditional", "voronoi")
 
 
@@ -111,21 +125,31 @@ class PlanExplanation:
         return measured_winner == self.chosen
 
     def render(self) -> str:
-        """A small aligned table (used by ``python -m repro batch``)."""
+        """A small aligned table (used by ``python -m repro batch``).
+
+        Rows come from whatever methods the spec's kind can execute
+        (``traditional``/``voronoi`` for areas, ``index``/``voronoi``
+        for windows and kNN, ``index`` alone for 1-NN); measured columns
+        appear for the methods that have actually run.
+        """
         lines = [
             f"{'method':>12} | {'est. valid.':>11} {'est. nodes':>10} "
             f"{'est. cost':>10}"
             + ("" if not self.actual_costs else f" | {'meas. cost':>10}")
         ]
-        for method in PLANNABLE_METHODS:
-            estimate = self.estimates[method]
+        for method, estimate in self.estimates.items():
             marker = "*" if method == self.chosen else " "
             line = (
                 f"{marker}{method:>11} | {estimate.validations:>11.1f} "
                 f"{estimate.node_accesses:>10.1f} {estimate.cost:>10.2f}"
             )
             if self.actual_costs:
-                line += f" | {self.actual_costs[method]:>10.2f}"
+                measured = self.actual_costs.get(method)
+                line += (
+                    f" | {measured:>10.2f}"
+                    if measured is not None
+                    else f" | {'-':>10}"
+                )
             lines.append(line)
         return "\n".join(lines)
 
@@ -242,15 +266,151 @@ class QueryPlanner:
 
         With ``execute=True`` both methods are actually run and their
         measured stats/costs recorded next to the predictions — the
-        ``EXPLAIN ANALYZE`` of this engine.
+        ``EXPLAIN ANALYZE`` of this engine.  Equivalent to
+        :meth:`explain_spec` on ``AreaQuery(region)``.
         """
-        estimates = self.estimate(region)
+        return self.explain_spec(AreaQuery(region), execute=execute)
+
+    # -- spec-level planning (all query kinds) ------------------------------
+
+    def estimate_spec(self, spec: Query) -> Dict[str, CostEstimate]:
+        """Predicted :class:`CostEstimate` per executable method of ``spec``.
+
+        Keys are the concrete methods of the spec's kind (``"auto"`` never
+        appears); insertion order is the reporting order of
+        :meth:`PlanExplanation.render` and the tie-break order of
+        :meth:`plan`.
+        """
+        if isinstance(spec, AreaQuery):
+            return self.estimate(spec.region)
+        if isinstance(spec, WindowQuery):
+            return self._estimate_window(spec.rect)
+        if isinstance(spec, KnnQuery):
+            return self._estimate_knn(spec)
+        if isinstance(spec, NearestQuery):
+            return {"index": self._estimate_point_descent("index", 1.0)}
+        raise TypeError(f"not a query spec: {spec!r}")
+
+    def _estimate_window(self, window: Rect) -> Dict[str, CostEstimate]:
+        """Window estimates: native index query vs Voronoi expansion.
+
+        Reuses :meth:`estimate` — a :class:`Rect` exposes the same
+        ``mbr``/``area``/``perimeter`` surface the area formulas read, and
+        for a rectangle the MBR *is* the region, so the traditional
+        estimate degenerates to the native index path with *free*
+        refinement (rectangle containment is two comparisons, not a
+        point-in-polygon walk) and the Voronoi estimate is exactly the
+        expansion over the rectangle-as-polygon.
+        """
+        base = self.estimate(window)
+        traditional = base["traditional"]
+        index = CostEstimate(
+            method="index",
+            validations=0.0,
+            node_accesses=traditional.node_accesses,
+            segment_tests=0.0,
+            cost=self.model.node_access_cost * traditional.node_accesses,
+        )
+        return {"index": index, "voronoi": base["voronoi"]}
+
+    def _estimate_point_descent(
+        self, method: str, k: float
+    ) -> CostEstimate:
+        """Cost of a best-first index descent returning ``k`` entries."""
+        fanout = self._fanout()
+        depth = self._depth()
+        # One root-to-leaf descent plus ~2 extra leaves per fanout-full
+        # page of results; each visited leaf scores its entries.
+        nodes = depth + 2.0 * (k / fanout)
+        validations = fanout * depth + k
+        return CostEstimate(
+            method=method,
+            validations=validations,
+            node_accesses=nodes,
+            segment_tests=0.0,
+            cost=(
+                self.model.validation_cost * validations
+                + self.model.node_access_cost * nodes
+            ),
+        )
+
+    def _estimate_knn(self, spec: KnnQuery) -> Dict[str, CostEstimate]:
+        """kNN estimates: best-first index descent vs Voronoi expansion.
+
+        The Voronoi expansion pays one index NN descent for the seed and
+        then ~6 neighbour distance evaluations per confirmed result
+        (average Voronoi degree), independent of the database size — it
+        wins for small ``k``; the index path amortises better as ``k``
+        approaches a leaf-page multiple.
+        """
+        k = float(max(0, spec.k))
+        index = self._estimate_point_descent("index", k)
+        depth = self._depth()
+        validations = 1.0 + 6.0 * k
+        voronoi_nodes = depth + 1.0
+        voronoi = CostEstimate(
+            method="voronoi",
+            validations=validations,
+            node_accesses=voronoi_nodes,
+            segment_tests=0.0,
+            cost=(
+                self.model.validation_cost * validations
+                + self.model.node_access_cost * voronoi_nodes
+            ),
+        )
+        return {"index": index, "voronoi": voronoi}
+
+    def plan(self, spec: Query) -> str:
+        """The concrete execution method for ``spec``.
+
+        Explicit spec methods are honoured as-is; ``"auto"`` picks the
+        cheapest estimate.  Guard rails where the cost model has no say:
+        an empty database and degenerate (zero-area) windows always route
+        point/window kinds to the index, which handles both gracefully;
+        area kinds keep the legacy tie-break (voronoi).
+        """
+        if spec.method != "auto":
+            return spec.method
+        if isinstance(spec, AreaQuery):
+            return self.choose(spec.region)
+        if isinstance(spec, NearestQuery):
+            return "index"
+        if len(self._db) == 0:
+            return "index"
+        if isinstance(spec, WindowQuery) and spec.rect.area <= 0.0:
+            return "index"
+        estimates = self.estimate_spec(spec)
+        return min(estimates, key=lambda method: estimates[method].cost)
+
+    def explain_spec(
+        self, spec: Query, *, execute: bool = False
+    ) -> PlanExplanation:
+        """The decision record for ``spec`` (any query kind).
+
+        With ``execute=True`` every executable method of the kind is run
+        and its measured stats/costs recorded next to the predictions —
+        the ``EXPLAIN ANALYZE`` of this engine.  Methods that the spec's
+        current state cannot execute (a Voronoi expansion over a
+        degenerate window, any method on a spec the database rejects) are
+        skipped rather than raised: their row simply shows no measured
+        cost, matching the guard rails :meth:`plan` applies when routing.
+        """
+        estimates = self.estimate_spec(spec)
         explanation = PlanExplanation(
-            chosen=self.choose(region), estimates=estimates
+            chosen=self.plan(spec), estimates=estimates
         )
         if execute:
-            for method in PLANNABLE_METHODS:
-                result = self._db.area_query(region, method=method)
+            from repro.core.exceptions import (
+                EmptyDatabaseError,
+                InvalidQueryAreaError,
+            )
+            from repro.query.executor import execute_spec
+
+            for method in estimates:
+                try:
+                    result = execute_spec(self._db, spec, method=method)
+                except (EmptyDatabaseError, InvalidQueryAreaError):
+                    continue  # not executable in this state: no measurement
                 explanation.actual[method] = result.stats
                 explanation.actual_costs[method] = self.model.cost_of(
                     result.stats
@@ -278,10 +438,16 @@ class QueryPlanner:
             if self.model.validation_cost
             else 0.25
         )
+        from repro.query.executor import execute_spec
+
         samples: List[QueryStats] = []
         for region in probe_regions:
             for method in PLANNABLE_METHODS:
-                samples.append(self._db.area_query(region, method=method).stats)
+                samples.append(
+                    execute_spec(
+                        self._db, AreaQuery(region), method=method
+                    ).stats
+                )
         # Least squares over features (weighted validations, node accesses).
         s_ff = s_fg = s_gg = s_ft = s_gt = 0.0
         for stats in samples:

@@ -21,11 +21,15 @@ from functools import cached_property
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.geometry.point import Point
-from repro.geometry.predicates import Orientation, orientation, orientation_sign
+from repro.geometry.predicates import (
+    Orientation,
+    orientation,
+    orientation_sign,
+    signed_area_sign,
+)
 from repro.geometry.rectangle import Rect
 from repro.geometry.segment import (
     Segment,
-    segments_intersect,
     segments_intersect_xy,
 )
 
@@ -52,7 +56,11 @@ class Polygon:
             raise ValueError(
                 f"a polygon needs at least 3 distinct vertices, got {len(ring)}"
             )
-        if _signed_area(ring) < 0.0:
+        # The *sign* decision must be robust: the float shoelace sum can
+        # cancel to the wrong sign for thin rings at extreme coordinate
+        # scales, which would reverse a correctly-CCW ring (and e.g. make
+        # is_convex() reject a valid convex hull).
+        if signed_area_sign(ring) < 0.0:
             ring.reverse()
         self._vertices: Tuple[Point, ...] = tuple(ring)
 
@@ -90,7 +98,14 @@ class Polygon:
 
     @cached_property
     def signed_area(self) -> float:
-        """Shoelace signed area; positive (ring is normalised to CCW)."""
+        """Shoelace signed area (float); the ring is normalised to CCW.
+
+        Non-negative up to floating-point rounding: for thin polygons at
+        extreme coordinate scales the float sum may come out as a tiny
+        negative even though the ring is truly counter-clockwise (the
+        normalisation decision itself uses the robust
+        :func:`~repro.geometry.predicates.signed_area_sign`).
+        """
         return _signed_area(self._vertices)
 
     @property

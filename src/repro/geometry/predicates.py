@@ -20,12 +20,15 @@ Validity domain
 ---------------
 As with Shewchuk's original predicates, the error-bound analysis assumes no
 intermediate overflow or underflow: coordinate *differences* and their
-pairwise products must stay inside the normal double range.  In practice:
-coordinate magnitudes in ``[1e-75, 1e75]`` (or exact zeros) are always
-safe for the in-circle test, and anything a real spatial workload uses is
-far inside that.  Feeding denormal-scale coordinates (``~1e-308``) can
-silently underflow the fast path to an exact zero that the bound cannot
-flag.
+pairwise products must stay inside the normal double range.  The
+orientation test detects the underflow case explicitly — when both
+products land in the denormal range (where relative rounding error is
+unbounded and a product of non-zero differences can collapse to an exact
+zero) it falls back to exact arithmetic, so ``orientation`` is
+sign-correct at *any* coordinate scale.  The in-circle test keeps the
+classical domain: coordinate magnitudes in ``[1e-75, 1e75]`` (or exact
+zeros) are always safe, and anything a real spatial workload uses is far
+inside that.
 """
 
 from __future__ import annotations
@@ -40,6 +43,16 @@ from repro.geometry.point import Point
 _EPS = 2.220446049250313e-16
 _ORIENT_ERR_BOUND = (3.0 + 16.0 * _EPS) * _EPS
 _INCIRCLE_ERR_BOUND = (10.0 + 96.0 * _EPS) * _EPS
+# Smallest normal double (2^-1022).  Below it, products carry unbounded
+# *relative* rounding error — they may even underflow to an exact zero —
+# so the relative error-bound filter is meaningless and the orientation
+# test must fall back to exact arithmetic (see orientation_sign).
+_MIN_NORMAL = 2.2250738585072014e-308
+# In the denormal range the subtraction of the two products is exact and
+# each product carries at most half an ulp (2^-1075) of absolute error,
+# so a difference larger than a few ulps of the denormal spacing has a
+# trustworthy sign.
+_DENORMAL_SAFE_DET = 2e-323
 
 
 class Orientation(IntEnum):
@@ -63,6 +76,22 @@ def orientation_sign(
     detleft = (ax - cx) * (by - cy)
     detright = (ay - cy) * (bx - cx)
     det = detleft - detright
+
+    # Denormal zone: when BOTH products sit below the normal range their
+    # relative rounding error is unbounded (a product of two non-zero
+    # differences can even underflow to exact zero), so neither the
+    # sign-based early returns nor the relative error bound below can be
+    # trusted.  Products that are zero because a *difference* is exactly
+    # zero are fine — those are exact.
+    if -_MIN_NORMAL < detleft < _MIN_NORMAL and (
+        -_MIN_NORMAL < detright < _MIN_NORMAL
+    ):
+        left_exact_zero = ax == cx or by == cy
+        right_exact_zero = ay == cy or bx == cx
+        if not (left_exact_zero and right_exact_zero) and (
+            -_DENORMAL_SAFE_DET <= det <= _DENORMAL_SAFE_DET
+        ):
+            return _orientation_exact(ax, ay, bx, by, cx, cy)
 
     if detleft > 0.0:
         if detright <= 0.0:
@@ -116,6 +145,45 @@ def orientation(a: Point, b: Point, c: Point) -> Orientation:
     if value < 0.0:
         return Orientation.CLOCKWISE
     return Orientation.COLLINEAR
+
+
+def signed_area_sign(ring) -> float:
+    """Robust sign of the shoelace signed area of a vertex ring.
+
+    Returns ``1.0`` for a counter-clockwise ring, ``-1.0`` for clockwise,
+    and ``0.0`` for an exactly degenerate (zero-area) ring.  The naive
+    float shoelace sum cancels catastrophically for thin rings — at
+    extreme coordinate scales (hull areas around ``1e-146`` and below)
+    even its *sign* is wrong, which silently reversed
+    :class:`~repro.geometry.polygon.Polygon` rings built from valid
+    counter-clockwise hulls.  As with :func:`orientation_value`, a fast
+    float evaluation is trusted only outside a forward error bound;
+    inside it the sum is re-evaluated in exact rational arithmetic.
+
+    ``ring`` is a sequence of :class:`Point` (the closing edge implicit).
+    """
+    total = 0.0
+    magnitude = 0.0
+    n = len(ring)
+    for i, p in enumerate(ring):
+        q = ring[(i + 1) % n]
+        left = p.x * q.y
+        right = p.y * q.x
+        total += left - right
+        magnitude += abs(left) + abs(right)
+    # One rounding per product plus one per addition: 3n + 2 ulps is a
+    # comfortable over-estimate of the accumulated forward error.
+    if abs(total) > (3.0 * n + 2.0) * _EPS * magnitude:
+        return 1.0 if total > 0.0 else -1.0
+    exact = Fraction(0)
+    for i, p in enumerate(ring):
+        q = ring[(i + 1) % n]
+        exact += Fraction(p.x) * Fraction(q.y) - Fraction(p.y) * Fraction(q.x)
+    if exact > 0:
+        return 1.0
+    if exact < 0:
+        return -1.0
+    return 0.0
 
 
 def incircle(a: Point, b: Point, c: Point, d: Point) -> float:

@@ -92,6 +92,21 @@ class Rect:
         return self.width + self.height
 
     @property
+    def perimeter(self) -> float:
+        """Total boundary length (twice the margin)."""
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def mbr(self) -> "Rect":
+        """The rectangle itself — it is its own minimum bounding rectangle.
+
+        Lets a :class:`Rect` stand in wherever only MBR-plus-containment
+        region behaviour is needed (window specs in the batch engine's
+        shared-frontier machinery, Hilbert anchor computation).
+        """
+        return self
+
+    @property
     def center(self) -> Point:
         """The rectangle's midpoint."""
         return Point(

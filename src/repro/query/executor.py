@@ -1,0 +1,315 @@
+"""Spec execution: one code path shared by every query surface.
+
+:func:`execute_spec` turns a declarative :class:`~repro.query.spec.Query`
+into an eager :class:`~repro.core.stats.QueryResult` record by
+dispatching on the spec's kind and (planner-resolved) method.  The lazy
+:class:`~repro.query.result.QueryResult`, the batch engine, the
+deprecation shims on :class:`~repro.core.database.SpatialDatabase`, and
+the planner's ``EXPLAIN ANALYZE`` all call into this module, so results
+are identical no matter which surface issued the query.
+
+Common options are applied uniformly by :func:`finalize_record`:
+``predicate`` filters the already-refined points (it never sees a point
+outside the query geometry), ``limit`` truncates in the result order of
+the kind (ascending row id for region kinds, nearest-first for point
+kinds).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
+from repro.core.knn_query import incremental_nearest, voronoi_knn_query
+from repro.core.stats import QueryResult, QueryStats
+from repro.core.traditional_query import traditional_area_query
+from repro.core.voronoi_query import voronoi_area_query
+from repro.geometry.polygon import Polygon
+from repro.query.spec import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    WindowQuery,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.database import SpatialDatabase
+
+
+def resolve_method(database: "SpatialDatabase", spec: Query) -> str:
+    """The concrete execution method for ``spec`` on ``database``.
+
+    An explicit ``spec.method`` is returned as-is (it was validated at
+    spec construction); ``"auto"`` asks the database's cost-based planner
+    (:meth:`repro.engine.planner.QueryPlanner.plan`).
+    """
+    if spec.method != "auto":
+        return spec.method
+    return database.engine.planner.plan(spec)
+
+
+def execute_spec(
+    database: "SpatialDatabase",
+    spec: Query,
+    *,
+    method: Optional[str] = None,
+    seed_id: Optional[int] = None,
+) -> QueryResult:
+    """Execute ``spec`` and return the eager result record.
+
+    Parameters
+    ----------
+    database:
+        The target :class:`~repro.core.database.SpatialDatabase`.
+    method:
+        Override for the execution method (the planner's batch path and
+        ``explain(execute=True)`` pass it explicitly); defaults to
+        :func:`resolve_method`.
+    seed_id:
+        Optional known Voronoi seed (row id of the nearest point to the
+        query geometry), used by the batch engine to skip the index NN
+        descent after a successful neighbour-graph walk.  Only meaningful
+        for voronoi-method executions.
+
+    Returns
+    -------
+    QueryResult
+        Ids plus :class:`~repro.core.stats.QueryStats` whose ``method``
+        names the concrete method that ran.
+    """
+    if not isinstance(spec, Query):
+        raise TypeError(f"not a query spec: {spec!r}")
+    if method is None:
+        method = resolve_method(database, spec)
+    # Region kinds produce the raw geometric result and get the common
+    # options applied here; point kinds weave predicate and limit into
+    # their own expansion (a kNN must keep expanding until k rows *pass*
+    # the filter), so finalize_record must NOT run again on top — the
+    # predicate contract is one invocation per examined candidate.
+    if isinstance(spec, AreaQuery):
+        return finalize_record(
+            database, spec, _execute_area(database, spec, method, seed_id)
+        )
+    if isinstance(spec, WindowQuery):
+        return finalize_record(
+            database, spec, _execute_window(database, spec, method, seed_id)
+        )
+    if isinstance(spec, KnnQuery):
+        return _execute_knn(database, spec, method, seed_id)
+    if isinstance(spec, NearestQuery):
+        return _execute_nearest(database, spec)
+    raise TypeError(f"not a query spec: {spec!r}")
+
+
+def finalize_record(
+    database: "SpatialDatabase", spec: Query, record: QueryResult
+) -> QueryResult:
+    """Apply the spec's common options (``predicate``, ``limit``).
+
+    Only for **raw region-kind records** (area/window — the geometric
+    result before user-level options); point kinds weave both options
+    into their own expansion and must not pass through here, so that a
+    spec's predicate is invoked exactly once per examined candidate.
+    Mutates and returns ``record``; the per-method counters are left as
+    the underlying algorithm reported them (the predicate is a
+    user-level filter, not part of the geometric work being measured).
+    """
+    ids = record.ids
+    if spec.predicate is not None:
+        predicate = spec.predicate
+        point = database.point
+        ids = [i for i in ids if predicate(point(i))]
+    if spec.limit is not None and len(ids) > spec.limit:
+        ids = ids[: spec.limit]
+    if ids is not record.ids:
+        record.ids = ids
+        record.stats.result_size = len(ids)
+    return record
+
+
+# -- per-kind execution -------------------------------------------------------
+
+
+def _execute_area(
+    database: "SpatialDatabase",
+    spec: AreaQuery,
+    method: str,
+    seed_id: Optional[int],
+) -> QueryResult:
+    """Run an area query with ``method`` (validation as in the legacy API)."""
+    if not len(database):
+        raise EmptyDatabaseError("area query on an empty database")
+    if spec.region.area <= 0.0:
+        raise InvalidQueryAreaError("query area has zero area")
+    if method == "traditional":
+        return traditional_area_query(database.index, spec.region)
+    return voronoi_area_query(
+        database.index,
+        database.backend,
+        database.points,
+        spec.region,
+        seed_id=seed_id,
+    )
+
+
+def _execute_window(
+    database: "SpatialDatabase",
+    spec: WindowQuery,
+    method: str,
+    seed_id: Optional[int],
+) -> QueryResult:
+    """Run a window query natively on the index or as a Voronoi expansion."""
+    if method == "voronoi":
+        if not len(database):
+            raise EmptyDatabaseError("voronoi window query on an empty database")
+        if spec.rect.area <= 0.0:
+            raise InvalidQueryAreaError(
+                "voronoi execution needs a positive-area window; "
+                "degenerate rectangles route to method='index'"
+            )
+        return voronoi_area_query(
+            database.index,
+            database.backend,
+            database.points,
+            Polygon.from_rect(spec.rect),
+            seed_id=seed_id,
+        )
+    stats = QueryStats(method="index")
+    index = database.index
+    nodes_before = index.stats.node_accesses
+    started = time.perf_counter()
+    entries = index.window_query(spec.rect)
+    ids = sorted(item_id for _, item_id in entries)
+    stats.time_ms = (time.perf_counter() - started) * 1000.0
+    stats.candidates = len(entries)
+    stats.index_node_accesses = index.stats.node_accesses - nodes_before
+    stats.result_size = len(ids)
+    return QueryResult(ids=ids, stats=stats)
+
+
+def _effective_k(spec: KnnQuery) -> int:
+    """The row budget of a kNN spec (its ``k`` capped by ``limit``)."""
+    if spec.limit is not None:
+        return min(spec.k, spec.limit)
+    return spec.k
+
+
+def _execute_knn(
+    database: "SpatialDatabase",
+    spec: KnnQuery,
+    method: str,
+    seed_id: Optional[int],
+) -> QueryResult:
+    """Run a kNN query via the index or the Voronoi neighbour graph."""
+    k = _effective_k(spec)
+    if k == 0 or not len(database):
+        return QueryResult(ids=[], stats=QueryStats(method=method))
+    if method == "voronoi":
+        if spec.predicate is None:
+            return voronoi_knn_query(
+                database.index,
+                database.backend,
+                database.points,
+                spec.point,
+                k,
+                seed_id=seed_id,
+            )
+        return _knn_voronoi_filtered(database, spec, k)
+    return _knn_index(database, spec, k)
+
+
+def _knn_index(
+    database: "SpatialDatabase", spec: KnnQuery, k: int
+) -> QueryResult:
+    """Best-first index kNN; predicates retry with a doubled ``k``.
+
+    The index search takes ``k`` up front, so a predicate that rejects
+    candidates may leave the result short; doubling until the result is
+    full (or the database is exhausted) keeps the contract "the ``k``
+    nearest points satisfying the predicate".  The result prefix of a
+    larger search equals the smaller search (deterministic tie-breaks),
+    so each doubling round examines — and hands to the predicate — only
+    the candidates beyond the previous round: one invocation per
+    examined candidate, even across retries.
+    """
+    stats = QueryStats(method="index")
+    index = database.index
+    predicate = spec.predicate
+    nodes_before = index.stats.node_accesses
+    started = time.perf_counter()
+    fetch = k
+    n = len(database)
+    ids: List[int] = []
+    examined = 0
+    while True:
+        entries = index.k_nearest_neighbors(spec.point, fetch)
+        for point, item_id in entries[examined:]:
+            if len(ids) >= k:
+                break
+            if predicate is None or predicate(point):
+                ids.append(item_id)
+        examined = max(examined, len(entries))
+        stats.candidates = examined
+        if len(ids) >= k or fetch >= n:
+            break
+        fetch = min(n, fetch * 2)
+    stats.time_ms = (time.perf_counter() - started) * 1000.0
+    stats.index_node_accesses = index.stats.node_accesses - nodes_before
+    stats.result_size = len(ids)
+    return QueryResult(ids=ids, stats=stats)
+
+
+def _knn_voronoi_filtered(
+    database: "SpatialDatabase", spec: KnnQuery, k: int
+) -> QueryResult:
+    """Streaming Voronoi kNN with a predicate: expand until ``k`` pass.
+
+    Uses the lazy distance-ordered generator
+    (:func:`repro.core.knn_query.incremental_nearest`), so only as many
+    candidates are examined as the filter forces.
+    """
+    stats = QueryStats(method="voronoi")
+    index = database.index
+    nodes_before = index.stats.node_accesses
+    started = time.perf_counter()
+    ids: List[int] = []
+    predicate = spec.predicate
+    point_of = database.point
+    for row_id in incremental_nearest(
+        index, database.backend, database.points, spec.point
+    ):
+        stats.candidates += 1
+        if predicate is None or predicate(point_of(row_id)):
+            ids.append(row_id)
+            if len(ids) >= k:
+                break
+    stats.time_ms = (time.perf_counter() - started) * 1000.0
+    stats.index_node_accesses = index.stats.node_accesses - nodes_before
+    stats.result_size = len(ids)
+    return QueryResult(ids=ids, stats=stats)
+
+
+def _execute_nearest(
+    database: "SpatialDatabase", spec: NearestQuery
+) -> QueryResult:
+    """Run a 1-NN query (index best-first; predicate via doubling kNN)."""
+    stats = QueryStats(method="index")
+    if not len(database) or spec.limit == 0:
+        return QueryResult(ids=[], stats=stats)
+    if spec.predicate is not None:
+        knn = KnnQuery(
+            spec.point, 1, method="index", predicate=spec.predicate
+        )
+        return _knn_index(database, knn, 1)
+    index = database.index
+    nodes_before = index.stats.node_accesses
+    started = time.perf_counter()
+    entry = index.nearest_neighbor(spec.point)
+    stats.time_ms = (time.perf_counter() - started) * 1000.0
+    stats.index_node_accesses = index.stats.node_accesses - nodes_before
+    ids = [entry[1]] if entry is not None else []
+    stats.candidates = len(ids)
+    stats.result_size = len(ids)
+    return QueryResult(ids=ids, stats=stats)

@@ -1,0 +1,148 @@
+"""JSON round-trip (de)serialisation of query specs.
+
+The wire format is a plain JSON object per spec, keyed by ``kind``::
+
+    {"kind": "area", "method": "auto",
+     "region": {"type": "polygon", "vertices": [[x, y], ...]}}
+    {"kind": "area", "region": {"type": "circle",
+                                "center": [x, y], "radius": r}}
+    {"kind": "window", "rect": [min_x, min_y, max_x, max_y]}
+    {"kind": "knn", "point": [x, y], "k": 8, "method": "voronoi"}
+    {"kind": "nearest", "point": [x, y], "limit": 1}
+
+Optional fields (``method``, ``limit``, ``select``) may be omitted and
+default as in :mod:`repro.query.spec`.  Floats survive exactly: Python's
+``json`` emits ``repr``-faithful doubles, so ``load_specs(dump_specs(s))
+== s`` for any serialisable spec.  Specs carrying a ``predicate`` are
+**not** serialisable (a closure has no wire form) and raise
+:class:`ValueError`.
+
+Used by the experiment harness to persist workloads and by the CLI's
+``python -m repro query --spec-file``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.query.spec import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    QUERY_KINDS,
+    WindowQuery,
+)
+
+
+def region_to_dict(region) -> dict:
+    """The wire form of a query region (polygon or circle).
+
+    Any other :class:`~repro.geometry.region.QueryRegion` implementation
+    raises :class:`ValueError` — the protocol exposes no attribute set
+    that captures arbitrary geometry exactly.
+    """
+    if isinstance(region, Polygon):
+        return {
+            "type": "polygon",
+            "vertices": [[p.x, p.y] for p in region.vertices],
+        }
+    if isinstance(region, Circle):
+        return {
+            "type": "circle",
+            "center": [region.center.x, region.center.y],
+            "radius": region.radius,
+        }
+    raise ValueError(
+        f"cannot serialise region of type {type(region).__name__}; "
+        "only Polygon and Circle have a wire form"
+    )
+
+
+def region_from_dict(data: dict):
+    """Rebuild a region from its :func:`region_to_dict` form."""
+    kind = data.get("type")
+    if kind == "polygon":
+        return Polygon([Point(float(x), float(y)) for x, y in data["vertices"]])
+    if kind == "circle":
+        cx, cy = data["center"]
+        return Circle(Point(float(cx), float(cy)), float(data["radius"]))
+    raise ValueError(f"unknown region type {kind!r}")
+
+
+def spec_to_dict(spec: Query) -> dict:
+    """The JSON-ready dict form of ``spec`` (raises on predicates)."""
+    if spec.predicate is not None:
+        raise ValueError(
+            "specs with a predicate are not serialisable (a Python "
+            "callable has no wire form); strip it with spec.where(None)"
+        )
+    data: dict = {"kind": spec.kind}
+    if isinstance(spec, AreaQuery):
+        data["region"] = region_to_dict(spec.region)
+    elif isinstance(spec, WindowQuery):
+        data["rect"] = list(spec.rect.as_tuple())
+    elif isinstance(spec, KnnQuery):
+        data["point"] = [spec.point.x, spec.point.y]
+        data["k"] = spec.k
+    elif isinstance(spec, NearestQuery):
+        data["point"] = [spec.point.x, spec.point.y]
+    else:
+        raise ValueError(f"not a serialisable query spec: {spec!r}")
+    if spec.method != "auto":
+        data["method"] = spec.method
+    if spec.limit is not None:
+        data["limit"] = spec.limit
+    if spec.select != "ids":
+        data["select"] = spec.select
+    return data
+
+
+def spec_from_dict(data: dict) -> Query:
+    """Rebuild a spec from its :func:`spec_to_dict` form."""
+    if not isinstance(data, dict):
+        raise ValueError(f"spec must be a JSON object, got {type(data).__name__}")
+    kind = data.get("kind")
+    cls = QUERY_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown query kind {kind!r}; choose from "
+            f"{tuple(QUERY_KINDS)}"
+        )
+    options = {
+        name: data[name]
+        for name in ("method", "limit", "select")
+        if name in data
+    }
+    if cls is AreaQuery:
+        return AreaQuery(region_from_dict(data["region"]), **options)
+    if cls is WindowQuery:
+        return WindowQuery(Rect.from_bounds(data["rect"]), **options)
+    if cls is KnnQuery:
+        x, y = data["point"]
+        return KnnQuery(Point(float(x), float(y)), int(data["k"]), **options)
+    x, y = data["point"]
+    return NearestQuery(Point(float(x), float(y)), **options)
+
+
+def dump_specs(specs: Sequence[Query], *, indent: int | None = 2) -> str:
+    """Serialise many specs as one JSON array (the ``--spec-file`` format)."""
+    return json.dumps([spec_to_dict(spec) for spec in specs], indent=indent)
+
+
+def load_specs(text: str) -> List[Query]:
+    """Parse a JSON array (or single object) of specs from ``text``."""
+    data = json.loads(text)
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise ValueError(
+            "spec file must hold a JSON array of spec objects "
+            f"(or one object), got {type(data).__name__}"
+        )
+    return [spec_from_dict(item) for item in data]

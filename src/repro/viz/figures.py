@@ -22,6 +22,7 @@ from repro.geometry.rectangle import Rect
 from repro.core.database import SpatialDatabase
 from repro.core.traditional_query import traditional_area_query
 from repro.core.voronoi_query import voronoi_area_query
+from repro.query.spec import AreaQuery
 from repro.viz.svg import SvgCanvas, side_by_side
 
 _RESULT_COLOR = "black"
@@ -49,8 +50,8 @@ def render_query_result(
 ) -> str:
     """One query, results highlighted over the full point cloud."""
     canvas = SvgCanvas(_world_of(db), width=width)
-    result = db.area_query(area, method=method)
-    result_set = set(result.ids)
+    result = db.query(AreaQuery(area, method=method))
+    result_set = set(result.ids())
     for row, p in enumerate(db.points):
         canvas.circle(
             p,

@@ -40,6 +40,14 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.database import SpatialDatabase
+from repro.geometry.point import Point
+from repro.query.spec import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    WindowQuery,
+)
 from repro.workloads.generators import uniform_points
 from repro.workloads.queries import QueryWorkload
 
@@ -145,8 +153,8 @@ def _measure_cell(
         "v_red": 0.0,
     }
     for area in areas:
-        voronoi = db.area_query(area, method="voronoi")
-        traditional = db.area_query(area, method="traditional")
+        voronoi = db.query(AreaQuery(area, method="voronoi")).record
+        traditional = db.query(AreaQuery(area, method="traditional")).record
         if voronoi.ids != traditional.ids:
             raise AssertionError(
                 "methods disagree: the harness found a correctness bug "
@@ -272,29 +280,45 @@ TRACE_STRATEGIES = (
     "batch/auto",
 )
 
+#: Strategies meaningful for heterogeneous (mixed-kind) traces, where a
+#: single forced area method does not exist.
+MIXED_TRACE_STRATEGIES = (
+    "loop/auto",
+    "batch/auto",
+)
 
-def run_trace_strategy(db: SpatialDatabase, trace, strategy: str):
-    """Answer ``trace`` with one strategy; returns the per-request id lists.
+
+def run_trace_strategy(db: SpatialDatabase, trace: List[Query], strategy: str):
+    """Answer a spec ``trace`` with one strategy; returns per-request ids.
 
     Shared by the experiment harness and ``benchmarks/bench_batch_engine.py``
     so both measure exactly the same execution paths.  ``loop/<method>``
-    calls :meth:`SpatialDatabase.area_query` per request; ``batch/<method>``
-    uses the engine with the cross-batch cache disabled (isolating the
-    sharing machinery); ``batch/auto`` is the full engine — planner plus
-    LRU cache, cleared first so repeats within the trace are served by
-    intra-batch dedup, not by earlier runs.
+    issues one :meth:`SpatialDatabase.query` per spec; ``batch/<method>``
+    uses :meth:`SpatialDatabase.query_batch` with the cross-batch cache
+    disabled (isolating the sharing machinery); ``*/auto`` keeps each
+    spec's own method field (the planner routes), and ``batch/auto`` is
+    the full engine — planner plus LRU cache, cleared first so repeats
+    within the trace are served by intra-batch dedup, not by earlier
+    runs.  A non-auto method is applied via ``spec.with_method`` and only
+    makes sense for kind-homogeneous traces.
     """
     kind, _, method = strategy.partition("/")
     if kind == "loop":
-        return [db.area_query(area, method=method).ids for area in trace]
+        if method == "auto":
+            return [db.query(spec).ids() for spec in trace]
+        return [
+            db.query(spec.with_method(method)).ids() for spec in trace
+        ]
     if kind != "batch":
         raise ValueError(f"unknown strategy {strategy!r}")
     if method == "auto":
         db.engine.cache.clear()
-        return [r.ids for r in db.batch_area_query(trace, method="auto")]
+        return [r.ids() for r in db.query_batch(trace)]
     return [
-        r.ids
-        for r in db.batch_area_query(trace, method=method, use_cache=False)
+        r.ids()
+        for r in db.query_batch(
+            [spec.with_method(method) for spec in trace], use_cache=False
+        )
     ]
 
 
@@ -303,16 +327,56 @@ def make_query_trace(
     distinct: int,
     repeat: int,
     seed: int = 0,
-):
-    """A production-style trace: ``distinct`` regions, each hit ``repeat``
-    times, shuffled deterministically.
+) -> List[AreaQuery]:
+    """A production-style trace: ``distinct`` area specs, each hit
+    ``repeat`` times, shuffled deterministically.
 
     Real area-query traffic repeats itself (hot map tiles, dashboards,
     geofence monitors); ``repeat`` controls how hot the trace is.
     ``repeat=1`` gives an all-distinct trace.
     """
     areas = QueryWorkload(query_size=query_size, seed=seed).areas(distinct)
-    trace = [area for area in areas for _ in range(repeat)]
+    specs = [AreaQuery(area) for area in areas]
+    trace = [spec for spec in specs for _ in range(repeat)]
+    random.Random(seed + 1).shuffle(trace)
+    return trace
+
+
+def make_mixed_trace(
+    query_size: float,
+    distinct: int,
+    repeat: int,
+    seed: int = 0,
+    max_k: int = 16,
+) -> List[Query]:
+    """A heterogeneous trace cycling through all four query kinds.
+
+    ``distinct`` specs are generated round-robin — area (a random query
+    polygon), window (a same-scale rectangle), kNN (random position,
+    random ``k`` up to ``max_k``), nearest — then each is repeated
+    ``repeat`` times and the whole trace deterministically shuffled.
+    This is the acceptance workload for heterogeneous batching: the
+    engine must group the kinds back together to share work.
+    """
+    rng = random.Random(seed)
+    areas = QueryWorkload(query_size=query_size, seed=seed).areas(distinct)
+    specs: List[Query] = []
+    for i, area in enumerate(areas):
+        variant = i % 4
+        if variant == 0:
+            specs.append(AreaQuery(area))
+        elif variant == 1:
+            specs.append(WindowQuery(area.mbr))
+        elif variant == 2:
+            specs.append(
+                KnnQuery(
+                    Point(rng.random(), rng.random()),
+                    1 + rng.randrange(max_k),
+                )
+            )
+        else:
+            specs.append(NearestQuery(Point(rng.random(), rng.random())))
+    trace = [spec for spec in specs for _ in range(repeat)]
     random.Random(seed + 1).shuffle(trace)
     return trace
 
@@ -337,8 +401,8 @@ def run_batch_throughput_experiment(
     Strategies (all answering the identical trace, results asserted
     id-identical):
 
-    * ``loop/voronoi`` — the baseline: :meth:`area_query` per request with
-      the paper's method;
+    * ``loop/voronoi`` — the baseline: one :meth:`SpatialDatabase.query`
+      per spec, forced to the paper's method;
     * ``loop/traditional`` — same loop with the filter–refine baseline;
     * ``batch/voronoi``, ``batch/traditional`` — the batch engine with the
       method fixed and the result cache disabled (isolates the sharing
@@ -365,7 +429,63 @@ def run_batch_throughput_experiment(
             f"trace: {len(trace)} requests over {distinct} distinct regions"
         )
 
-    expected = [db.area_query(area, method="voronoi").ids for area in trace]
+    expected = [
+        db.query(spec.with_method("voronoi")).ids() for spec in trace
+    ]
+    return _time_strategies(
+        db, trace, TRACE_STRATEGIES, expected, rounds, progress
+    )
+
+
+def run_mixed_throughput_experiment(
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    data_size: int = 10_000,
+    distinct: int = 32,
+    repeat: int = 3,
+    query_size: float = 0.01,
+    rounds: int = 3,
+    database: Optional[SpatialDatabase] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BatchThroughputRow]:
+    """Heterogeneous-batch throughput: mixed kinds, loop vs batch.
+
+    Same protocol as :func:`run_batch_throughput_experiment`, but the
+    trace mixes all four query kinds (:func:`make_mixed_trace`) and only
+    the planner-routed strategies are meaningful
+    (:data:`MIXED_TRACE_STRATEGIES`).  Ids are asserted identical between
+    loop and batch execution for every request.
+    """
+    if database is not None:
+        db = database
+    else:
+        if progress is not None:
+            progress(f"building database of {data_size:,} points...")
+        db = _build_database(data_size, config)
+    trace = make_mixed_trace(
+        query_size, distinct, repeat, seed=config.seed
+    )
+    if progress is not None:
+        kinds = sorted({spec.kind for spec in trace})
+        progress(
+            f"mixed trace: {len(trace)} requests over {distinct} distinct "
+            f"specs ({', '.join(kinds)})"
+        )
+    expected = [db.query(spec).ids() for spec in trace]
+    return _time_strategies(
+        db, trace, MIXED_TRACE_STRATEGIES, expected, rounds, progress
+    )
+
+
+def _time_strategies(
+    db: SpatialDatabase,
+    trace: List[Query],
+    strategies: Sequence[str],
+    expected: List[List[int]],
+    rounds: int,
+    progress: Optional[Callable[[str], None]],
+) -> List[BatchThroughputRow]:
+    """Best-of-``rounds`` timing of each strategy on one shared trace."""
 
     def timed(run) -> float:
         best = float("inf")
@@ -380,7 +500,7 @@ def run_batch_throughput_experiment(
         return best * 1000.0
 
     rows: List[BatchThroughputRow] = []
-    for strategy in TRACE_STRATEGIES:
+    for strategy in strategies:
         total = timed(lambda s=strategy: run_trace_strategy(db, trace, s))
         batch_stats = (
             db.engine.last_batch_stats
@@ -517,7 +637,17 @@ def render_figure(
 
 # -- command line ---------------------------------------------------------------
 
-_TARGETS = ("table1", "table2", "fig4", "fig5", "fig6", "fig7", "batch", "all")
+_TARGETS = (
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "batch",
+    "mixed",
+    "all",
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -599,6 +729,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(render_batch_table(batch_rows))
         if args.target == "batch":
+            return 0
+
+    if args.target in ("mixed", "all"):
+        mixed_rows = run_mixed_throughput_experiment(
+            config,
+            data_size=args.data_size or 10_000,
+            distinct=args.batch_distinct,
+            repeat=args.batch_repeat,
+            query_size=args.batch_query_size,
+            progress=progress,
+        )
+        print(
+            "\nHeterogeneous batch throughput (mixed area/window/knn/"
+            f"nearest specs, {args.batch_distinct} distinct x "
+            f"{args.batch_repeat} hits):"
+        )
+        print(render_batch_table(mixed_rows))
+        if args.target == "mixed":
             return 0
 
     need_data = args.target in ("table1", "fig4", "fig5", "all")

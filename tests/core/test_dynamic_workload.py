@@ -9,7 +9,6 @@ patching together, which no single-module test covers.
 
 import random
 
-import pytest
 
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point

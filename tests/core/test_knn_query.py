@@ -92,7 +92,9 @@ class TestStats:
         got = voronoi_knn_query(
             db_400.index, db_400.backend, db_400.points, Point(0.5, 0.5), 3
         )
-        assert got.stats.method == "voronoi-knn"
+        # Unified method naming across the query API: the kNN kind's
+        # Voronoi execution reports plain "voronoi".
+        assert got.stats.method == "voronoi"
 
 
 class TestIncrementalNearest:

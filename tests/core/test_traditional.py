@@ -1,11 +1,8 @@
 """Unit tests for the traditional filter–refine area query."""
 
-import random
 
 import pytest
 
-from repro.geometry.point import Point
-from repro.geometry.polygon import Polygon
 from repro.index.rtree import RTree
 from repro.core.traditional_query import (
     traditional_area_query,

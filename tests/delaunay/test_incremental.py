@@ -1,6 +1,5 @@
 """Tests for incremental point insertion into the triangulation."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -4,7 +4,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.point import Point
-from repro.geometry.predicates import incircle
 from repro.delaunay.backends import PureDelaunayBackend, ScipyDelaunayBackend
 from repro.delaunay.graph import is_connected
 from repro.delaunay.triangulation import DelaunayTriangulation

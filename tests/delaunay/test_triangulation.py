@@ -1,6 +1,5 @@
 """Unit tests for the Bowyer–Watson Delaunay triangulation."""
 
-import math
 import random
 
 import pytest

@@ -1,10 +1,10 @@
-"""Result cache: hit/miss accounting, LRU eviction, insert invalidation."""
+"""Result cache: spec keys, hit/miss accounting, eviction, invalidation."""
 
 import pytest
 
-from repro import SpatialDatabase
+from repro import AreaQuery, KnnQuery, SpatialDatabase
 from repro.core.stats import QueryResult, QueryStats
-from repro.engine.cache import ResultCache, region_fingerprint
+from repro.engine.cache import ResultCache
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -17,32 +17,66 @@ def _result(ids):
     return QueryResult(ids=list(ids), stats=QueryStats(method="voronoi"))
 
 
-# -- fingerprints ------------------------------------------------------------
+# -- spec cache keys ----------------------------------------------------------
 
 
-def test_fingerprint_equal_for_equal_polygons():
-    a = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
-    b = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
-    assert region_fingerprint(a) == region_fingerprint(b)
+def test_spec_keys_equal_for_equal_polygons():
+    a = AreaQuery(Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4)))
+    b = AreaQuery(Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4)))
+    assert a.cache_key() == b.cache_key()
+    assert hash(a.cache_key()) == hash(b.cache_key())
 
 
-def test_fingerprint_distinguishes_geometry():
+def test_spec_keys_distinguish_geometry():
     base = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
     shifted = base.translated(1e-9, 0.0)
-    assert region_fingerprint(base) != region_fingerprint(shifted)
+    assert AreaQuery(base).cache_key() != AreaQuery(shifted).cache_key()
 
 
-def test_fingerprint_distinguishes_shapes():
+def test_spec_keys_distinguish_shapes():
     circle = Circle(Point(0.5, 0.5), 0.1)
     square = Polygon.from_rect(circle.mbr)
-    assert region_fingerprint(circle) != region_fingerprint(square)
-    assert region_fingerprint(circle) == region_fingerprint(
-        Circle(Point(0.5, 0.5), 0.1)
+    assert AreaQuery(circle).cache_key() != AreaQuery(square).cache_key()
+    assert (
+        AreaQuery(circle).cache_key()
+        == AreaQuery(Circle(Point(0.5, 0.5), 0.1)).cache_key()
     )
 
 
+def test_spec_keys_normalise_method_and_projection():
+    """Method and projection never change the result rows, so the key
+    strips them — a voronoi-cached entry serves a traditional request."""
+    region = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
+    assert (
+        AreaQuery(region, method="voronoi").cache_key()
+        == AreaQuery(region, method="traditional").cache_key()
+    )
+    knn = KnnQuery((0.5, 0.5), 4)
+    assert knn.cache_key() == knn.returning("points").cache_key()
+    # limit changes the rows, so it stays in the key
+    assert AreaQuery(region).cache_key() != (
+        AreaQuery(region, limit=2).cache_key()
+    )
+
+
+def test_predicate_specs_are_uncacheable_and_always_execute():
+    db = SpatialDatabase.from_points(uniform_points(300, seed=13)).prepare()
+    spec = AreaQuery(
+        Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6)),
+        predicate=lambda p: p.x < 0.5,
+    )
+    assert spec.cache_key() is None
+    first = db.query_batch([spec, spec])
+    # no dedup, no cache fill: both occurrences executed
+    assert first.stats.executed == 2
+    assert first.stats.cache_hits == 0 and first.stats.duplicate_hits == 0
+    second = db.query_batch([spec])
+    assert second.stats.cache_hits == 0 and second.stats.executed == 1
+    assert first[0].ids() == first[1].ids() == second[0].ids()
+
+
 class _OpaqueRegion:
-    """A conforming QueryRegion with no exactly-fingerprintable geometry."""
+    """A conforming QueryRegion with identity (not value) hashing."""
 
     def __init__(self, polygon):
         self._polygon = polygon
@@ -53,24 +87,20 @@ class _OpaqueRegion:
         return getattr(self._polygon, name)
 
 
-def test_unknown_region_types_are_uncacheable():
-    region = _OpaqueRegion(Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6)))
-    assert region_fingerprint(region) is None
-
-
-def test_uncacheable_regions_always_execute():
+def test_opaque_regions_cache_by_identity_only():
+    """A custom region without value hashing gets identity-scoped cache
+    entries: only the very same object can hit them, so two equal-geometry
+    instances never serve each other's results."""
     db = SpatialDatabase.from_points(uniform_points(300, seed=13)).prepare()
-    region = _OpaqueRegion(Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6)))
-    first = db.batch_area_query([region, region])
-    # no dedup, no cache fill: both occurrences executed
-    assert first.stats.executed == 2
-    assert first.stats.cache_hits == 0 and first.stats.duplicate_hits == 0
-    second = db.batch_area_query([region])
-    assert second.stats.cache_hits == 0 and second.stats.executed == 1
-    expected = db.area_query(
-        Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6)), method="traditional"
-    ).ids
-    assert [r.ids for r in first] == [expected, expected]
+    polygon = Polygon.from_rect(Rect(0.2, 0.2, 0.6, 0.6))
+    first_obj = _OpaqueRegion(polygon)
+    second_obj = _OpaqueRegion(polygon)
+    first = db.query_batch([AreaQuery(first_obj), AreaQuery(second_obj)])
+    assert first.stats.executed == 2  # distinct identities: no sharing
+    again = db.query_batch([AreaQuery(first_obj)])
+    assert again.stats.cache_hits == 1  # same object: served from cache
+    expected = db.query(AreaQuery(polygon, method="traditional")).ids()
+    assert first[0].ids() == first[1].ids() == again[0].ids() == expected
 
 
 # -- cache mechanics ---------------------------------------------------------
@@ -182,3 +212,22 @@ def test_use_cache_false_bypasses_cache(db):
     bypass = db.batch_area_query(regions, use_cache=False)
     assert bypass.stats.cache_hits == 0
     assert bypass.stats.executed == len(regions)
+
+
+def test_region_fingerprint_shim_warns_and_matches_legacy():
+    """The 1.0 helper survives one release as a deprecation shim."""
+    from repro.engine import region_fingerprint
+
+    polygon = Polygon.from_rect(Rect(0.1, 0.1, 0.3, 0.4))
+    with pytest.warns(DeprecationWarning, match="cache_key"):
+        key = region_fingerprint(polygon)
+    assert key == ("polygon", tuple((p.x, p.y) for p in polygon.vertices))
+    with pytest.warns(DeprecationWarning):
+        assert region_fingerprint(Circle(Point(0.5, 0.5), 0.1)) == (
+            "circle",
+            0.5,
+            0.5,
+            0.1,
+        )
+    with pytest.warns(DeprecationWarning):
+        assert region_fingerprint(object()) is None

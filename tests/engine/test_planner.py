@@ -10,12 +10,21 @@ sparse data (NN seed + boundary shell dominate) and rectangle queries
 
 import pytest
 
-from repro import SpatialDatabase
+from repro import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    SpatialDatabase,
+    WindowQuery,
+)
 from repro.engine.planner import (
     PLANNABLE_METHODS,
     CostModel,
     QueryPlanner,
 )
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.executor import execute_spec
 from repro.workloads.generators import uniform_points
 from repro.workloads.queries import QueryWorkload
 
@@ -27,8 +36,10 @@ def _database(n: int) -> SpatialDatabase:
 
 
 def _measured_winner(db: SpatialDatabase, area, model: CostModel) -> str:
-    traditional = db.area_query(area, method="traditional").stats
-    voronoi = db.area_query(area, method="voronoi").stats
+    traditional = execute_spec(
+        db, AreaQuery(area), method="traditional"
+    ).stats
+    voronoi = execute_spec(db, AreaQuery(area), method="voronoi").stats
     if model.cost_of(traditional) < model.cost_of(voronoi):
         return "traditional"
     return "voronoi"
@@ -134,3 +145,80 @@ def test_planner_adapts_to_database_density():
     dense_choice = _database(20_000).engine.planner.choose(area)
     assert sparse_choice == "traditional"
     assert dense_choice == "voronoi"
+
+
+# -- spec-level planning (all query kinds) ------------------------------------
+
+
+class TestSpecPlanning:
+    def test_area_spec_estimates_match_region_estimates(self):
+        db = _database(500)
+        area = QueryWorkload(query_size=0.04, seed=3).areas(1)[0]
+        by_spec = db.engine.planner.estimate_spec(AreaQuery(area))
+        by_region = db.engine.planner.estimate(area)
+        assert by_spec.keys() == by_region.keys()
+        for method in by_spec:
+            assert by_spec[method].cost == by_region[method].cost
+
+    def test_window_estimates_both_strategies(self):
+        db = _database(500)
+        estimates = db.engine.planner.estimate_spec(
+            WindowQuery(Rect(0.2, 0.2, 0.6, 0.6))
+        )
+        assert set(estimates) == {"index", "voronoi"}
+        assert all(e.cost > 0 for e in estimates.values())
+
+    def test_knn_estimates_scale_with_k(self):
+        db = _database(2_000)
+        planner = db.engine.planner
+        small = planner.estimate_spec(KnnQuery(Point(0.5, 0.5), 2))
+        large = planner.estimate_spec(KnnQuery(Point(0.5, 0.5), 500))
+        assert set(small) == {"index", "voronoi"}
+        assert large["voronoi"].cost > small["voronoi"].cost
+        # the Voronoi expansion's edge erodes as k grows
+        ratio_small = small["voronoi"].cost / small["index"].cost
+        ratio_large = large["voronoi"].cost / large["index"].cost
+        assert ratio_large > ratio_small
+
+    def test_nearest_always_plans_index(self):
+        db = _database(500)
+        planner = db.engine.planner
+        spec = NearestQuery(Point(0.4, 0.2))
+        assert planner.plan(spec) == "index"
+        assert set(planner.estimate_spec(spec)) == {"index"}
+
+    def test_plan_honours_explicit_methods(self):
+        db = _database(500)
+        planner = db.engine.planner
+        area = QueryWorkload(query_size=0.04, seed=3).areas(1)[0]
+        assert planner.plan(AreaQuery(area, method="voronoi")) == "voronoi"
+        assert (
+            planner.plan(WindowQuery(Rect(0, 0, 1, 1), method="index"))
+            == "index"
+        )
+
+    def test_plan_on_empty_database_routes_to_index(self):
+        empty = SpatialDatabase()
+        planner = empty.engine.planner
+        assert planner.plan(WindowQuery(Rect(0, 0, 1, 1))) == "index"
+        assert planner.plan(KnnQuery(Point(0.5, 0.5), 3)) == "index"
+
+    def test_explain_spec_execute_measures_every_method(self):
+        db = _database(500)
+        explanation = db.engine.planner.explain_spec(
+            KnnQuery(Point(0.5, 0.5), 6), execute=True
+        )
+        assert set(explanation.actual_costs) == {"index", "voronoi"}
+        assert explanation.prediction_correct in (True, False)
+        rendered = explanation.render()
+        assert "meas. cost" in rendered
+        assert rendered.count("\n") == 2  # header + one row per method
+
+    def test_planner_auto_choice_is_measured_sensible_for_knn(self):
+        """For small k on a deep index the Voronoi expansion (seed descent
+        + ~6k neighbour distances) must at least be *considered* cheaper
+        than a full best-first descent on large databases."""
+        db = _database(20_000)
+        planner = db.engine.planner
+        estimates = planner.estimate_spec(KnnQuery(Point(0.5, 0.5), 2))
+        assert estimates["voronoi"].cost < estimates["index"].cost

@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon, convex_hull
-from repro.geometry.rectangle import Rect
 from repro.geometry.segment import Segment
 
 unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)

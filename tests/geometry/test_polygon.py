@@ -266,3 +266,21 @@ class TestConvexHull:
     def test_duplicates_removed(self):
         hull = convex_hull([Point(0, 0), Point(0, 0), Point(1, 0)])
         assert len(hull) == 2
+
+    def test_denormal_scale_hull_stays_convex(self):
+        # Regression (ROADMAP, PR 1 hypothesis run): a CCW hull of exact
+        # area ~1e-146 whose float shoelace sum is *negative*.  The old
+        # ring normalisation trusted that sign and reversed the ring, so
+        # Polygon(convex_hull(...)).is_convex() came back False.
+        points = [
+            Point(2.4479854537261012e-65, 5.475382532919865e-66),
+            Point(3.135208606523928e-65, 4.578950069010331e-66),
+            Point(3.8224317593217544e-65, 3.6825176051007995e-66),
+        ]
+        hull = convex_hull(points)
+        assert len(hull) == 3
+        polygon = Polygon(hull)
+        assert polygon.vertices == tuple(hull)  # ring was not reversed
+        assert polygon.is_convex()
+        for p in points:
+            assert polygon.contains_point(p)

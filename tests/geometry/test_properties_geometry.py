@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the geometry kernel."""
 
-import math
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.geometry.point import Point
 from repro.geometry.random_shapes import (
     random_query_polygon,
     random_simple_polygon,

@@ -1,6 +1,5 @@
 """Unit tests for the Rect MBR algebra."""
 
-import math
 
 import pytest
 

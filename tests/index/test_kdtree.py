@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect

@@ -1,0 +1,144 @@
+"""Legacy SpatialDatabase methods: DeprecationWarning + identical results.
+
+Every pre-spec query method must (a) emit a DeprecationWarning naming its
+replacement and (b) return byte-identical results to its spec
+equivalent, parametrized over all query kinds.
+"""
+
+import warnings
+
+import pytest
+
+from repro import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    SpatialDatabase,
+    WindowQuery,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.workloads.generators import uniform_points
+
+POLY = Polygon([(0.2, 0.2), (0.6, 0.25), (0.55, 0.7), (0.25, 0.6)])
+RECT = Rect(0.3, 0.3, 0.6, 0.7)
+Q = Point(0.4, 0.5)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SpatialDatabase.from_points(uniform_points(500, seed=3)).prepare()
+
+
+def _call_warns(db, invoke):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        return invoke(db)
+
+
+#: (legacy call, spec-equivalent extractor, label) per query kind/method.
+SHIM_CASES = [
+    (
+        lambda db: db.area_query(POLY, method="voronoi"),
+        lambda db: db.query(AreaQuery(POLY, method="voronoi")).record,
+        "area/voronoi",
+    ),
+    (
+        lambda db: db.area_query(POLY, method="traditional"),
+        lambda db: db.query(AreaQuery(POLY, method="traditional")).record,
+        "area/traditional",
+    ),
+    (
+        lambda db: db.area_query(POLY, method="auto"),
+        lambda db: db.query(AreaQuery(POLY)).record,
+        "area/auto",
+    ),
+    (
+        lambda db: db.window_query(RECT),
+        lambda db: db.query(WindowQuery(RECT, method="index")).ids(),
+        "window",
+    ),
+    (
+        lambda db: db.k_nearest_neighbors(Q, 9, method="index"),
+        lambda db: db.query(KnnQuery(Q, 9, method="index")).ids(),
+        "knn/index",
+    ),
+    (
+        lambda db: db.k_nearest_neighbors(Q, 9, method="voronoi"),
+        lambda db: db.query(KnnQuery(Q, 9, method="voronoi")).ids(),
+        "knn/voronoi",
+    ),
+    (
+        lambda db: db.nearest_neighbor(Q),
+        lambda db: db.query(NearestQuery(Q)).ids()[0],
+        "nearest",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "legacy, spec_equivalent, label",
+    SHIM_CASES,
+    ids=[case[2] for case in SHIM_CASES],
+)
+def test_shim_warns_and_matches_spec_path(db, legacy, spec_equivalent, label):
+    legacy_result = _call_warns(db, legacy)
+    spec_result = spec_equivalent(db)
+    if hasattr(legacy_result, "ids"):  # eager records: compare the rows
+        assert legacy_result.ids == spec_result.ids
+        assert legacy_result.stats.method == spec_result.stats.method
+    else:
+        assert legacy_result == spec_result
+
+
+def test_batch_shim_warns_and_matches(db):
+    regions = [POLY, POLY.translated(0.05, 0.02), POLY]
+    with pytest.warns(DeprecationWarning, match="query_batch"):
+        legacy = db.batch_area_query(regions, method="voronoi", use_cache=False)
+    spec_batch = db.query_batch(
+        [AreaQuery(region, method="voronoi") for region in regions],
+        use_cache=False,
+    )
+    assert [r.ids for r in legacy] == [r.ids() for r in spec_batch]
+
+
+def test_shim_warning_names_replacement(db):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        db.window_query(RECT)
+    messages = [str(w.message) for w in caught]
+    assert any("WindowQuery" in message for message in messages)
+    assert any("QUERY_API.md" in message for message in messages)
+
+
+def test_shim_error_messages_preserved(db):
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="choose from"):
+            db.area_query(POLY, method="fastest")
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="'index' or 'voronoi'"):
+            db.k_nearest_neighbors(Q, 3, method="warp")
+
+
+def test_legacy_exceptions_preserved():
+    from repro import EmptyDatabaseError, InvalidQueryAreaError
+
+    empty = SpatialDatabase()
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(EmptyDatabaseError):
+            empty.area_query(POLY)
+    db = SpatialDatabase.from_points(uniform_points(50, seed=1))
+    degenerate = Polygon([(0, 0), (1, 0), (2, 0), (1, 0.0)])
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(InvalidQueryAreaError):
+            db.area_query(degenerate)
+
+
+def test_legacy_window_on_empty_database_returns_empty():
+    empty = SpatialDatabase()
+    with pytest.warns(DeprecationWarning):
+        assert empty.window_query(RECT) == []
+    with pytest.warns(DeprecationWarning):
+        assert empty.nearest_neighbor(Q) is None
+    with pytest.warns(DeprecationWarning):
+        assert empty.k_nearest_neighbors(Q, 3) == []

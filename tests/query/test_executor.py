@@ -1,0 +1,197 @@
+"""Spec execution: per-kind method equivalence and edge cases."""
+
+import pytest
+
+from repro import (
+    AreaQuery,
+    EmptyDatabaseError,
+    InvalidQueryAreaError,
+    KnnQuery,
+    NearestQuery,
+    SpatialDatabase,
+    WindowQuery,
+)
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.query.executor import execute_spec, resolve_method
+from repro.workloads.generators import uniform_points
+from repro.workloads.queries import QueryWorkload
+
+Q = Point(0.37, 0.58)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SpatialDatabase.from_points(uniform_points(800, seed=11)).prepare()
+
+
+class TestMethodEquivalence:
+    """Every kind's execution methods return identical rows."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_area_methods_agree(self, db, seed):
+        area = QueryWorkload(query_size=0.03, seed=seed).areas(1)[0]
+        ids = {
+            method: execute_spec(
+                db, AreaQuery(area), method=method
+            ).ids
+            for method in ("traditional", "voronoi")
+        }
+        assert ids["traditional"] == ids["voronoi"]
+
+    @pytest.mark.parametrize(
+        "rect",
+        [
+            Rect(0.1, 0.1, 0.4, 0.5),
+            Rect(0.45, 0.45, 0.55, 0.55),
+            Rect(0.0, 0.0, 1.0, 1.0),
+        ],
+    )
+    def test_window_methods_agree(self, db, rect):
+        index = execute_spec(db, WindowQuery(rect), method="index")
+        voronoi = execute_spec(db, WindowQuery(rect), method="voronoi")
+        assert index.ids == voronoi.ids
+        brute = sorted(
+            i for i, p in enumerate(db.points) if rect.contains_point(p)
+        )
+        assert index.ids == brute
+
+    @pytest.mark.parametrize("k", [1, 5, 50])
+    def test_knn_methods_agree(self, db, k):
+        index = execute_spec(db, KnnQuery(Q, k), method="index")
+        voronoi = execute_spec(db, KnnQuery(Q, k), method="voronoi")
+        assert index.ids == voronoi.ids
+        assert len(index.ids) == k
+
+    def test_nearest_matches_knn_head(self, db):
+        nearest = execute_spec(db, NearestQuery(Q))
+        knn = execute_spec(db, KnnQuery(Q, 1), method="index")
+        assert nearest.ids == knn.ids
+
+    def test_circle_area_queries(self, db):
+        disc = Circle(Point(0.5, 0.5), 0.2)
+        traditional = execute_spec(
+            db, AreaQuery(disc), method="traditional"
+        )
+        voronoi = execute_spec(db, AreaQuery(disc), method="voronoi")
+        assert traditional.ids == voronoi.ids
+
+
+class TestResolution:
+    def test_explicit_method_honoured(self, db):
+        spec = AreaQuery(
+            QueryWorkload(query_size=0.02, seed=5).areas(1)[0],
+            method="traditional",
+        )
+        assert resolve_method(db, spec) == "traditional"
+
+    def test_auto_consults_planner(self, db):
+        spec = KnnQuery(Q, 3)
+        assert resolve_method(db, spec) == db.engine.planner.plan(spec)
+
+    def test_executed_method_recorded_in_stats(self, db):
+        record = execute_spec(db, WindowQuery(Rect(0.2, 0.2, 0.4, 0.4)))
+        assert record.stats.method in ("index", "voronoi")
+
+    def test_degenerate_window_routes_to_index(self, db):
+        line = Rect(0.3, 0.0, 0.3, 1.0)  # zero area
+        assert db.engine.planner.plan(WindowQuery(line)) == "index"
+        record = execute_spec(db, WindowQuery(line))
+        assert record.stats.method == "index"
+
+    def test_degenerate_window_voronoi_rejected(self, db):
+        line = Rect(0.3, 0.0, 0.3, 1.0)
+        with pytest.raises(InvalidQueryAreaError):
+            execute_spec(db, WindowQuery(line, method="voronoi"))
+
+
+class TestEdgeCases:
+    def test_empty_database_semantics(self):
+        empty = SpatialDatabase()
+        with pytest.raises(EmptyDatabaseError):
+            execute_spec(
+                empty, AreaQuery(Polygon([(0, 0), (1, 0), (0, 1)]))
+            )
+        assert execute_spec(empty, WindowQuery(Rect(0, 0, 1, 1))).ids == []
+        assert execute_spec(empty, KnnQuery(Q, 3)).ids == []
+        assert execute_spec(empty, NearestQuery(Q)).ids == []
+
+    def test_k_zero_returns_empty(self, db):
+        for method in ("index", "voronoi"):
+            assert execute_spec(db, KnnQuery(Q, 0), method=method).ids == []
+
+    def test_k_exceeding_database_returns_all(self, db):
+        record = execute_spec(db, KnnQuery(Q, len(db) + 10), method="index")
+        assert len(record.ids) == len(db)
+
+    def test_unknown_spec_type_rejected(self, db):
+        with pytest.raises(TypeError):
+            execute_spec(db, object())
+
+    def test_window_boundary_is_closed(self, db):
+        row = 17
+        p = db.point(row)
+        rect = Rect(p.x, p.y, p.x + 0.05, p.y + 0.05)
+        assert row in execute_spec(db, WindowQuery(rect)).ids
+
+
+class TestPredicateInvocationContract:
+    """A spec's predicate runs exactly once per examined candidate."""
+
+    def test_area_predicate_called_once_per_refined_row(self, db):
+        area = QueryWorkload(query_size=0.04, seed=2).areas(1)[0]
+        raw = len(execute_spec(db, AreaQuery(area), method="traditional").ids)
+        calls = []
+        spec = AreaQuery(
+            area,
+            method="traditional",
+            predicate=lambda p: calls.append(1) or True,
+        )
+        db.query(spec).ids()
+        assert len(calls) == raw
+
+    def test_batch_does_not_refilter(self, db):
+        area = QueryWorkload(query_size=0.04, seed=2).areas(1)[0]
+        raw = len(execute_spec(db, AreaQuery(area), method="traditional").ids)
+        calls = []
+        spec = AreaQuery(
+            area,
+            method="traditional",
+            predicate=lambda p: calls.append(1) or True,
+        )
+        db.query_batch([spec], use_cache=False)
+        assert len(calls) == raw
+
+    def test_budgeted_knn_predicate_sees_each_candidate_once(self, db):
+        # A stateful predicate accepting its first 5 calls: with single
+        # invocation per candidate the 5 nearest rows all pass.
+        for method in ("index", "voronoi"):
+            budget = iter(range(100))
+            spec = KnnQuery(
+                Q, 5, method=method, predicate=lambda p: next(budget) < 5
+            )
+            ids = db.query(spec).ids()
+            expected = db.query(KnnQuery(Q, 5, method=method)).ids()
+            assert ids == expected, method
+
+    def test_nearest_zero_limit(self, db):
+        assert db.query(NearestQuery(Q, limit=0)).ids() == []
+
+
+class TestExplainExecuteGuards:
+    def test_degenerate_window_explain_execute(self, db):
+        from repro.geometry.rectangle import Rect as R
+
+        line = WindowQuery(R(0.3, 0.0, 0.3, 1.0))
+        explanation = db.explain(line, execute=True)
+        # voronoi cannot execute on a zero-area window: skipped, not raised
+        assert list(explanation.actual_costs) == ["index"]
+        assert "-" in explanation.render()
+
+    def test_empty_database_area_explain_execute(self):
+        empty = SpatialDatabase()
+        area = Polygon([(0, 0), (1, 0), (0, 1)])
+        explanation = empty.explain(AreaQuery(area), execute=True)
+        assert explanation.actual_costs == {}

@@ -1,0 +1,155 @@
+"""The lazy QueryResult handle: deferred execution, projections, explain."""
+
+import pytest
+
+from repro import (
+    AreaQuery,
+    KnnQuery,
+    NearestQuery,
+    SpatialDatabase,
+    WindowQuery,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.workloads.generators import uniform_points
+
+POLY = Polygon([(0.2, 0.2), (0.6, 0.25), (0.55, 0.7), (0.25, 0.6)])
+RECT = Rect(0.3, 0.3, 0.6, 0.7)
+Q = Point(0.4, 0.5)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SpatialDatabase.from_points(uniform_points(600, seed=7)).prepare()
+
+
+class TestLaziness:
+    def test_query_defers_execution(self, db):
+        result = db.query(AreaQuery(POLY))
+        assert not result.executed
+        assert "pending" in repr(result)
+        ids = result.ids()
+        assert result.executed
+        assert ids == sorted(ids)
+        assert repr(result).endswith(
+            f"{len(ids)} rows, method={result.stats.method!r})"
+        )
+
+    def test_execution_memoised(self, db):
+        result = db.query(KnnQuery(Q, 5))
+        first = result.record
+        assert result.record is first  # one execution per handle
+
+    def test_invalid_spec_type_rejected(self, db):
+        with pytest.raises(TypeError):
+            db.query("polygon please")
+
+
+class TestProjections:
+    def test_ids_points_align(self, db):
+        result = db.query(AreaQuery(POLY))
+        ids, points = result.ids(), result.points()
+        assert [db.point(i) for i in ids] == points
+        assert all(POLY.contains_point(p) for p in points)
+
+    def test_ids_returns_fresh_list(self, db):
+        result = db.query(AreaQuery(POLY))
+        result.ids().append(-1)
+        assert -1 not in result.ids()
+
+    def test_distances_sorted_for_knn(self, db):
+        result = db.query(KnnQuery(Q, 12))
+        distances = result.distances()
+        assert distances == sorted(distances)
+        assert len(distances) == 12
+
+    def test_distances_undefined_for_regions(self, db):
+        with pytest.raises(ValueError, match="distances"):
+            db.query(AreaQuery(POLY)).distances()
+
+    def test_iteration_follows_select(self, db):
+        ids = list(db.query(KnnQuery(Q, 4)))
+        assert ids == db.query(KnnQuery(Q, 4)).ids()
+        points = list(db.query(KnnQuery(Q, 4, select="points")))
+        assert points == db.query(KnnQuery(Q, 4)).points()
+        distances = list(db.query(KnnQuery(Q, 4, select="distances")))
+        assert distances == db.query(KnnQuery(Q, 4)).distances()
+
+    def test_len_and_contains(self, db):
+        result = db.query(NearestQuery(Q))
+        assert len(result) == 1
+        assert result.ids()[0] in result
+
+
+class TestOptions:
+    def test_limit_truncates_in_result_order(self, db):
+        full = db.query(AreaQuery(POLY)).ids()
+        limited = db.query(AreaQuery(POLY, limit=3)).ids()
+        assert limited == full[:3]
+        knn_full = db.query(KnnQuery(Q, 10)).ids()
+        assert db.query(KnnQuery(Q, 10, limit=4)).ids() == knn_full[:4]
+
+    def test_zero_limit_empty(self, db):
+        assert db.query(WindowQuery(RECT, limit=0)).ids() == []
+
+    def test_predicate_filters_points(self, db):
+        keep = lambda p: p.x < 0.45  # noqa: E731 - test fixture
+        result = db.query(AreaQuery(POLY, predicate=keep))
+        assert all(p.x < 0.45 for p in result.points())
+        unfiltered = db.query(AreaQuery(POLY))
+        expected = [i for i in unfiltered.ids() if keep(db.point(i))]
+        assert result.ids() == expected
+
+    def test_knn_predicate_still_returns_k(self, db):
+        keep = lambda p: p.y > 0.5  # noqa: E731 - test fixture
+        for method in ("index", "voronoi"):
+            result = db.query(KnnQuery(Q, 6, method=method, predicate=keep))
+            points = result.points()
+            assert len(points) == 6
+            assert all(p.y > 0.5 for p in points)
+            distances = result.distances()
+            assert distances == sorted(distances)
+
+    def test_knn_predicate_methods_agree(self, db):
+        keep = lambda p: p.x + p.y < 1.0  # noqa: E731 - test fixture
+        index = db.query(KnnQuery(Q, 7, method="index", predicate=keep))
+        voronoi = db.query(KnnQuery(Q, 7, method="voronoi", predicate=keep))
+        assert index.ids() == voronoi.ids()
+
+    def test_nearest_with_predicate(self, db):
+        keep = lambda p: p.x > 0.9  # noqa: E731 - test fixture
+        result = db.query(NearestQuery(Q, predicate=keep))
+        assert len(result) == 1
+        best = result.ids()[0]
+        # the first index-ordered point satisfying the filter
+        brute = min(
+            (i for i, p in enumerate(db.points) if keep(p)),
+            key=lambda i: (db.point(i).squared_distance_to(Q), i),
+        )
+        assert best == brute
+
+
+class TestExplain:
+    def test_explain_without_execution(self, db):
+        result = db.query(AreaQuery(POLY))
+        explanation = result.explain()
+        assert not result.executed  # explain alone never executes
+        assert set(explanation.estimates) == {"traditional", "voronoi"}
+        assert explanation.actual_costs == {}
+        assert explanation.chosen in explanation.estimates
+
+    def test_explain_attaches_measured_stats_after_execution(self, db):
+        result = db.query(KnnQuery(Q, 5))
+        result.ids()
+        explanation = result.explain()
+        ran = result.stats.method
+        assert list(explanation.actual_costs) == [ran]
+        assert explanation.actual[ran].result_size == 5
+
+    def test_explain_execute_runs_all_methods(self, db):
+        explanation = db.query(WindowQuery(RECT)).explain(execute=True)
+        assert set(explanation.actual_costs) == {"index", "voronoi"}
+        assert explanation.prediction_correct in (True, False)
+        rendered = explanation.render()
+        assert "meas. cost" in rendered and "index" in rendered

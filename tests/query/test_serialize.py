@@ -1,0 +1,96 @@
+"""Spec JSON serialisation: exact round trips and error handling."""
+
+import json
+
+import pytest
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.query.serialize import (
+    dump_specs,
+    load_specs,
+    region_from_dict,
+    region_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.query.spec import AreaQuery, KnnQuery, NearestQuery, WindowQuery
+
+POLY = Polygon([(0.123456789012345, 0.1), (0.5, 0.1), (0.4, 0.62)])
+
+ALL_SPECS = [
+    AreaQuery(POLY),
+    AreaQuery(POLY, method="traditional", limit=10),
+    AreaQuery(Circle(Point(0.25, 0.75), 0.125)),
+    WindowQuery(Rect(0.1, 0.2, 0.3, 0.4), select="points"),
+    KnnQuery(Point(1 / 3, 2 / 3), 8, method="voronoi"),
+    NearestQuery(Point(0.9, 0.1), limit=1),
+]
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.describe())
+def test_round_trip_exact(spec):
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+def test_dump_load_array():
+    text = dump_specs(ALL_SPECS)
+    assert load_specs(text) == ALL_SPECS
+    # valid JSON with one object per spec
+    assert len(json.loads(text)) == len(ALL_SPECS)
+
+
+def test_floats_survive_exactly():
+    spec = KnnQuery(Point(0.1 + 0.2, 1e-17), 3)  # awkward doubles
+    back = load_specs(dump_specs([spec]))[0]
+    assert back.point.x == spec.point.x
+    assert back.point.y == spec.point.y
+
+
+def test_single_object_accepted():
+    spec = ALL_SPECS[0]
+    assert load_specs(json.dumps(spec_to_dict(spec))) == [spec]
+
+
+def test_defaults_omitted_from_wire_form():
+    data = spec_to_dict(AreaQuery(POLY))
+    assert set(data) == {"kind", "region"}
+    data = spec_to_dict(KnnQuery((0.5, 0.5), 2, limit=1))
+    assert data["limit"] == 1 and "select" not in data
+
+
+def test_predicates_refuse_to_serialise():
+    with pytest.raises(ValueError, match="predicate"):
+        spec_to_dict(AreaQuery(POLY, predicate=lambda p: True))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown query kind"):
+        spec_from_dict({"kind": "tessellate"})
+    with pytest.raises(ValueError):
+        spec_from_dict("not a dict")
+
+
+def test_unknown_region_type_rejected():
+    with pytest.raises(ValueError, match="unknown region type"):
+        region_from_dict({"type": "blob"})
+
+    class Opaque:
+        pass
+
+    with pytest.raises(ValueError, match="cannot serialise region"):
+        region_to_dict(Opaque())
+
+
+def test_non_array_text_rejected():
+    with pytest.raises(ValueError, match="JSON array"):
+        load_specs('"just a string"')
+
+
+def test_wire_method_validation_applies():
+    data = spec_to_dict(AreaQuery(POLY))
+    data["method"] = "warp"
+    with pytest.raises(ValueError, match="unknown method"):
+        spec_from_dict(data)

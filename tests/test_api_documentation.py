@@ -70,6 +70,52 @@ def test_public_items_documented(module):
     )
 
 
+def test_query_package_is_fully_documented():
+    """The declarative query API ships with complete docs: every module
+    under ``repro.query`` is collected by the walker above, and every
+    name the package exports resolves to a documented class or
+    function."""
+    query_modules = {
+        module.__name__
+        for module in ALL_MODULES
+        if module.__name__.startswith("repro.query")
+    }
+    assert {
+        "repro.query",
+        "repro.query.spec",
+        "repro.query.result",
+        "repro.query.executor",
+        "repro.query.serialize",
+    } <= query_modules
+
+    import repro.query
+
+    undocumented = []
+    for name in repro.query.__all__:
+        item = getattr(repro.query, name)
+        if not inspect.isclass(item) and not inspect.isfunction(item):
+            continue
+        if not (inspect.getdoc(item) or "").strip():
+            undocumented.append(name)
+        if inspect.isclass(item):
+            for member_name, member in vars(item).items():
+                if member_name.startswith("_"):
+                    continue
+                if not (
+                    inspect.isfunction(member)
+                    or isinstance(
+                        member, (property, staticmethod, classmethod)
+                    )
+                ):
+                    continue
+                doc = inspect.getdoc(getattr(item, member_name, None))
+                if not (doc or "").strip():
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, (
+        f"undocumented repro.query exports: {undocumented}"
+    )
+
+
 def test_engine_package_is_fully_documented():
     """The engine subsystem ships with complete docs: every module under
     ``repro.engine`` is collected by the walker above, and every name the

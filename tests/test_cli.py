@@ -39,6 +39,42 @@ class TestCLI:
             document = (tmp_path / name).read_text()
             ET.fromstring(document)  # well-formed
 
+    def test_query_spec_file(self, tmp_path, capsys):
+        from repro import AreaQuery, KnnQuery, NearestQuery, WindowQuery
+        from repro import dump_specs
+        from repro.geometry.polygon import Polygon
+        from repro.geometry.rectangle import Rect
+
+        specs = [
+            AreaQuery(Polygon([(0.2, 0.2), (0.6, 0.25), (0.4, 0.7)])),
+            WindowQuery(Rect(0.1, 0.1, 0.4, 0.5)),
+            KnnQuery((0.5, 0.5), 5, method="voronoi"),
+            NearestQuery((0.9, 0.9)),
+        ]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(dump_specs(specs), encoding="utf-8")
+        exit_code = main(
+            [
+                "query",
+                "--spec-file",
+                str(spec_file),
+                "--points",
+                "800",
+                "--explain",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        for kind in ("area(", "window(", "knn(", "nearest("):
+            assert kind in out
+        assert "4 specs" in out
+        assert "est. cost" in out  # --explain tables
+
+    def test_query_empty_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "empty.json"
+        spec_file.write_text("[]", encoding="utf-8")
+        assert main(["query", "--spec-file", str(spec_file)]) == 1
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -4,7 +4,6 @@ import pytest
 
 from repro.workloads.experiments import (
     ExperimentConfig,
-    SweepRow,
     main,
     make_query_trace,
     render_batch_table,
@@ -134,9 +133,24 @@ class TestBatchThroughput:
     def test_trace_shape_and_determinism(self):
         trace = make_query_trace(0.02, distinct=5, repeat=3, seed=4)
         assert len(trace) == 15
-        assert len({area.vertices for area in trace}) == 5  # 3 hits each
+        assert len(set(trace)) == 5  # area specs are hashable: 3 hits each
+        assert all(spec.kind == "area" for spec in trace)
         again = make_query_trace(0.02, distinct=5, repeat=3, seed=4)
-        assert [a.vertices for a in trace] == [a.vertices for a in again]
+        assert trace == again
+
+    def test_mixed_trace_covers_all_kinds(self):
+        from repro.workloads.experiments import make_mixed_trace
+
+        trace = make_mixed_trace(0.02, distinct=8, repeat=2, seed=4)
+        assert len(trace) == 16
+        assert {spec.kind for spec in trace} == {
+            "area",
+            "window",
+            "knn",
+            "nearest",
+        }
+        assert len(set(trace)) == 8
+        assert trace == make_mixed_trace(0.02, distinct=8, repeat=2, seed=4)
 
     def test_experiment_rows_and_rendering(self):
         rows = run_batch_throughput_experiment(

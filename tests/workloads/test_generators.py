@@ -53,7 +53,6 @@ class TestClustered:
     def test_clustering_effect(self):
         # Clustered data is measurably denser locally than uniform data:
         # compare mean nearest-neighbour distance.
-        from repro.delaunay.backends import PureDelaunayBackend
 
         uniform = uniform_points(300, seed=3)
         clustered = clustered_points(300, seed=3, clusters=5, spread=0.01)

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Lint driver for ``make lint``.
+
+Prefers `ruff <https://docs.astral.sh/ruff/>`_ when it is installed
+(``ruff check`` with the configuration from ``pyproject.toml``); in
+environments without ruff (the library itself has zero required
+third-party dependencies, and so does its tooling) it falls back to a
+small built-in linter covering the highest-signal, zero-false-positive
+checks:
+
+* ``E999`` — the file must parse (``ast.parse``);
+* ``F401`` — imports never referenced in the module (``# noqa`` on the
+  import line suppresses, for intentional re-exports);
+* ``W291/W293`` — trailing whitespace;
+* ``W605`` — invalid escape sequences (compile-time ``SyntaxWarning``);
+* tabs in indentation (the codebase is spaces-only).
+
+Exit status 0 when clean, 1 when any finding is reported — same contract
+either way, so CI can call ``make lint`` unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import shutil
+import subprocess
+import sys
+import warnings
+from typing import Iterator, List
+
+#: Directories the fallback linter skips entirely.
+SKIP_PARTS = {".git", "__pycache__", ".pytest_cache", ".hypothesis"}
+
+
+def iter_python_files(roots: List[str]) -> Iterator[pathlib.Path]:
+    """Yield every ``.py`` file under ``roots`` (files pass through)."""
+    for root in roots:
+        path = pathlib.Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIP_PARTS.intersection(candidate.parts):
+                    yield candidate
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Record imported names and every name/attribute the module uses."""
+
+    def __init__(self) -> None:
+        self.imports: dict[str, int] = {}
+        self.used: set[str] = set()
+        self.noqa_lines: set[int] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.imports[name] = node.lineno
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":  # compiler directives, not names
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            self.imports[name] = node.lineno
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # "import a.b; a.b.c()" marks "a" used via the Name node below it.
+        self.generic_visit(node)
+
+
+def _string_referenced(name: str, tree: ast.Module) -> bool:
+    """Is ``name`` mentioned in ``__all__`` or a docstring-ish constant?
+
+    Keeps re-export modules (``from x import y`` + ``__all__ = ["y"]``)
+    clean without needing ``# noqa``.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value == name:
+                return True
+    return False
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Run the fallback checks on one file; returns finding strings."""
+    findings: List[str] = []
+    text = path.read_text(encoding="utf-8")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.rstrip("\n")
+        if stripped != stripped.rstrip():
+            findings.append(
+                f"{path}:{lineno}: W291 trailing whitespace"
+            )
+        indent = stripped[: len(stripped) - len(stripped.lstrip())]
+        if "\t" in indent:
+            findings.append(f"{path}:{lineno}: W191 tab in indentation")
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", SyntaxWarning)
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            findings.append(
+                f"{path}:{error.lineno}: E999 syntax error: {error.msg}"
+            )
+            return findings
+        compile(text, str(path), "exec")
+    for warning in caught:
+        if issubclass(warning.category, SyntaxWarning):
+            findings.append(
+                f"{path}:{warning.lineno or 0}: W605 {warning.message}"
+            )
+
+    collector = _ImportCollector()
+    collector.visit(tree)
+    noqa_lines = {
+        lineno
+        for lineno, line in enumerate(text.splitlines(), start=1)
+        if "# noqa" in line
+    }
+    for name, lineno in sorted(collector.imports.items(), key=lambda kv: kv[1]):
+        if name == "_" or name.startswith("__"):
+            continue
+        if lineno in noqa_lines:
+            continue
+        if name in collector.used:
+            continue
+        if _string_referenced(name, tree):
+            continue
+        findings.append(
+            f"{path}:{lineno}: F401 '{name}' imported but unused"
+        )
+    return findings
+
+
+def run_fallback(roots: List[str]) -> int:
+    """Run the built-in checks over ``roots``; returns an exit status."""
+    findings: List[str] = []
+    count = 0
+    for path in iter_python_files(roots):
+        count += 1
+        findings.extend(check_file(path))
+    for finding in findings:
+        print(finding)
+    status = 1 if findings else 0
+    print(
+        f"fallback lint: {count} files checked, {len(findings)} findings"
+        " (install ruff for the full rule set)",
+        file=sys.stderr,
+    )
+    return status
+
+
+def main(argv: List[str]) -> int:
+    """Dispatch to ruff when available, else the built-in fallback."""
+    roots = argv or ["src", "tests", "benchmarks", "examples", "tools"]
+    ruff = shutil.which("ruff")
+    if ruff is not None:
+        return subprocess.call([ruff, "check", *roots])
+    return run_fallback(roots)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

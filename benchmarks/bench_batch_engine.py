@@ -35,7 +35,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import get_database
+from benchmarks.conftest import get_database, record_benchmark
 from repro.workloads.experiments import (
     TRACE_STRATEGIES,
     make_mixed_trace,
@@ -98,6 +98,16 @@ def test_batch_speedup_on_trace():
     assert batch_ids == loop_ids
     best_loop = min(loop_times.values())
     speedup = best_loop / batch_time
+    record_benchmark(
+        "batch_speedup_on_trace",
+        speedup=round(speedup, 3),
+        threshold=1.5,
+        loop_ms=round(best_loop * 1e3, 3),
+        batch_ms=round(batch_time * 1e3, 3),
+        requests=len(trace),
+        distinct_regions=DISTINCT,
+        data_size=DATA_SIZE,
+    )
     assert speedup >= 1.5, (
         f"batched throughput only {speedup:.2f}x the best single-query loop "
         f"(loop {best_loop * 1e3:.1f} ms vs batch {batch_time * 1e3:.1f} ms)"
@@ -125,6 +135,15 @@ def test_heterogeneous_batch_speedup():
 
     assert batch_ids == loop_ids
     speedup = loop_time / batch_time
+    record_benchmark(
+        "heterogeneous_batch_speedup",
+        speedup=round(speedup, 3),
+        threshold=1.5,
+        loop_ms=round(loop_time * 1e3, 3),
+        batch_ms=round(batch_time * 1e3, 3),
+        requests=len(trace),
+        data_size=DATA_SIZE,
+    )
     assert speedup >= 1.5, (
         f"heterogeneous batch only {speedup:.2f}x the single-query loop "
         f"(loop {loop_time * 1e3:.1f} ms vs batch {batch_time * 1e3:.1f} ms)"

@@ -1,0 +1,148 @@
+"""Composite query algebra — decomposition speedup and streaming cost.
+
+Not a paper artefact: this bench covers the composite specs added on top
+of the declarative query API (:mod:`repro.query.spec` union /
+intersection / difference) and the streaming ``KnnQuery(k=None)``.
+
+Two acceptance assertions, results recorded in ``BENCH_pr.json`` and
+``docs/BENCHMARKS.md``:
+
+* ``test_composite_union_speedup`` — a batch-decomposed ``UnionQuery``
+  of :data:`PARTS` (>= 4) clustered Voronoi-method regions at least
+  1.3x faster than executing the same leaves independently and merging
+  in Python.  The win is the engine's cross-sibling sharing: after the
+  first leaf, every sibling's expansion seed is obtained by *walking*
+  the previous seed across the Delaunay graph (a few hops) instead of a
+  best-first index NN descent.  (Index-routed leaves share window
+  frontiers instead; at laptop scale that saving is of the same order
+  as the batch bookkeeping, so the paper-method workload is the
+  showcase.)
+* ``test_unbounded_knn_streams_first_10`` — ``KnnQuery(k=None)``
+  yields its first 10 neighbours while *examining exactly 10
+  candidates*, i.e. without materialising (or even ranking) the rest of
+  the database; the prefix equals the eager ``k=10`` result.
+
+The strategy runner is shared with the experiment harness
+(``python -m repro experiments composite`` reports the same paths).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import get_database, record_benchmark
+from repro.query.spec import KnnQuery, UnionQuery
+from repro.workloads.experiments import (
+    COMPOSITE_TRACE_STRATEGIES,
+    make_composite_trace,
+    run_trace_strategy,
+)
+
+DATA_SIZE = 10_000
+#: sibling regions per composite (the acceptance bar requires >= 4)
+PARTS = 8
+DISTINCT = 20
+QUERY_SIZE = 0.001
+ROUNDS = 7
+
+
+def _composite_trace():
+    """The acceptance workload: unions of PARTS clustered voronoi leaves."""
+    return make_composite_trace(
+        QUERY_SIZE,
+        DISTINCT,
+        seed=2020,
+        parts=PARTS,
+        kinds=(UnionQuery,),
+    )
+
+
+@pytest.mark.parametrize("strategy", COMPOSITE_TRACE_STRATEGIES)
+def test_composite_throughput(benchmark, strategy):
+    db = get_database(DATA_SIZE)
+    trace = _composite_trace()
+
+    benchmark(run_trace_strategy, db, trace, strategy)
+
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["composites"] = len(trace)
+    benchmark.extra_info["parts"] = PARTS
+
+
+def test_composite_union_speedup():
+    """Batch-decomposed unions >= 1.3x independent leaf execution (the
+    acceptance bar), with id-identical results.
+
+    The two strategies are timed *interleaved* (loop round, batch round,
+    repeat; min per strategy) rather than in separate phases, so CPU
+    frequency drift or background load on a shared box hits both sides
+    equally instead of skewing the ratio.
+    """
+    db = get_database(DATA_SIZE)
+    trace = _composite_trace()
+    assert all(len(spec.parts) >= 4 for spec in trace)
+
+    times = {"leaves/loop": float("inf"), "composite/batch": float("inf")}
+    ids = {}
+    for _ in range(ROUNDS):
+        for strategy in times:
+            started = time.perf_counter()
+            ids[strategy] = run_trace_strategy(db, trace, strategy)
+            times[strategy] = min(
+                times[strategy], time.perf_counter() - started
+            )
+    loop_time, loop_ids = times["leaves/loop"], ids["leaves/loop"]
+    batch_time, batch_ids = (
+        times["composite/batch"],
+        ids["composite/batch"],
+    )
+
+    assert batch_ids == loop_ids
+    stats = db.engine.last_batch_stats
+    speedup = loop_time / batch_time
+    record_benchmark(
+        "composite_union_speedup",
+        speedup=round(speedup, 3),
+        threshold=1.3,
+        loop_ms=round(loop_time * 1e3, 3),
+        batch_ms=round(batch_time * 1e3, 3),
+        composites=len(trace),
+        parts=PARTS,
+        seed_walk_reuses=stats.seed_walk_reuses,
+        seed_index_lookups=stats.seed_index_lookups,
+        data_size=DATA_SIZE,
+    )
+    # the mechanism, not just the outcome: almost every sibling seed
+    # must have come from a graph walk rather than an index descent
+    assert stats.seed_walk_reuses >= len(trace) * (PARTS - 1)
+    assert speedup >= 1.3, (
+        f"composite decomposition only {speedup:.2f}x independent leaves "
+        f"(loop {loop_time * 1e3:.1f} ms vs batch {batch_time * 1e3:.1f} ms)"
+    )
+
+
+def test_unbounded_knn_streams_first_10():
+    """``KnnQuery(k=None)`` streams: first-10 consumption examines
+    exactly 10 candidates and never materialises the full ranking."""
+    db = get_database(DATA_SIZE)
+    examined = []
+    spec = KnnQuery(
+        (0.42, 0.58), None, predicate=lambda p: examined.append(p) or True
+    )
+    result = db.query(spec)
+
+    first10 = result.first(10)
+
+    assert len(first10) == 10
+    # the predicate runs once per examined candidate: exactly 10 of the
+    # 10k rows were ever touched, and no eager record was memoised
+    assert len(examined) == 10
+    assert not result.executed
+    assert first10 == db.query(KnnQuery((0.42, 0.58), 10)).ids()
+    record_benchmark(
+        "unbounded_knn_streaming",
+        first_n=10,
+        candidates_examined=len(examined),
+        data_size=DATA_SIZE,
+        materialised=result.executed,
+    )

@@ -15,7 +15,11 @@ the paper (slow: pure-Python experiments at 1E6 points).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
+import time
 from typing import Dict, List, Tuple
 
 import pytest
@@ -26,6 +30,63 @@ from repro.workloads.generators import uniform_points
 from repro.workloads.queries import QueryWorkload
 
 PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
+
+#: Where the machine-readable per-PR benchmark record lands.  CI uploads
+#: this file as a workflow artifact on every run, so the perf trajectory
+#: of the acceptance speedups is recorded per commit rather than only
+#: living in pass/fail asserts.
+BENCH_JSON_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_pr.json")
+
+#: Collected ``record_benchmark`` entries of this pytest session.
+BENCH_RECORDS: Dict[str, Dict[str, object]] = {}
+
+
+def record_benchmark(name: str, **values) -> None:
+    """Record one benchmark's machine-readable outcome.
+
+    The acceptance benchmarks call this with their measured speedup
+    ratios and counts; everything recorded during the session is written
+    to :data:`BENCH_JSON_PATH` at session end (see
+    :func:`pytest_sessionfinish`).  Values must be JSON-serialisable.
+    """
+    BENCH_RECORDS[name] = values
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write the session's benchmark records as ``BENCH_pr.json``.
+
+    Only writes when at least one benchmark recorded a result (unit-test
+    sessions that happen to import this conftest stay silent).  The file
+    is a single JSON object: run metadata plus one entry per recorded
+    benchmark — the artifact CI uploads on every run.
+
+    Note on module identity: pytest loads this conftest under its own
+    module name while the bench files import ``benchmarks.conftest``
+    directly, so two instances of :data:`BENCH_RECORDS` can exist in one
+    process; the hook merges both before writing.
+    """
+    records = dict(BENCH_RECORDS)
+    try:
+        from benchmarks.conftest import BENCH_RECORDS as imported_records
+
+        records.update(imported_records)
+    except ImportError:  # pragma: no cover - benchmarks/ always importable
+        pass
+    if not records:
+        return
+    payload = {
+        "schema": "repro-bench/1",
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "pytest_exit_status": int(exitstatus),
+        "paper_scale": PAPER_SCALE,
+        "counts": {"benchmarks_recorded": len(records)},
+        "results": records,
+    }
+    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 #: Data sizes of the Table I / Figs. 4–5 sweep.
 DATA_SIZES: Tuple[int, ...] = (

@@ -45,8 +45,11 @@ Packages
 ``repro.query``
     The declarative query API: immutable spec objects
     (:class:`AreaQuery`, :class:`WindowQuery`, :class:`KnnQuery`,
-    :class:`NearestQuery`), the lazy result handle, and exact JSON
-    (de)serialisation of specs.
+    :class:`NearestQuery`), the composite algebra over them
+    (:class:`UnionQuery`, :class:`IntersectionQuery`,
+    :class:`DifferenceQuery`) with lazy set-semantics merging, streaming
+    consumption (``KnnQuery(k=None)``, ``result.first(n)``), the lazy
+    result handle, and exact JSON (de)serialisation of specs.
 ``repro.engine``
     The serving layer: heterogeneous batch execution with cross-query
     sharing, a cost-based planner routing every query kind
@@ -77,9 +80,13 @@ from repro.geometry import (
 )
 from repro.query import (
     AreaQuery,
+    CompositeQuery,
+    DifferenceQuery,
+    IntersectionQuery,
     KnnQuery,
     NearestQuery,
     Query,
+    UnionQuery,
     WindowQuery,
     dump_specs,
     load_specs,
@@ -94,6 +101,10 @@ __all__ = [
     "WindowQuery",
     "KnnQuery",
     "NearestQuery",
+    "CompositeQuery",
+    "UnionQuery",
+    "IntersectionQuery",
+    "DifferenceQuery",
     "QueryResult",
     "QueryStats",
     "dump_specs",

@@ -7,9 +7,13 @@ Commands
     methods, print the work-counter comparison.
 ``query``
     Declarative query runner: load specs from a JSON file
-    (``--spec-file``, format of :mod:`repro.query.serialize`), answer
-    them as one heterogeneous batch, print per-spec summaries and,
-    optionally, the planner's ``--explain`` tables.
+    (``--spec-file``, format of :mod:`repro.query.serialize` — leaf
+    kinds, ``union``/``intersection``/``difference`` composites, and
+    unbounded ``knn`` specs without a ``k``), answer them as one
+    heterogeneous batch, print per-spec summaries and, optionally, the
+    planner's ``--explain`` tables.  ``--first N`` instead *streams* the
+    first ``N`` rows of each spec lazily (composites and unbounded kNN
+    never materialise their full result).
 ``batch``
     Batch-engine demonstration: serve a repeated-spec trace through
     :meth:`SpatialDatabase.query_batch`, print the planner's ``explain``
@@ -76,6 +80,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         uniform_points(args.points, seed=args.seed), backend_kind="scipy"
     ).prepare()
 
+    if args.first is not None:
+        header = f"{'#':>3}  {'spec':<52} first {args.first} rows"
+        print(header)
+        print("-" * len(header))
+        for i, spec in enumerate(specs):
+            rows = db.query(spec).first(args.first)
+            description = spec.describe()
+            if len(description) > 52:
+                description = description[:49] + "..."
+            print(f"{i:>3}  {description:<52} {rows}")
+        return 0
+
     batch = db.query_batch(specs)
     header = f"{'#':>3}  {'spec':<52} {'method':>11} {'rows':>7} {'ms':>8}"
     print(header)
@@ -121,7 +137,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     model = db.engine.planner.calibrate([spec.region for spec in probes])
     print(
         f"Calibrated cost model: validation {model.validation_cost:.4f} ms, "
-        f"node access {model.node_access_cost:.4f} ms"
+        f"node access {model.node_access_cost:.4f} ms, "
+        f"kNN expansion x{model.knn_expansion_factor:.1f} "
+        "(area + window + kNN probes)"
     )
 
     sample = probes[0]
@@ -191,6 +209,8 @@ def _cmd_info() -> int:
     print("          repro.io        repro.viz")
     print()
     print("query API: db.query(AreaQuery | WindowQuery | KnnQuery | NearestQuery)")
+    print("           db.query(UnionQuery | IntersectionQuery | DifferenceQuery)")
+    print("           db.query(KnnQuery(p, k=None)).first(n)  (streaming)")
     print("           db.query_batch([...])  (see docs/QUERY_API.md)")
     print()
     print("experiment index (see DESIGN.md / EXPERIMENTS.md):")
@@ -204,6 +224,7 @@ def _cmd_info() -> int:
         ("Fig. 2/3", "figures"),
         ("Batch   ", "batch"),
         ("Mixed   ", "experiments mixed"),
+        ("Composite", "experiments composite"),
         ("Specs   ", "query --spec-file specs.json"),
     ]:
         print(f"  {artefact}  python -m repro {command}")
@@ -243,6 +264,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--explain",
         action="store_true",
         help="print the planner's explain table per spec",
+    )
+    query.add_argument(
+        "--first",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the first N rows of each spec lazily instead of "
+        "executing the batch (composites and unbounded kNN never "
+        "materialise their full result)",
     )
 
     batch = subparsers.add_parser(

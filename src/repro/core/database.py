@@ -23,6 +23,15 @@ through the single entry point :meth:`SpatialDatabase.query` (or
     print(result.explain().render())            # predicted vs measured
     near = db.query(KnnQuery((0.5, 0.5), 8)).points()
 
+Specs compose: ``UnionQuery`` / ``IntersectionQuery`` /
+``DifferenceQuery`` combine region queries with set semantics (the batch
+engine decomposes them so sibling leaves share work), and
+``KnnQuery(point, k=None)`` streams the distance ranking incrementally —
+``db.query(spec).first(10)`` examines only ~10 candidates::
+
+    ring = db.query(DifferenceQuery((AreaQuery(outer), AreaQuery(inner))))
+    closest = db.query(KnnQuery((0.5, 0.5), None)).first(10)
+
 The pre-spec methods (``area_query``, ``window_query``,
 ``k_nearest_neighbors``, ...) remain as thin deprecation shims that
 delegate to the spec path and return identical results; see
@@ -226,14 +235,21 @@ class SpatialDatabase:
 
         ``spec`` is an :class:`~repro.query.spec.AreaQuery`,
         :class:`~repro.query.spec.WindowQuery`,
-        :class:`~repro.query.spec.KnnQuery`, or
-        :class:`~repro.query.spec.NearestQuery`.  Returns a **lazy**
+        :class:`~repro.query.spec.KnnQuery`,
+        :class:`~repro.query.spec.NearestQuery`, or a composite
+        (:class:`~repro.query.spec.UnionQuery` /
+        :class:`~repro.query.spec.IntersectionQuery` /
+        :class:`~repro.query.spec.DifferenceQuery`).  Returns a **lazy**
         :class:`~repro.query.result.QueryResult` immediately; execution
         happens on first consumption (iteration, ``.ids()``,
         ``.points()``, ``.stats``, ...) and is memoised on the handle.
         ``spec.method="auto"`` routes through the cost-based planner;
         ``result.explain()`` shows the decision with predicted (and, once
-        executed, measured) costs.
+        executed, measured) costs — for a composite, one nested
+        explanation per part.  Streaming-capable specs (composites,
+        ``KnnQuery(k=None)``) additionally support lazy consumption:
+        ``result.first(n)`` / plain iteration produce rows on demand
+        without materialising the full result.
         """
         return LazyQueryResult(self, spec)
 
@@ -246,6 +262,9 @@ class SpatialDatabase:
         cross-query sharing lives: Hilbert-ordered tours, shared window
         frontiers, Voronoi seed reuse, intra-batch dedup, and the
         spec-keyed LRU result cache (disable with ``use_cache=False``).
+        Composite specs are decomposed into the same job pool, so their
+        leaves share work with each other *and* with the rest of the
+        batch (see :mod:`repro.engine.batch`).
         Returns a :class:`~repro.query.result.BatchQueryResults` of
         already-executed lazy handles in submission order, id-identical
         to calling :meth:`query` per spec, plus batch-level

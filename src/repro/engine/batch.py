@@ -32,6 +32,17 @@ sharing mechanism sees a spatially coherent sub-tour.  Results are
 returned in submission order and are id-identical to executing each spec
 alone (both area methods return the same id sets — the paper's theorem —
 so this holds for any mix of planned methods).
+
+**Composite specs** (:class:`~repro.query.spec.UnionQuery` /
+``Intersection`` / ``Difference``) are *decomposed*: their leaves join
+the batch's executable job pool alongside the plain specs, so every
+sharing mechanism above applies **across composite siblings** — four
+near-coincident windows unioned into one spec share one index traversal,
+Voronoi leaves chain seed walks, and a leaf repeated across composites
+(or equal to a plain spec in the same batch) executes once.  After the
+leaf jobs run, each composite's sorted leaf id lists merge with lazy set
+semantics (:func:`repro.query.executor.merge_sorted_ids`) and the
+composite's own options apply to the merged rows.
 """
 
 from __future__ import annotations
@@ -49,12 +60,21 @@ from repro.engine.order import locality_order
 from repro.engine.planner import QueryPlanner
 from repro.geometry.polygon import Polygon
 from repro.geometry.region import QueryRegion, interior_seed_position
-from repro.query.executor import execute_spec, finalize_record, resolve_method
+from repro.query.executor import (
+    execute_spec,
+    finalize_record,
+    merge_sorted_ids,
+    resolve_method,
+)
 from repro.query.spec import (
     AreaQuery,
+    CompositeQuery,
+    DifferenceQuery,
+    IntersectionQuery,
     KnnQuery,
     NearestQuery,
     Query,
+    UnionQuery,
     WindowQuery,
 )
 
@@ -99,6 +119,14 @@ class BatchStats:
     seed_walk_reuses: int = 0
     #: Voronoi seeds that needed a full index NN search
     seed_index_lookups: int = 0
+    #: composite specs answered by decomposition (not cache/dedup hits)
+    composite_queries: int = 0
+    #: leaf specs contributed to the job pool by composite decomposition
+    composite_leaves: int = 0
+    #: leaf jobs merged with an identical job already in the pool
+    leaf_duplicate_hits: int = 0
+    #: composite leaves served from the cross-batch LRU result cache
+    leaf_cache_hits: int = 0
     #: wall-clock time of the whole batch in milliseconds
     time_ms: float = 0.0
 
@@ -220,11 +248,7 @@ class BatchQueryEngine:
         for spec in specs:
             if not isinstance(spec, Query):
                 raise TypeError(f"not a query spec: {spec!r}")
-            if isinstance(spec, AreaQuery):
-                if not len(db):
-                    raise EmptyDatabaseError("area query on an empty database")
-                if spec.region.area <= 0.0:
-                    raise InvalidQueryAreaError("query area has zero area")
+            self._validate_spec(spec)
 
         started = time.perf_counter()
         stats = BatchStats(total_queries=len(specs))
@@ -258,51 +282,170 @@ class BatchQueryEngine:
             pending.append(i)
         stats.executed = len(pending)
 
-        # 2. Resolve the concrete method per pending spec (planner on auto).
-        choices = {i: resolve_method(db, specs[i]) for i in pending}
+        # 2. Decompose composites into executable leaf *jobs*.  A plain
+        #    spec is its own single job; a composite contributes its
+        #    (recursively flattened) leaves, so siblings share the tour
+        #    with everything else.  Identical jobs — a leaf repeated
+        #    across composites, or equal to a plain pending spec — merge
+        #    into one, and composite leaves may be served straight from
+        #    the cross-batch result cache.
+        jobs: List[Query] = []
+        job_records: List[Optional[QueryResult]] = []
+        job_cache_keys: List[Optional[Query]] = []
+        seen_jobs: Dict[Query, int] = {}
+        trees: Dict[int, object] = {}
+
+        def add_job(leaf: Query, from_composite: bool) -> int:
+            key = leaf.cache_key()
+            if key is not None:
+                existing = seen_jobs.get(key)
+                if existing is not None:
+                    stats.leaf_duplicate_hits += 1
+                    return existing
+            job = len(jobs)
+            jobs.append(leaf)
+            job_cache_keys.append(key)
+            record = None
+            if key is not None:
+                seen_jobs[key] = job
+                if from_composite and use_cache and self.cache.capacity > 0:
+                    record = self.cache.get(key, version)
+                    if record is not None:
+                        stats.leaf_cache_hits += 1
+            job_records.append(record)
+            return job
+
+        def expand(spec: Query, from_composite: bool):
+            if isinstance(spec, CompositeQuery):
+                if from_composite is False:
+                    stats.composite_queries += 1
+                return (
+                    spec,
+                    [expand(part, True) for part in spec.parts],
+                )
+            if from_composite:
+                stats.composite_leaves += 1
+            return add_job(spec, from_composite)
+
         for i in pending:
-            choice = choices[i]
-            kind = specs[i].kind
+            trees[i] = expand(specs[i], False)
+
+        # 3. Resolve the concrete method per executable job (planner on
+        #    auto), then Hilbert-tour the jobs and split by execution
+        #    strategy (each sharing mechanism gets a coherent sub-tour).
+        exec_jobs = [j for j in range(len(jobs)) if job_records[j] is None]
+        choices = {j: resolve_method(db, jobs[j]) for j in exec_jobs}
+        for j in exec_jobs:
+            choice = choices[j]
             stats.method_counts[choice] = (
                 stats.method_counts.get(choice, 0) + 1
             )
+        for i in pending:
+            kind = specs[i].kind
             stats.kind_counts[kind] = stats.kind_counts.get(kind, 0) + 1
 
-        # 3. Hilbert tour over the pending specs, split by execution
-        #    strategy (each sharing mechanism gets a coherent sub-tour).
-        anchors = [specs[i].anchor() for i in pending]
-        tour = [pending[j] for j in locality_order(anchors)]
+        anchors = [jobs[j].anchor() for j in exec_jobs]
+        tour = [exec_jobs[t] for t in locality_order(anchors)]
         frontier_tour: List[int] = []
         voronoi_tour: List[int] = []
         point_tour: List[int] = []
-        for i in tour:
-            spec = specs[i]
-            if isinstance(spec, (KnnQuery, NearestQuery)):
-                point_tour.append(i)
-            elif choices[i] == "voronoi":
-                voronoi_tour.append(i)
+        for j in tour:
+            job = jobs[j]
+            if isinstance(job, (KnnQuery, NearestQuery)):
+                point_tour.append(j)
+            elif choices[j] == "voronoi":
+                voronoi_tour.append(j)
             else:  # area/traditional or window/index
-                frontier_tour.append(i)
+                frontier_tour.append(j)
 
-        self._run_window_frontier(specs, frontier_tour, choices, results, stats)
-        self._run_voronoi(specs, voronoi_tour, results, stats)
-        self._run_point_queries(specs, point_tour, choices, results, stats)
+        self._run_window_frontier(
+            jobs, frontier_tour, choices, job_records, stats
+        )
+        self._run_voronoi(jobs, voronoi_tour, job_records, stats)
+        self._run_point_queries(
+            jobs, point_tour, choices, job_records, stats
+        )
 
-        # 4. Fill duplicates and populate the cache.  Every execution path
-        #    above returns finalized records (spec options applied once).
+        # 4. Assemble submitted specs from their jobs (set-merge for
+        #    composites), fill duplicates, and populate the cache —
+        #    composite leaves too, so later batches (or later composites)
+        #    reuse them.  Every execution path above returns finalized
+        #    records (spec options applied once per level).
         for i in pending:
-            record = results[i]
+            record = self._assemble(trees[i], job_records)
             assert record is not None
+            results[i] = record
             if use_cache and keys[i] is not None:
                 self.cache.put(keys[i], version, record)
             for j in aliases[i]:
                 results[j] = QueryResult(
                     ids=list(record.ids), stats=replace(record.stats)
                 )
+        if use_cache and self.cache.capacity > 0:
+            for j, key in enumerate(job_cache_keys):
+                if key is not None and job_records[j] is not None:
+                    self.cache.put(key, version, job_records[j])
 
         stats.time_ms = (time.perf_counter() - started) * 1000.0
         self.last_batch_stats = stats
         return BatchResult(results=list(results), stats=stats)  # type: ignore[arg-type]
+
+    def _validate_spec(self, spec: Query) -> None:
+        """Reject specs the database cannot answer (recursing composites)."""
+        if isinstance(spec, CompositeQuery):
+            for part in spec.parts:
+                self._validate_spec(part)
+        elif isinstance(spec, AreaQuery):
+            if not len(self._db):
+                raise EmptyDatabaseError("area query on an empty database")
+            if spec.region.area <= 0.0:
+                raise InvalidQueryAreaError("query area has zero area")
+
+    def _assemble(
+        self, tree, job_records: List[Optional[QueryResult]]
+    ) -> QueryResult:
+        """Build one submitted spec's record from its executed jobs.
+
+        A leaf tree node is a job index — its record is returned as-is
+        (records are treated as immutable once finalized, so sharing one
+        between a plain spec and a composite that also claimed it is
+        safe).  A composite node merges its children's sorted id lists
+        with the spec's set semantics — eager C-level set operations
+        here, semantically identical to the lazy generators the
+        streaming path uses (pinned by tests) — sums the children's work
+        counters (a leaf claimed by several composites is reported by
+        each, the same per-query accounting duplicate/cache hits get),
+        and applies the composite's own ``predicate``/``limit``.
+        """
+        if isinstance(tree, int):
+            record = job_records[tree]
+            assert record is not None
+            return record
+        spec, children = tree
+        child_records = [
+            self._assemble(child, job_records) for child in children
+        ]
+        started = time.perf_counter()
+        id_lists = [record.ids for record in child_records]
+        if isinstance(spec, UnionQuery):
+            ids = sorted(set().union(*id_lists))
+        elif isinstance(spec, IntersectionQuery):
+            ids = sorted(set(id_lists[0]).intersection(*id_lists[1:]))
+        elif isinstance(spec, DifferenceQuery):
+            ids = sorted(set(id_lists[0]).difference(*id_lists[1:]))
+        else:  # pragma: no cover - trees only hold the three kinds
+            ids = list(
+                merge_sorted_ids(spec, [iter(lst) for lst in id_lists])
+            )
+        merged = QueryStats()
+        for record in child_records:
+            merged = merged.merge(record.stats)
+        merged.method = "composite"
+        merged.result_size = len(ids)
+        merged.time_ms += (time.perf_counter() - started) * 1000.0
+        return finalize_record(
+            self._db, spec, QueryResult(ids=ids, stats=merged)
+        )
 
     def batch_area_query(
         self,
@@ -533,7 +676,7 @@ class BatchQueryEngine:
                 isinstance(spec, KnnQuery)
                 and choices[i] == "voronoi"
                 and len(db) > 0
-                and spec.k > 0
+                and (spec.k is None or spec.k > 0)  # None = unbounded
             )
             seed_id: Optional[int] = None
             if use_walk and previous_seed is not None:

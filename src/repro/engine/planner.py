@@ -27,19 +27,31 @@ counters of :mod:`repro.core.stats`), weighs them with a
 :meth:`QueryPlanner.explain_spec` (or ``.explain()`` on a lazy
 :class:`~repro.query.result.QueryResult`) exposes the whole decision —
 predicted and, optionally, measured costs.
+
+Composite specs (:mod:`repro.query.spec` union/intersection/difference)
+are planned by **recursion**: each part is estimated with the method the
+planner would run it with, the counters sum, and the explanation nests
+one :class:`PlanExplanation` per part — mirroring exactly how the batch
+engine decomposes the composite into a heterogeneous leaf batch.
+:meth:`QueryPlanner.calibrate` fits the cost weights from measured probe
+queries of **every** kind (area, window, and kNN — composite routing
+leans on the window/kNN estimates, so they are no longer extrapolated
+from area-only fits).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.stats import QueryStats
+from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.geometry.region import QueryRegion
 from repro.query.spec import (
     AreaQuery,
+    CompositeQuery,
     KnnQuery,
     NearestQuery,
     Query,
@@ -74,6 +86,10 @@ class CostModel:
     segment_test_cost: float = 0.25
     #: expected boundary-shell cells per unit of ``perimeter * sqrt(density)``
     shell_width_factor: float = 1.0
+    #: distance evaluations per confirmed Voronoi-kNN result (~ the mean
+    #: Voronoi degree; :meth:`QueryPlanner.calibrate` fits it from
+    #: measured kNN probes)
+    knn_expansion_factor: float = 6.0
 
     def cost_of(self, stats: QueryStats) -> float:
         """Apply the weights to *measured* counters of one query."""
@@ -103,13 +119,19 @@ class PlanExplanation:
     ``estimates`` always holds both methods' predictions; ``actual`` is
     populated only by :meth:`QueryPlanner.explain` with ``execute=True``,
     in which case ``prediction_correct`` says whether the predicted winner
-    also won under measured counters.
+    also won under measured counters.  For a composite spec, ``chosen``
+    is ``"composite"`` (execution is always decomposition), the single
+    estimate is the sum over the parts' planned leaf estimates, and
+    ``parts`` holds one nested explanation per part — the full recursive
+    decomposition the executor will run.
     """
 
     chosen: str
     estimates: Dict[str, CostEstimate]
     actual: Dict[str, QueryStats] = field(default_factory=dict)
     actual_costs: Dict[str, float] = field(default_factory=dict)
+    #: nested per-part explanations (composite specs only)
+    parts: List["PlanExplanation"] = field(default_factory=list)
 
     @property
     def predicted_cost(self) -> float:
@@ -151,6 +173,11 @@ class PlanExplanation:
                     else f" | {'-':>10}"
                 )
             lines.append(line)
+        for position, part in enumerate(self.parts):
+            lines.append(f"  part {position}:")
+            lines.extend(
+                "  " + part_line for part_line in part.render().splitlines()
+            )
         return "\n".join(lines)
 
 
@@ -289,7 +316,34 @@ class QueryPlanner:
             return self._estimate_knn(spec)
         if isinstance(spec, NearestQuery):
             return {"index": self._estimate_point_descent("index", 1.0)}
+        if isinstance(spec, CompositeQuery):
+            return {"composite": self._estimate_composite(spec)}
         raise TypeError(f"not a query spec: {spec!r}")
+
+    def _estimate_composite(self, spec: CompositeQuery) -> CostEstimate:
+        """Predicted cost of decomposing ``spec`` into leaf plans.
+
+        Recurses into every part, takes the estimate of the method the
+        planner would actually run it with (:meth:`plan` — explicit part
+        methods are honoured), and sums the counters.  The batch engine's
+        cross-sibling sharing (one frontier per window group, walked
+        seeds) makes this an upper bound; it is what composite routing
+        decisions and ``explain`` report.
+        """
+        validations = node_accesses = segment_tests = cost = 0.0
+        for part in spec.parts:
+            chosen = self.estimate_spec(part)[self.plan(part)]
+            validations += chosen.validations
+            node_accesses += chosen.node_accesses
+            segment_tests += chosen.segment_tests
+            cost += chosen.cost
+        return CostEstimate(
+            method="composite",
+            validations=validations,
+            node_accesses=node_accesses,
+            segment_tests=segment_tests,
+            cost=cost,
+        )
 
     def _estimate_window(self, window: Rect) -> Dict[str, CostEstimate]:
         """Window estimates: native index query vs Voronoi expansion.
@@ -338,15 +392,25 @@ class QueryPlanner:
         """kNN estimates: best-first index descent vs Voronoi expansion.
 
         The Voronoi expansion pays one index NN descent for the seed and
-        then ~6 neighbour distance evaluations per confirmed result
-        (average Voronoi degree), independent of the database size — it
-        wins for small ``k``; the index path amortises better as ``k``
-        approaches a leaf-page multiple.
+        then ``knn_expansion_factor`` (~6, calibratable) neighbour
+        distance evaluations per confirmed result, independent of the
+        database size — it wins for small ``k``; the index path
+        amortises better as ``k`` approaches a leaf-page multiple.  An
+        unbounded spec (``k=None``) is costed at its ``limit`` if set,
+        else at the full database size (the eager materialisation cost —
+        streaming consumption stops wherever the consumer does).
         """
-        k = float(max(0, spec.k))
+        if spec.k is None:
+            k = float(
+                spec.limit
+                if spec.limit is not None
+                else max(1, len(self._db))
+            )
+        else:
+            k = float(max(0, spec.k))
         index = self._estimate_point_descent("index", k)
         depth = self._depth()
-        validations = 1.0 + 6.0 * k
+        validations = 1.0 + self.model.knn_expansion_factor * k
         voronoi_nodes = depth + 1.0
         voronoi = CostEstimate(
             method="voronoi",
@@ -371,6 +435,8 @@ class QueryPlanner:
         """
         if spec.method != "auto":
             return spec.method
+        if isinstance(spec, CompositeQuery):
+            return "composite"  # always decomposition; parts plan per leaf
         if isinstance(spec, AreaQuery):
             return self.choose(spec.region)
         if isinstance(spec, NearestQuery):
@@ -399,6 +465,11 @@ class QueryPlanner:
         explanation = PlanExplanation(
             chosen=self.plan(spec), estimates=estimates
         )
+        if isinstance(spec, CompositeQuery):
+            explanation.parts = [
+                self.explain_spec(part, execute=execute)
+                for part in spec.parts
+            ]
         if execute:
             from repro.core.exceptions import (
                 EmptyDatabaseError,
@@ -420,18 +491,42 @@ class QueryPlanner:
     # -- calibration -------------------------------------------------------
 
     def calibrate(
-        self, probe_regions: Sequence[QueryRegion]
+        self,
+        probe_regions: Sequence[QueryRegion],
+        *,
+        probe_windows: Optional[Sequence[Rect]] = None,
+        probe_points: Optional[Sequence[Tuple[Point, int]]] = None,
     ) -> CostModel:
         """Fit the cost weights to measured wall time on this database.
 
-        Runs both methods over ``probe_regions``, then solves the 2x2
-        least-squares system ``time ~ v * (validations + r * segment_tests)
-        + a * node_accesses`` for the per-validation cost ``v`` and
-        per-node cost ``a`` (``r`` is the fixed segment/validation cost
-        ratio of the current model).  Falls back to the current model if
-        the system is degenerate (e.g. all-zero counters or near-collinear
-        probes).  The fitted model is installed on the planner and
-        returned; its cost unit is then milliseconds.
+        Probes every executable method of every kind — area
+        (``probe_regions``, both paper methods), window
+        (``probe_windows``, index and Voronoi), and kNN
+        (``probe_points`` as ``(position, k)`` pairs, index and Voronoi)
+        — then solves the 2x2 least-squares system ``time ~ v * f +
+        a * node_accesses`` jointly over all samples, where the
+        per-record feature ``f = max(validations, candidates) + r *
+        segment_tests`` (``candidates`` stands in for the point-kind and
+        native-window executions, which count their per-record work —
+        distance evaluations, rectangle scans — there rather than as
+        refinements; ``r`` is the fixed segment/validation cost ratio of
+        the current model).  So the window and kNN cost formulas are now
+        fitted on their own measurements, not just reused area weights.
+
+        ``probe_windows`` / ``probe_points`` default to probes *derived*
+        from the regions (their MBRs; MBR centres with alternating small
+        ``k``), so any existing region-only call fits every kind; pass
+        explicit empty sequences to restrict the fit.
+
+        The measured Voronoi-kNN expansion additionally fits
+        :attr:`CostModel.knn_expansion_factor` — the mean number of
+        distance evaluations per confirmed neighbour that the kNN
+        formula multiplies by ``k``.
+
+        Falls back to the current model if the system is degenerate
+        (e.g. no probes, all-zero counters, or near-collinear samples).
+        The fitted model is installed on the planner and returned; its
+        cost unit is then milliseconds.
         """
         ratio = (
             self.model.segment_test_cost / self.model.validation_cost
@@ -440,7 +535,23 @@ class QueryPlanner:
         )
         from repro.query.executor import execute_spec
 
+        probe_regions = list(probe_regions)
+        if probe_windows is None:
+            probe_windows = [region.mbr for region in probe_regions]
+        if probe_points is None:
+            probe_points = [
+                (
+                    Point(
+                        (region.mbr.min_x + region.mbr.max_x) / 2.0,
+                        (region.mbr.min_y + region.mbr.max_y) / 2.0,
+                    ),
+                    4 if position % 2 == 0 else 16,
+                )
+                for position, region in enumerate(probe_regions)
+            ]
+
         samples: List[QueryStats] = []
+        expansion_ratios: List[float] = []
         for region in probe_regions:
             for method in PLANNABLE_METHODS:
                 samples.append(
@@ -448,10 +559,35 @@ class QueryPlanner:
                         self._db, AreaQuery(region), method=method
                     ).stats
                 )
-        # Least squares over features (weighted validations, node accesses).
+        for window in probe_windows:
+            for method in ("index", "voronoi"):
+                if method == "voronoi" and window.area <= 0.0:
+                    continue  # degenerate windows route to the index
+                samples.append(
+                    execute_spec(
+                        self._db, WindowQuery(window), method=method
+                    ).stats
+                )
+        for position, k in probe_points:
+            if k <= 0:
+                continue
+            for method in ("index", "voronoi"):
+                stats = execute_spec(
+                    self._db, KnnQuery(position, k), method=method
+                ).stats
+                samples.append(stats)
+                if method == "voronoi" and stats.result_size:
+                    expansion_ratios.append(
+                        stats.candidates / stats.result_size
+                    )
+
+        # Joint least squares over features (per-record work, node accesses).
         s_ff = s_fg = s_gg = s_ft = s_gt = 0.0
         for stats in samples:
-            f = stats.validations + ratio * stats.segment_tests
+            f = (
+                float(max(stats.validations, stats.candidates))
+                + ratio * stats.segment_tests
+            )
             g = float(stats.index_node_accesses)
             t = stats.time_ms
             s_ff += f * f
@@ -460,6 +596,11 @@ class QueryPlanner:
             s_ft += f * t
             s_gt += g * t
         determinant = s_ff * s_gg - s_fg * s_fg
+        knn_factor = (
+            sum(expansion_ratios) / len(expansion_ratios)
+            if expansion_ratios
+            else self.model.knn_expansion_factor
+        )
         if determinant <= 1e-12:
             return self.model
         v = (s_ft * s_gg - s_gt * s_fg) / determinant
@@ -472,5 +613,6 @@ class QueryPlanner:
             node_access_cost=a,
             segment_test_cost=ratio * v,
             shell_width_factor=self.model.shell_width_factor,
+            knn_expansion_factor=knn_factor,
         )
         return self.model

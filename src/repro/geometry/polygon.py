@@ -83,7 +83,16 @@ class Polygon:
         return self._vertices == other._vertices
 
     def __hash__(self) -> int:
-        return hash(self._vertices)
+        # Memoised: the vertex ring is immutable after __init__, and the
+        # query layer hashes polygons constantly (spec-keyed caches and
+        # batch dedup), so rehashing every Point each time would dominate
+        # small batches.
+        try:
+            return self.__dict__["_hash_memo"]
+        except KeyError:
+            value = hash(self._vertices)
+            self.__dict__["_hash_memo"] = value
+            return value
 
     def __repr__(self) -> str:
         return f"Polygon({len(self._vertices)} vertices, area={self.area:.6g})"

@@ -8,7 +8,12 @@ the public API:
 * :mod:`repro.query.spec` — immutable, hashable spec objects
   (:class:`AreaQuery`, :class:`WindowQuery`, :class:`KnnQuery`,
   :class:`NearestQuery`) with composable options (``limit``,
-  ``predicate``, ``select`` projection);
+  ``predicate``, ``select`` projection), plus the composite algebra
+  (:class:`UnionQuery`, :class:`IntersectionQuery`,
+  :class:`DifferenceQuery`) and the unbounded streaming
+  ``KnnQuery(k=None)``;
+* :mod:`repro.query.merge` — lazy set-semantics merging of sorted id
+  streams (the composite execution substrate);
 * :mod:`repro.query.result` — the lazy :class:`QueryResult` handle
   (deferred execution, streaming iteration, ``.ids()`` / ``.points()`` /
   ``.distances()`` materialisation, per-query ``stats``, planner
@@ -28,7 +33,17 @@ Entry points::
     batch = db.query_batch(specs)                      # heterogeneous
 """
 
-from repro.query.executor import execute_spec, resolve_method
+from repro.query.executor import (
+    execute_spec,
+    merge_sorted_ids,
+    resolve_method,
+    stream_spec,
+)
+from repro.query.merge import (
+    difference_sorted,
+    intersection_sorted,
+    union_sorted,
+)
 from repro.query.result import BatchQueryResults, QueryResult
 from repro.query.serialize import (
     dump_specs,
@@ -42,9 +57,13 @@ from repro.query.spec import (
     PROJECTIONS,
     QUERY_KINDS,
     AreaQuery,
+    CompositeQuery,
+    DifferenceQuery,
+    IntersectionQuery,
     KnnQuery,
     NearestQuery,
     Query,
+    UnionQuery,
     WindowQuery,
     spec_fields,
 )
@@ -55,11 +74,17 @@ __all__ = [
     "WindowQuery",
     "KnnQuery",
     "NearestQuery",
+    "CompositeQuery",
+    "UnionQuery",
+    "IntersectionQuery",
+    "DifferenceQuery",
     "QueryResult",
     "BatchQueryResults",
     "QUERY_KINDS",
     "PROJECTIONS",
     "execute_spec",
+    "stream_spec",
+    "merge_sorted_ids",
     "resolve_method",
     "spec_fields",
     "spec_to_dict",
@@ -68,4 +93,7 @@ __all__ = [
     "region_from_dict",
     "dump_specs",
     "load_specs",
+    "union_sorted",
+    "intersection_sorted",
+    "difference_sorted",
 ]

@@ -8,6 +8,16 @@ deprecation shims on :class:`~repro.core.database.SpatialDatabase`, and
 the planner's ``EXPLAIN ANALYZE`` all call into this module, so results
 are identical no matter which surface issued the query.
 
+Composite specs (:class:`~repro.query.spec.UnionQuery` /
+``Intersection`` / ``Difference``) execute by **decomposition**: the
+batch engine answers all leaves of one composite as a heterogeneous
+batch (shared window frontiers and Voronoi seed-walk reuse apply across
+siblings) and the sorted leaf id lists merge with lazy set semantics
+(:mod:`repro.query.merge`).  :func:`stream_spec` is the lazy sibling of
+:func:`execute_spec` for the specs that support it (composites,
+``KnnQuery(k=None)``): it yields result row ids on demand without ever
+materialising the full result.
+
 Common options are applied uniformly by :func:`finalize_record`:
 ``predicate`` filters the already-refined points (it never sees a point
 outside the query geometry), ``limit`` truncates in the result order of
@@ -18,7 +28,8 @@ kinds).
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Optional
+from itertools import islice
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
 from repro.core.knn_query import incremental_nearest, voronoi_knn_query
@@ -26,11 +37,20 @@ from repro.core.stats import QueryResult, QueryStats
 from repro.core.traditional_query import traditional_area_query
 from repro.core.voronoi_query import voronoi_area_query
 from repro.geometry.polygon import Polygon
+from repro.query.merge import (
+    difference_sorted,
+    intersection_sorted,
+    union_sorted,
+)
 from repro.query.spec import (
     AreaQuery,
+    CompositeQuery,
+    DifferenceQuery,
+    IntersectionQuery,
     KnnQuery,
     NearestQuery,
     Query,
+    UnionQuery,
     WindowQuery,
 )
 
@@ -100,6 +120,8 @@ def execute_spec(
         return _execute_knn(database, spec, method, seed_id)
     if isinstance(spec, NearestQuery):
         return _execute_nearest(database, spec)
+    if isinstance(spec, CompositeQuery):
+        return _execute_composite(database, spec)
     raise TypeError(f"not a query spec: {spec!r}")
 
 
@@ -189,8 +211,14 @@ def _execute_window(
     return QueryResult(ids=ids, stats=stats)
 
 
-def _effective_k(spec: KnnQuery) -> int:
-    """The row budget of a kNN spec (its ``k`` capped by ``limit``)."""
+def _effective_k(spec: KnnQuery) -> Optional[int]:
+    """The row budget of a kNN spec (``k`` capped by ``limit``).
+
+    ``None`` means *unbounded*: the spec streams (``k=None``) and no
+    ``limit`` caps it either.
+    """
+    if spec.k is None:
+        return spec.limit
     if spec.limit is not None:
         return min(spec.k, spec.limit)
     return spec.k
@@ -202,8 +230,15 @@ def _execute_knn(
     method: str,
     seed_id: Optional[int],
 ) -> QueryResult:
-    """Run a kNN query via the index or the Voronoi neighbour graph."""
+    """Run a kNN query via the index or the Voronoi neighbour graph.
+
+    An unbounded spec (``k=None``, no ``limit``) materialises the full
+    distance ranking here — the streaming consumption path is
+    :func:`stream_spec`, which never calls this.
+    """
     k = _effective_k(spec)
+    if k is None:
+        k = len(database)
     if k == 0 or not len(database):
         return QueryResult(ids=[], stats=QueryStats(method=method))
     if method == "voronoi":
@@ -313,3 +348,148 @@ def _execute_nearest(
     stats.candidates = len(ids)
     stats.result_size = len(ids)
     return QueryResult(ids=ids, stats=stats)
+
+
+# -- composite execution ------------------------------------------------------
+
+
+def merge_sorted_ids(
+    spec: CompositeQuery, part_ids: List[Iterator[int]]
+) -> Iterator[int]:
+    """The lazy set-semantics merge of ``spec`` over sorted id streams.
+
+    Dispatches on the composite kind to the generators of
+    :mod:`repro.query.merge`; the eager batch path and the streaming
+    path both run through here, so their semantics cannot drift.
+    """
+    if isinstance(spec, UnionQuery):
+        return union_sorted(part_ids)
+    if isinstance(spec, IntersectionQuery):
+        return intersection_sorted(part_ids)
+    if isinstance(spec, DifferenceQuery):
+        return difference_sorted(part_ids[0], part_ids[1:])
+    raise TypeError(f"not a composite spec: {spec!r}")
+
+
+def _execute_composite(
+    database: "SpatialDatabase", spec: CompositeQuery
+) -> QueryResult:
+    """Eagerly answer a composite by batch-decomposing its leaves.
+
+    Delegates to the batch engine so the leaves of the composite are
+    executed as one heterogeneous batch — siblings share window
+    frontiers and Voronoi seed walks, and duplicate leaves execute once.
+    The cross-batch LRU cache is not consulted (single-spec execution
+    through :func:`execute_spec` never is, for any kind).
+    """
+    return database.engine.run_specs([spec], use_cache=False).results[0]
+
+
+# -- streaming consumption ----------------------------------------------------
+
+
+def stream_spec(
+    database: "SpatialDatabase", spec: Query
+) -> Iterator[int]:
+    """Yield the result row ids of ``spec`` lazily, in result order.
+
+    The streaming sibling of :func:`execute_spec`, used by
+    :meth:`repro.query.result.QueryResult.first` and streaming
+    iteration.  For an unbounded :class:`KnnQuery` the ranking is
+    produced incrementally (:func:`repro.core.knn_query.incremental_nearest`)
+    — stopping after ``n`` rows examines only ~``n`` candidates; for a
+    composite, leaves execute on first demand and the set-merge itself
+    never materialises.  Specs with nothing to gain from streaming
+    (bounded leaf kinds) fall back to one eager execution and iterate
+    its record; ids are identical to :func:`execute_spec` in every case.
+    """
+    if isinstance(spec, KnnQuery):
+        return _stream_knn(database, spec)
+    if isinstance(spec, CompositeQuery):
+        return _stream_composite(database, spec)
+    return iter(execute_spec(database, spec).ids)
+
+
+def _stream_knn(
+    database: "SpatialDatabase", spec: KnnQuery
+) -> Iterator[int]:
+    """Stream a kNN ranking lazily over the Voronoi neighbour graph.
+
+    Always runs the incremental expansion regardless of ``spec.method``
+    — the method field governs *eager* execution; a best-first index
+    descent has no incremental form in this codebase.  The yielded order
+    (distance, ties by row id) matches both eager methods.
+    """
+    if not len(database):
+        return
+    k = _effective_k(spec)
+    if k == 0:
+        return
+    predicate = spec.predicate
+    point_of = database.point
+    produced = 0
+    for row_id in incremental_nearest(
+        database.index, database.backend, database.points, spec.point
+    ):
+        if predicate is not None and not predicate(point_of(row_id)):
+            continue
+        yield row_id
+        produced += 1
+        if k is not None and produced >= k:
+            return
+
+
+def _stream_composite(
+    database: "SpatialDatabase", spec: CompositeQuery
+) -> Iterator[int]:
+    """Stream a composite's merged ids without materialising the merge.
+
+    The *leaves* still execute through the batch engine — one shared
+    heterogeneous batch on the first ``next()``, so streaming keeps the
+    cross-sibling sharing (window frontiers, seed walks, leaf dedup)
+    that eager execution gets — but the set-merge over their sorted id
+    lists stays a lazy iterator: abandoning the stream (``first(n)``,
+    ``takewhile``) abandons the remaining merge work, and the merged
+    result is never materialised.  Nested composites merge recursively;
+    every level's ``predicate``/``limit`` apply to its merged stream in
+    the same order :func:`finalize_record` applies them eagerly.
+    """
+
+    def deferred() -> Iterator[int]:
+        leaves = list(spec.iter_leaves())
+        records = iter(
+            database.engine.run_specs(leaves, use_cache=False).results
+        )
+
+        def build(node: Query) -> Iterator[int]:
+            if isinstance(node, CompositeQuery):
+                merged = merge_sorted_ids(
+                    node, [build(part) for part in node.parts]
+                )
+                if node is spec:
+                    return merged  # options applied once, below
+                return _apply_stream_options(database, node, merged)
+            return iter(next(records).ids)
+
+        return _apply_stream_options(database, spec, build(spec))
+
+    return _lazy_iter(deferred)
+
+
+def _apply_stream_options(
+    database: "SpatialDatabase", spec: Query, ids: Iterator[int]
+) -> Iterator[int]:
+    """Apply ``predicate``/``limit`` to a lazy id stream (in that order,
+    matching :func:`finalize_record`)."""
+    if spec.predicate is not None:
+        predicate = spec.predicate
+        point_of = database.point
+        ids = (i for i in ids if predicate(point_of(i)))
+    if spec.limit is not None:
+        ids = islice(ids, spec.limit)
+    return ids
+
+
+def _lazy_iter(factory) -> Iterator[int]:
+    """An iterator that calls ``factory`` only on the first ``next()``."""
+    yield from factory()

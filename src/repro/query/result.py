@@ -12,6 +12,16 @@ Projections: iteration follows the spec's ``select`` option (row ids by
 default); :meth:`QueryResult.ids`, :meth:`QueryResult.points`, and
 :meth:`QueryResult.distances` materialise each projection explicitly.
 
+Streaming: for the specs that support it (composites, unbounded
+``KnnQuery(k=None)`` — see :meth:`repro.query.spec.Query.streams`),
+iteration and :meth:`QueryResult.first` consume a **lazy row stream**
+(:func:`repro.query.executor.stream_spec`) instead of executing an eager
+record: ``result.first(10)`` on an unbounded kNN examines only ~10
+candidates, and ``itertools.takewhile`` over a composite stops the
+set-merge as soon as the predicate does.  Streaming consumption does not
+memoise; ``.ids()`` / ``.stats`` / ``len()`` still perform (and memoise)
+one full eager execution.
+
 Distinguish this class from :class:`repro.core.stats.QueryResult`, the
 eager *record* (ids + stats) produced by one algorithm execution: the
 lazy handle wraps exactly one such record once executed
@@ -117,10 +127,63 @@ class QueryResult:
         """Per-query :class:`~repro.core.stats.QueryStats` (executes)."""
         return self.record.stats
 
+    # -- streaming consumption --------------------------------------------
+
+    def stream(self) -> Iterator:
+        """Lazily yield projected rows without memoising a record.
+
+        For streaming-capable specs (``spec.streams()``) this is a true
+        incremental stream — rows are produced on demand and abandoning
+        the iterator abandons the remaining work.  For other specs (or
+        once this handle has executed) it iterates the eager record.
+        Each call produces a fresh stream.
+        """
+        if self._record is not None:
+            ids: Iterator[int] = iter(self._record.ids)
+        else:
+            from repro.query.executor import stream_spec
+
+            ids = stream_spec(self._db, self._spec)
+        select = self._spec.select
+        if select == "points":
+            point = self._db.point
+            return (point(i) for i in ids)
+        if select == "distances":
+            anchor = getattr(self._spec, "point", None)
+            if anchor is None:
+                raise ValueError(
+                    f"{self._spec.kind} queries have no query position; "
+                    "distances are undefined"
+                )
+            point = self._db.point
+            return (anchor.distance_to(point(i)) for i in ids)
+        return ids
+
+    def first(self, n: int) -> List:
+        """The first ``n`` rows under the spec's projection.
+
+        For streaming-capable specs this consumes only ``n`` rows of the
+        lazy stream — an unbounded kNN examines ~``n`` candidates, a
+        composite stops its set-merge early — and nothing is memoised.
+        Other specs execute once (memoised) and return the prefix.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        from itertools import islice
+
+        return list(islice(iter(self), n))
+
     # -- consumption protocol ---------------------------------------------
 
     def __iter__(self) -> Iterator:
-        """Stream the result under the spec's ``select`` projection."""
+        """Stream the result under the spec's ``select`` projection.
+
+        For streaming-capable specs not yet executed this is the lazy
+        stream of :meth:`stream` (no record is materialised); otherwise
+        it executes (and memoises) the record first.
+        """
+        if self._record is None and self._spec.streams():
+            return self.stream()
         select = self._spec.select
         if select == "points":
             return iter(self.points())

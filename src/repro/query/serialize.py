@@ -10,6 +10,14 @@ The wire format is a plain JSON object per spec, keyed by ``kind``::
     {"kind": "knn", "point": [x, y], "k": 8, "method": "voronoi"}
     {"kind": "nearest", "point": [x, y], "limit": 1}
 
+Composites nest their parts recursively, and an unbounded streaming kNN
+simply omits ``k`` (or sets it to ``null``)::
+
+    {"kind": "union", "parts": [{"kind": "window", ...},
+                                {"kind": "area", ...}]}
+    {"kind": "difference", "parts": [...], "limit": 50}
+    {"kind": "knn", "point": [x, y]}
+
 Optional fields (``method``, ``limit``, ``select``) may be omitted and
 default as in :mod:`repro.query.spec`.  Floats survive exactly: Python's
 ``json`` emits ``repr``-faithful doubles, so ``load_specs(dump_specs(s))
@@ -32,6 +40,7 @@ from repro.geometry.polygon import Polygon
 from repro.geometry.rectangle import Rect
 from repro.query.spec import (
     AreaQuery,
+    CompositeQuery,
     KnnQuery,
     NearestQuery,
     Query,
@@ -89,9 +98,12 @@ def spec_to_dict(spec: Query) -> dict:
         data["rect"] = list(spec.rect.as_tuple())
     elif isinstance(spec, KnnQuery):
         data["point"] = [spec.point.x, spec.point.y]
-        data["k"] = spec.k
+        if spec.k is not None:  # unbounded kNN has no k on the wire
+            data["k"] = spec.k
     elif isinstance(spec, NearestQuery):
         data["point"] = [spec.point.x, spec.point.y]
+    elif isinstance(spec, CompositeQuery):
+        data["parts"] = [spec_to_dict(part) for part in spec.parts]
     else:
         raise ValueError(f"not a serialisable query spec: {spec!r}")
     if spec.method != "auto":
@@ -125,7 +137,15 @@ def spec_from_dict(data: dict) -> Query:
         return WindowQuery(Rect.from_bounds(data["rect"]), **options)
     if cls is KnnQuery:
         x, y = data["point"]
-        return KnnQuery(Point(float(x), float(y)), int(data["k"]), **options)
+        k = data.get("k")
+        return KnnQuery(
+            Point(float(x), float(y)),
+            None if k is None else int(k),
+            **options,
+        )
+    if issubclass(cls, CompositeQuery):
+        parts = tuple(spec_from_dict(part) for part in data["parts"])
+        return cls(parts, **options)
     x, y = data["point"]
     return NearestQuery(Point(float(x), float(y)), **options)
 

@@ -10,7 +10,7 @@ engine, the result cache (specs are hashable and serve directly as cache
 keys), the CLI (``python -m repro query --spec-file``), and the
 experiment harness — so behaviour cannot drift between paths.
 
-The four query kinds of the library:
+The four leaf query kinds of the library:
 
 ===================  ====================================================
 :class:`AreaQuery`   all points inside a closed region (the paper's query)
@@ -18,6 +18,22 @@ The four query kinds of the library:
 :class:`KnnQuery`    the ``k`` points nearest a position, nearest first
 :class:`NearestQuery` the single nearest point to a position
 ===================  ====================================================
+
+plus the **composite algebra** over region kinds — specs whose parts are
+other specs, combined with set semantics on the result rows:
+
+=========================  ==============================================
+:class:`UnionQuery`        rows matching *any* part
+:class:`IntersectionQuery` rows matching *every* part
+:class:`DifferenceQuery`   rows of the first part matching no other part
+=========================  ==============================================
+
+Composites nest arbitrarily; their leaves must be region kinds
+(:class:`AreaQuery` / :class:`WindowQuery`), whose sorted id lists merge
+lazily (:mod:`repro.query.merge`).  A :class:`KnnQuery` built with
+``k=None`` is the *streaming* form: the result is the full
+distance-ranked stream, consumed incrementally (``result.first(n)``,
+``itertools.takewhile``) without ever choosing ``k`` up front.
 
 Composable options shared by every kind:
 
@@ -39,10 +55,10 @@ helpers (:meth:`Query.with_limit`, :meth:`Query.where`,
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Callable, ClassVar, Optional, Tuple
+from typing import Callable, ClassVar, Iterator, Optional, Tuple
 
 from repro.geometry.point import Point
-from repro.geometry.rectangle import Rect
+from repro.geometry.rectangle import Rect, union_all
 from repro.geometry.region import QueryRegion
 
 #: Valid values of the ``select`` projection option.
@@ -149,7 +165,22 @@ class Query:
         closure's behaviour cannot be fingerprinted — or when its
         geometry is not hashable (custom :class:`QueryRegion`
         implementations without value hashing).
+
+        Specs are immutable, so the key is computed once and memoised on
+        the instance — the batch engine probes it on every submission
+        (spec- and leaf-level dedup), and rebuilding a composite's
+        normalised tree each time would dominate small batches.
         """
+        try:
+            return self.__dict__["_cache_key_memo"]
+        except KeyError:
+            pass
+        key = self._compute_cache_key()
+        object.__setattr__(self, "_cache_key_memo", key)
+        return key
+
+    def _compute_cache_key(self) -> Optional["Query"]:
+        """Uncached :meth:`cache_key` computation (subclass hook)."""
         if self.predicate is not None:
             return None
         key = replace(self, method="auto", select="ids")
@@ -168,6 +199,18 @@ class Query:
         point kinds at the degenerate rectangle of their query position.
         """
         raise NotImplementedError  # pragma: no cover - overridden per kind
+
+    def streams(self) -> bool:
+        """Can this spec's result be consumed lazily, row by row?
+
+        ``True`` for the specs whose full materialisation is the thing
+        worth avoiding: composites (the set-merge is a lazy iterator over
+        leaf results) and unbounded kNN (``KnnQuery(k=None)`` — the
+        distance ranking is produced incrementally).  The lazy result
+        handle streams iteration/:meth:`~repro.query.result.QueryResult.first`
+        for such specs instead of executing an eager record.
+        """
+        return False
 
     def describe(self) -> str:
         """A one-line human-readable summary (CLI and explain output)."""
@@ -272,6 +315,14 @@ class KnnQuery(Query):
     Voronoi neighbour graph (see :mod:`repro.core.knn_query`); both
     return the same ids (ties broken by row id).  ``k=0`` is legal and
     returns an empty result.
+
+    ``k=None`` is the **unbounded, streaming** form: the result is the
+    whole database ranked by distance.  Consume it lazily —
+    ``result.first(n)``, ``iter(result)`` with ``takewhile`` — and only
+    as many neighbours are ever produced as you read (the incremental
+    Voronoi expansion of :func:`repro.core.knn_query.incremental_nearest`
+    underneath); eager materialisation (``.ids()``) is still legal but
+    ranks every row.
     """
 
     kind: ClassVar[str] = "knn"
@@ -280,22 +331,32 @@ class KnnQuery(Query):
 
     #: the query position
     point: Point = None  # type: ignore[assignment]
-    #: how many neighbours to return
-    k: int = 1
+    #: how many neighbours to return (``None`` = unbounded / streaming)
+    k: Optional[int] = 1
 
     def _coerce(self) -> None:
         if self.point is None:
             raise ValueError("KnnQuery requires a point")
         object.__setattr__(self, "point", _as_point(self.point))
-        if not isinstance(self.k, int) or self.k < 0:
-            raise ValueError(f"k must be a non-negative int, got {self.k!r}")
+        if self.k is not None and (
+            not isinstance(self.k, int) or self.k < 0
+        ):
+            raise ValueError(
+                f"k must be None (unbounded) or a non-negative int, "
+                f"got {self.k!r}"
+            )
 
     def anchor(self) -> Rect:
         """The degenerate rectangle at the query position."""
         return Rect.from_point(self.point)
 
+    def streams(self) -> bool:
+        """Unbounded kNN (``k=None``) streams; bounded kNN does not."""
+        return self.k is None
+
     def _describe_geometry(self) -> str:
-        return f"({self.point.x:.6g}, {self.point.y:.6g}), k={self.k}"
+        k_text = "unbounded" if self.k is None else str(self.k)
+        return f"({self.point.x:.6g}, {self.point.y:.6g}), k={k_text}"
 
 
 @dataclass(frozen=True)
@@ -327,10 +388,130 @@ class NearestQuery(Query):
         return f"({self.point.x:.6g}, {self.point.y:.6g})"
 
 
+@dataclass(frozen=True)
+class CompositeQuery(Query):
+    """Set-algebra combination of region queries (the abstract base).
+
+    ``parts`` are other specs — :class:`AreaQuery` / :class:`WindowQuery`
+    leaves or nested composites (point kinds have no set semantics over
+    row ids and are rejected).  The composite's own ``predicate`` and
+    ``limit`` apply to the *merged* rows, after each part has applied its
+    own options; ``method`` is always ``"auto"`` — execution is always
+    decomposition into leaf plans, each routed by the planner, with the
+    batch engine treating the leaves of one composite as a heterogeneous
+    batch (shared window frontiers, Voronoi seed-walk reuse across
+    siblings).  Results are row ids in ascending order, like every
+    region kind.
+    """
+
+    methods: ClassVar[Tuple[str, ...]] = ("auto",)
+    #: the combined sub-queries (leaves must be region kinds)
+    parts: Tuple[Query, ...] = ()
+
+    def _coerce(self) -> None:
+        if type(self) is CompositeQuery:
+            raise TypeError(
+                "CompositeQuery is abstract; build a UnionQuery, "
+                "IntersectionQuery, or DifferenceQuery"
+            )
+        object.__setattr__(self, "parts", tuple(self.parts))
+        if len(self.parts) < 2:
+            raise ValueError(
+                f"{self.kind} queries need at least two parts, "
+                f"got {len(self.parts)}"
+            )
+        for part in self.parts:
+            if not isinstance(part, (AreaQuery, WindowQuery, CompositeQuery)):
+                raise TypeError(
+                    "composite parts must be region queries (AreaQuery / "
+                    f"WindowQuery) or nested composites, got {part!r}"
+                )
+
+    def streams(self) -> bool:
+        """Composites always stream: the set-merge is a lazy iterator."""
+        return True
+
+    def _compute_cache_key(self) -> Optional["Query"]:
+        """The composite normalised recursively for result caching.
+
+        Every part is replaced by its own :meth:`Query.cache_key` (method
+        and projection normalised away at every level); any uncacheable
+        part — or a predicate on the composite itself — makes the whole
+        composite uncacheable.  Memoised by :meth:`Query.cache_key` like
+        every spec.
+        """
+        if self.predicate is not None:
+            return None
+        normalized = []
+        for part in self.parts:
+            part_key = part.cache_key()
+            if part_key is None:
+                return None
+            normalized.append(part_key)
+        key = replace(
+            self, method="auto", select="ids", parts=tuple(normalized)
+        )
+        try:
+            hash(key)
+        except TypeError:  # pragma: no cover - parts hashed above
+            return None
+        return key
+
+    def iter_leaves(self) -> Iterator[Query]:
+        """Yield the non-composite leaf specs, left to right, recursively."""
+        for part in self.parts:
+            if isinstance(part, CompositeQuery):
+                yield from part.iter_leaves()
+            else:
+                yield part
+
+    def anchor(self) -> Rect:
+        """The union of the parts' anchors (results live inside it)."""
+        return union_all(part.anchor() for part in self.parts)
+
+    def _describe_geometry(self) -> str:
+        return ", ".join(part.describe() for part in self.parts)
+
+
+@dataclass(frozen=True)
+class UnionQuery(CompositeQuery):
+    """Rows matching *any* part — the set union of the part results."""
+
+    kind: ClassVar[str] = "union"
+
+
+@dataclass(frozen=True)
+class IntersectionQuery(CompositeQuery):
+    """Rows matching *every* part — the set intersection of the results."""
+
+    kind: ClassVar[str] = "intersection"
+
+
+@dataclass(frozen=True)
+class DifferenceQuery(CompositeQuery):
+    """Rows of the first part matching no later part (set difference)."""
+
+    kind: ClassVar[str] = "difference"
+
+    def anchor(self) -> Rect:
+        """The first part's anchor — the result is a subset of it."""
+        return self.parts[0].anchor()
+
+
 #: Every concrete spec class, keyed by its ``kind`` tag (wire format,
-#: CLI, and planner dispatch all use this).
+#: CLI, and planner dispatch all use this) — the four leaf kinds plus
+#: the three composite kinds.
 QUERY_KINDS = {
-    cls.kind: cls for cls in (AreaQuery, WindowQuery, KnnQuery, NearestQuery)
+    cls.kind: cls
+    for cls in (
+        AreaQuery,
+        WindowQuery,
+        KnnQuery,
+        NearestQuery,
+        UnionQuery,
+        IntersectionQuery,
+        DifferenceQuery,
+    )
 }
 
 

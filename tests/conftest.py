@@ -1,13 +1,37 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+Also registers the deterministic ``ci`` Hypothesis profile: CI exports
+``HYPOTHESIS_PROFILE=ci`` so property tests run derandomised (fixed
+example derivation — a failure in the CI logs reproduces exactly with
+the same env var locally) and without the wall-clock deadline (shared
+runners are slow and deadline flakes are not real failures).
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro.geometry import Point, Polygon, Rect
 from repro.workloads.generators import uniform_points
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    _hypothesis_settings = None
+
+if _hypothesis_settings is not None:
+    _hypothesis_settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+    )
+    _profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if _profile:
+        _hypothesis_settings.load_profile(_profile)
 
 
 @pytest.fixture(scope="session")

@@ -8,10 +8,13 @@ from repro.geometry.polygon import Polygon
 from repro.geometry.rectangle import Rect
 from repro.query.spec import (
     AreaQuery,
+    DifferenceQuery,
+    IntersectionQuery,
     KnnQuery,
     NearestQuery,
     Query,
     QUERY_KINDS,
+    UnionQuery,
     WindowQuery,
     spec_fields,
 )
@@ -22,8 +25,19 @@ RECT = Rect(0.2, 0.2, 0.7, 0.8)
 
 class TestConstruction:
     def test_kinds_registry(self):
-        assert set(QUERY_KINDS) == {"area", "window", "knn", "nearest"}
+        assert set(QUERY_KINDS) == {
+            "area",
+            "window",
+            "knn",
+            "nearest",
+            "union",
+            "intersection",
+            "difference",
+        }
         assert QUERY_KINDS["area"] is AreaQuery
+        assert QUERY_KINDS["union"] is UnionQuery
+        assert QUERY_KINDS["intersection"] is IntersectionQuery
+        assert QUERY_KINDS["difference"] is DifferenceQuery
 
     def test_base_is_abstract(self):
         with pytest.raises(TypeError):

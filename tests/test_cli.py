@@ -70,6 +70,54 @@ class TestCLI:
         assert "4 specs" in out
         assert "est. cost" in out  # --explain tables
 
+    def test_query_spec_file_composites_and_streaming(self, tmp_path, capsys):
+        from repro import KnnQuery, UnionQuery, WindowQuery, dump_specs
+        from repro.geometry.rectangle import Rect
+
+        w1 = WindowQuery(Rect(0.1, 0.1, 0.5, 0.5))
+        w2 = WindowQuery(Rect(0.3, 0.3, 0.7, 0.7))
+        specs = [UnionQuery((w1, w2)), KnnQuery((0.5, 0.5), None)]
+        spec_file = tmp_path / "composite.json"
+        spec_file.write_text(dump_specs(specs), encoding="utf-8")
+        exit_code = main(
+            ["query", "--spec-file", str(spec_file), "--points", "800"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "union(" in out
+        assert "composite" in out  # the decomposed method column
+        assert "k=unbounded" in out
+
+    def test_query_first_streams_prefixes(self, tmp_path, capsys):
+        from repro import KnnQuery, UnionQuery, WindowQuery, dump_specs
+        from repro.geometry.rectangle import Rect
+
+        specs = [
+            UnionQuery(
+                (
+                    WindowQuery(Rect(0.1, 0.1, 0.5, 0.5)),
+                    WindowQuery(Rect(0.3, 0.3, 0.7, 0.7)),
+                )
+            ),
+            KnnQuery((0.5, 0.5), None),
+        ]
+        spec_file = tmp_path / "stream.json"
+        spec_file.write_text(dump_specs(specs), encoding="utf-8")
+        exit_code = main(
+            [
+                "query",
+                "--spec-file",
+                str(spec_file),
+                "--points",
+                "800",
+                "--first",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "first 5" in out
+
     def test_query_empty_spec_file(self, tmp_path, capsys):
         spec_file = tmp_path / "empty.json"
         spec_file.write_text("[]", encoding="utf-8")

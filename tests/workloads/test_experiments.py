@@ -152,6 +152,46 @@ class TestBatchThroughput:
         assert len(set(trace)) == 8
         assert trace == make_mixed_trace(0.02, distinct=8, repeat=2, seed=4)
 
+    def test_composite_trace_shape_and_determinism(self):
+        from repro.workloads.experiments import make_composite_trace
+
+        trace = make_composite_trace(0.002, distinct=6, seed=4, parts=4)
+        assert len(trace) == 6
+        assert {spec.kind for spec in trace} == {
+            "union",
+            "intersection",
+            "difference",
+        }
+        assert all(len(spec.parts) == 4 for spec in trace)
+        assert all(
+            leaf.kind == "area" and leaf.method == "voronoi"
+            for spec in trace
+            for leaf in spec.iter_leaves()
+        )
+        assert trace == make_composite_trace(
+            0.002, distinct=6, seed=4, parts=4
+        )
+
+    def test_composite_experiment_rows(self):
+        from repro.workloads.experiments import (
+            COMPOSITE_TRACE_STRATEGIES,
+            run_composite_throughput_experiment,
+        )
+
+        rows = run_composite_throughput_experiment(
+            ExperimentConfig(),
+            data_size=800,
+            distinct=3,
+            parts=4,
+            query_size=0.002,
+            rounds=1,
+        )
+        assert [row.strategy for row in rows] == list(
+            COMPOSITE_TRACE_STRATEGIES
+        )
+        for row in rows:
+            assert row.total_ms > 0.0
+
     def test_experiment_rows_and_rendering(self):
         rows = run_batch_throughput_experiment(
             ExperimentConfig(),

@@ -18,14 +18,16 @@ docs-check:
 lint:
 	python tools/lint.py src tests benchmarks examples tools
 
-## fast benchmark smoke: batch-engine + composite suites with their
-## speedup assertions (timing collection disabled; the 1.5x / 1.3x
-## throughput asserts still run).  Emits the machine-readable per-PR
-## record BENCH_pr.json (override the path with REPRO_BENCH_JSON);
-## CI uploads it as a workflow artifact on every run.
+## fast benchmark smoke: batch-engine + composite + server suites with
+## their speedup assertions (timing collection disabled; the 1.5x /
+## 1.3x throughput asserts still run).  Emits the machine-readable
+## per-PR record BENCH_pr.json (override the path with
+## REPRO_BENCH_JSON); CI uploads it as a workflow artifact on every run
+## and compares it against the previous run's artifact (see
+## tools/bench_delta.py).
 bench-smoke:
 	$(PYTEST) benchmarks/bench_batch_engine.py benchmarks/bench_composite.py \
-		-q --benchmark-disable
+		benchmarks/bench_server.py -q --benchmark-disable
 
 ## full benchmark run: every paper artefact + the batch engine (slow;
 ## REPRO_BENCH_SCALE=paper selects the paper's 1E5-1E6 sweep)
@@ -39,7 +41,8 @@ bench:
 		benchmarks/bench_ablation_knn.py \
 		benchmarks/bench_ablation_iocost.py \
 		benchmarks/bench_batch_engine.py \
-		benchmarks/bench_composite.py
+		benchmarks/bench_composite.py \
+		benchmarks/bench_server.py
 
 ## one-shot demo of both methods + the batch engine
 demo:

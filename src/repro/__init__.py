@@ -54,6 +54,11 @@ Packages
     The serving layer: heterogeneous batch execution with cross-query
     sharing, a cost-based planner routing every query kind
     (``method="auto"``), and a spec-keyed LRU result cache.
+``repro.server``
+    The network surface: an asyncio NDJSON query server with
+    cross-client batch coalescing and chunked result streaming, plus a
+    small blocking client (``python -m repro serve`` /
+    ``repro query --remote``).
 ``repro.workloads``
     Seeded dataset/query generators and the experiment harness regenerating
     every table and figure of the paper.

@@ -13,11 +13,22 @@ Commands
     heterogeneous batch, print per-spec summaries and, optionally, the
     planner's ``--explain`` tables.  ``--first N`` instead *streams* the
     first ``N`` rows of each spec lazily (composites and unbounded kNN
-    never materialise their full result).
+    never materialise their full result).  ``--remote HOST:PORT`` sends
+    the specs to a running ``serve`` instance over the NDJSON protocol
+    instead of building a local database (``--first`` then uses the
+    chunked wire stream).
 ``batch``
     Batch-engine demonstration: serve a repeated-spec trace through
     :meth:`SpatialDatabase.query_batch`, print the planner's ``explain``
     for a sample spec and the loop-vs-batch throughput table.
+``serve``
+    Start the concurrent NDJSON query server (:mod:`repro.server`) over a
+    generated database or a persisted snapshot (``--load``), with
+    cross-client batch coalescing and chunked result streaming; see
+    ``docs/SERVER.md``.
+``snapshot``
+    Persist a generated database to a ``.npz`` snapshot
+    (:mod:`repro.io.persist`) for later ``serve --load``.
 ``experiments``
     Forwarders to :mod:`repro.workloads.experiments` (tables/figures of the
     paper); everything after ``experiments`` is passed through, e.g.
@@ -63,6 +74,72 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(text: str) -> tuple:
+    """Split a ``HOST:PORT`` argument (IPv6 hosts may be bracketed)."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not port.isdigit():
+        raise SystemExit(
+            f"--remote expects HOST:PORT, got {text!r}"
+        )
+    return host.strip("[]") or "127.0.0.1", int(port)
+
+
+def _cmd_query_remote(args: argparse.Namespace, specs) -> int:
+    """Answer the spec file against a running server (``--remote``)."""
+    from repro.server import QueryClient
+
+    host, port = _parse_address(args.remote)
+    with QueryClient(host, port) as client:
+        print(
+            f"Connected to {host}:{port} "
+            f"({client.hello['server']}, {client.hello['points']:,} points)"
+        )
+        if args.first is not None:
+            header = f"{'#':>3}  {'spec':<52} first {args.first} rows"
+            print(header)
+            print("-" * len(header))
+            for i, spec in enumerate(specs):
+                with client.stream(
+                    spec, chunk_size=max(1, args.first)
+                ) as stream:
+                    rows = []
+                    for row in stream:
+                        rows.append(row)
+                        if len(rows) >= args.first:
+                            break
+                description = spec.describe()
+                if len(description) > 52:
+                    description = description[:49] + "..."
+                print(f"{i:>3}  {description:<52} {rows}")
+            return 0
+        header = (
+            f"{'#':>3}  {'spec':<52} {'method':>11} {'rows':>7} {'ms':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for i, spec in enumerate(specs):
+            result = client.query(spec, explain=args.explain)
+            description = spec.describe()
+            if len(description) > 52:
+                description = description[:49] + "..."
+            print(
+                f"{i:>3}  {description:<52} "
+                f"{result.stats.get('method', '?'):>11} "
+                f"{len(result.ids):>7,} "
+                f"{result.stats.get('time_ms', 0.0):>8.2f}"
+            )
+            if args.explain and result.explain:
+                print(result.explain)
+        stats = client.stats()
+        coalescer = stats["coalescer"]
+        print(
+            f"\nserver answered {coalescer['requests']} requests in "
+            f"{coalescer['batches']} coalesced batches "
+            f"(engine cache hits: {stats['engine']['cache_hits']})"
+        )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -74,6 +151,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if not specs:
         print("spec file holds no specs", file=sys.stderr)
         return 1
+
+    if args.remote is not None:
+        return _cmd_query_remote(args, specs)
 
     print(f"Building a database of {args.points:,} uniform points...")
     db = SpatialDatabase.from_points(
@@ -165,6 +245,78 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_or_load_database(args: argparse.Namespace):
+    """The served database: a ``--load`` snapshot or generated points."""
+    from repro import SpatialDatabase
+    from repro.workloads.generators import uniform_points
+
+    if getattr(args, "load", None):
+        from repro.io.persist import load_database
+
+        print(f"Loading database snapshot {args.load} ...")
+        db = load_database(args.load, prepare=True)
+        print(f"  {len(db):,} points restored (row ids preserved)")
+        return db
+    print(f"Building a database of {args.points:,} uniform points...")
+    return SpatialDatabase.from_points(
+        uniform_points(args.points, seed=args.seed), backend_kind="scipy"
+    ).prepare()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import QueryServer
+
+    db = _build_or_load_database(args)
+
+    async def run() -> None:
+        server = QueryServer(
+            db,
+            host=args.host,
+            port=args.port,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            chunk_size=args.chunk_size,
+        )
+        host, port = await server.start()
+        print(
+            f"Serving {len(db):,} points on {host}:{port} "
+            f"(coalescing window {args.window_ms:g} ms, "
+            f"max batch {args.max_batch}, chunk size {args.chunk_size})"
+        )
+        print("Press Ctrl-C to stop.")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro import SpatialDatabase
+    from repro.io.persist import save_database
+    from repro.workloads.generators import uniform_points
+
+    print(f"Building a database of {args.points:,} uniform points...")
+    db = SpatialDatabase.from_points(
+        uniform_points(args.points, seed=args.seed), backend_kind="scipy"
+    )
+    written = save_database(args.out, db)
+    print(
+        f"wrote {written} ({len(db):,} points; serve it with "
+        f"`python -m repro serve --load {written}`)"
+    )
+    return 0
+
+
 def _cmd_experiments(argv: Sequence[str]) -> int:
     from repro.workloads.experiments import main as experiments_main
 
@@ -206,7 +358,7 @@ def _cmd_info() -> int:
     print()
     print("packages: repro.geometry  repro.index  repro.delaunay  repro.core")
     print("          repro.query     repro.engine  repro.workloads")
-    print("          repro.io        repro.viz")
+    print("          repro.io        repro.viz     repro.server")
     print()
     print("query API: db.query(AreaQuery | WindowQuery | KnnQuery | NearestQuery)")
     print("           db.query(UnionQuery | IntersectionQuery | DifferenceQuery)")
@@ -226,6 +378,9 @@ def _cmd_info() -> int:
         ("Mixed   ", "experiments mixed"),
         ("Composite", "experiments composite"),
         ("Specs   ", "query --spec-file specs.json"),
+        ("Serve   ", "serve --points 20000"),
+        ("Remote  ", "query --spec-file specs.json --remote 127.0.0.1:7711"),
+        ("Served  ", "experiments serve"),
     ]:
         print(f"  {artefact}  python -m repro {command}")
     return 0
@@ -274,6 +429,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "executing the batch (composites and unbounded kNN never "
         "materialise their full result)",
     )
+    query.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="send the specs to a running `python -m repro serve` "
+        "instance instead of building a local database",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="concurrent NDJSON query server (see docs/SERVER.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7711)
+    serve.add_argument(
+        "--points",
+        type=int,
+        default=10_000,
+        help="generate this many uniform points (ignored with --load)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--load",
+        default=None,
+        metavar="PATH",
+        help="serve a database snapshot written by `python -m repro "
+        "snapshot` (repro.io.persist.save_database)",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="cross-client coalescing admission window, milliseconds "
+        "(0 disables coalescing)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="queued specs that force an immediate flush",
+    )
+    serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=256,
+        help="default rows per streamed chunk frame",
+    )
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="persist a generated database for serve --load"
+    )
+    snapshot.add_argument("--points", type=int, default=10_000)
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument(
+        "--out", default="snapshot.npz", help="output .npz path"
+    )
 
     batch = subparsers.add_parser(
         "batch", help="batch engine: planner explain + throughput table"
@@ -306,6 +517,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "info":

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
@@ -77,6 +77,11 @@ from repro.query.spec import (
     UnionQuery,
     WindowQuery,
 )
+
+try:  # numpy vectorises the shared-frontier member scans when present
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the test env
+    _np = None
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.database import SpatialDatabase
@@ -129,6 +134,71 @@ class BatchStats:
     leaf_cache_hits: int = 0
     #: wall-clock time of the whole batch in milliseconds
     time_ms: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready mapping of every counter (wire/stats frames)."""
+        return dict(asdict(self))
+
+
+@dataclass
+class EngineTotals:
+    """Lifetime job-pool accounting across every batch an engine ran.
+
+    The per-batch :class:`BatchStats` is reset on every
+    :meth:`BatchQueryEngine.run_specs` call; external admission layers —
+    the query server's cross-client coalescer in
+    :mod:`repro.server.coalescer` — need *cumulative* counters to report
+    cache/dedup/sharing behaviour over a whole serving session, so the
+    engine absorbs each batch's stats into this running total.
+    """
+
+    #: number of :meth:`BatchQueryEngine.run_specs` calls absorbed
+    batches: int = 0
+    #: total specs submitted across all batches
+    total_queries: int = 0
+    #: batches holding two or more specs (the ones that could share work)
+    coalesced_batches: int = 0
+    #: largest single batch absorbed
+    max_batch_size: int = 0
+    cache_hits: int = 0
+    duplicate_hits: int = 0
+    executed: int = 0
+    shared_window_groups: int = 0
+    shared_window_queries: int = 0
+    seed_walk_reuses: int = 0
+    seed_index_lookups: int = 0
+    composite_queries: int = 0
+    composite_leaves: int = 0
+    leaf_duplicate_hits: int = 0
+    leaf_cache_hits: int = 0
+    #: summed wall-clock execution time of all batches, milliseconds
+    time_ms: float = 0.0
+
+    def absorb(self, stats: BatchStats) -> None:
+        """Accumulate one finished batch's :class:`BatchStats`."""
+        self.batches += 1
+        self.total_queries += stats.total_queries
+        if stats.total_queries >= 2:
+            self.coalesced_batches += 1
+        self.max_batch_size = max(self.max_batch_size, stats.total_queries)
+        self.cache_hits += stats.cache_hits
+        self.duplicate_hits += stats.duplicate_hits
+        self.executed += stats.executed
+        self.shared_window_groups += stats.shared_window_groups
+        self.shared_window_queries += stats.shared_window_queries
+        self.seed_walk_reuses += stats.seed_walk_reuses
+        self.seed_index_lookups += stats.seed_index_lookups
+        self.composite_queries += stats.composite_queries
+        self.composite_leaves += stats.composite_leaves
+        self.leaf_duplicate_hits += stats.leaf_duplicate_hits
+        self.leaf_cache_hits += stats.leaf_cache_hits
+        self.time_ms += stats.time_ms
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready mapping of every counter (the ``stats`` frame)."""
+        data = asdict(self)
+        data["time_ms"] = round(float(data["time_ms"]), 3)
+        return data
 
 
 @dataclass
@@ -231,6 +301,8 @@ class BatchQueryEngine:
         self.window_slack = window_slack
         #: stats of the most recent batch (None before the first one)
         self.last_batch_stats: Optional[BatchStats] = None
+        #: lifetime accounting across every batch (admission layers report it)
+        self.totals = EngineTotals()
 
     # -- public API --------------------------------------------------------
 
@@ -388,7 +460,21 @@ class BatchQueryEngine:
 
         stats.time_ms = (time.perf_counter() - started) * 1000.0
         self.last_batch_stats = stats
+        self.totals.absorb(stats)
         return BatchResult(results=list(results), stats=stats)  # type: ignore[arg-type]
+
+    def validate_spec(self, spec: Query) -> None:
+        """Raise if ``spec`` cannot be answered by this database.
+
+        The same checks :meth:`run_specs` performs on every submission
+        (type, region validity, recursing composites), exposed so
+        admission layers — the query server's coalescer — can reject one
+        bad request up front instead of poisoning the whole shared batch
+        it would have joined.
+        """
+        if not isinstance(spec, Query):
+            raise TypeError(f"not a query spec: {spec!r}")
+        self._validate_spec(spec)
 
     def _validate_spec(self, spec: Query) -> None:
         """Reject specs the database cannot answer (recursing composites)."""
@@ -551,6 +637,47 @@ class BatchQueryEngine:
         entries = index.window_query(union)
         shared_nodes = index.stats.node_accesses - nodes_before
         shared_ms = (time.perf_counter() - group_started) * 1000.0
+        # The scan loop below runs once per member over the *whole* shared
+        # candidate list, so its constant factor multiplies by the group
+        # size — profiling showed it roughly cancelling the shared
+        # descent's saving at laptop scale.  Two fixes (see the
+        # "shared-frontier scan loop" table in docs/BENCHMARKS.md):
+        # coordinates are unpacked once per *group* instead of twice per
+        # member per entry, and when numpy is available the per-member
+        # rectangle filter runs as one vectorised mask over the group's
+        # coordinate arrays (Rect.contains_point is a pure closed-bounds
+        # comparison, so the mask is exact); the pure-Python fallback
+        # inlines the same bounds test into a comprehension.
+        # Vectorising helps exactly the members whose scan is *pure*
+        # filtering (windows: the mask result IS the answer); refine
+        # members (area specs) pay a Python call per candidate anyway,
+        # and candidates ~= the whole group list for near-coincident
+        # groups, so indexing back through numpy would only add
+        # overhead — they keep the tuple-unpacked loop.
+        window_members = sum(
+            1 for i in group if not isinstance(specs[i], AreaQuery)
+        )
+        use_numpy = (
+            _np is not None and window_members >= 2 and len(entries) >= 32
+        )
+        if use_numpy:
+            count = len(entries)
+            xs = _np.fromiter(
+                (p.x for p, _ in entries), dtype=_np.float64, count=count
+            )
+            ys = _np.fromiter(
+                (p.y for p, _ in entries), dtype=_np.float64, count=count
+            )
+            id_array = _np.fromiter(
+                (item_id for _, item_id in entries),
+                dtype=_np.int64,
+                count=count,
+            )
+        rows = (
+            None
+            if use_numpy and window_members == len(group)
+            else [(p.x, p.y, p, item_id) for p, item_id in entries]
+        )
         for position, i in enumerate(group):
             spec = specs[i]
             if isinstance(spec, AreaQuery):
@@ -561,20 +688,42 @@ class BatchQueryEngine:
                 mbr = spec.rect
                 refine = None
                 member_stats = QueryStats(method="index")
+            min_x, min_y = mbr.min_x, mbr.min_y
+            max_x, max_y = mbr.max_x, mbr.max_y
             member_started = time.perf_counter()
-            ids: List[int] = []
-            for point, item_id in entries:
-                if not mbr.contains_point(point):
-                    continue
-                member_stats.candidates += 1
-                if refine is None:
-                    ids.append(item_id)
-                    continue
-                member_stats.validations += 1
-                if refine(point):
-                    ids.append(item_id)
-                else:
-                    member_stats.redundant_validations += 1
+            if refine is None and use_numpy:
+                mask = (
+                    (xs >= min_x)
+                    & (xs <= max_x)
+                    & (ys >= min_y)
+                    & (ys <= max_y)
+                )
+                ids = _np.sort(id_array[mask]).tolist()  # sorted already
+                member_stats.candidates = len(ids)
+            elif refine is None:
+                ids = [
+                    item_id
+                    for x, y, _, item_id in rows
+                    if min_x <= x <= max_x and min_y <= y <= max_y
+                ]
+                ids.sort()
+                member_stats.candidates = len(ids)
+            else:
+                ids = []
+                append = ids.append
+                candidates = 0
+                redundant = 0
+                for x, y, point, item_id in rows:
+                    if min_x <= x <= max_x and min_y <= y <= max_y:
+                        candidates += 1
+                        if refine(point):
+                            append(item_id)
+                        else:
+                            redundant += 1
+                ids.sort()
+                member_stats.candidates = candidates
+                member_stats.validations = candidates
+                member_stats.redundant_validations = redundant
             member_stats.time_ms = (
                 time.perf_counter() - member_started
             ) * 1000.0
@@ -582,7 +731,6 @@ class BatchQueryEngine:
                 member_stats.index_node_accesses = shared_nodes
                 member_stats.time_ms += shared_ms
             member_stats.result_size = len(ids)
-            ids.sort()
             results[i] = finalize_record(
                 db, spec, QueryResult(ids=ids, stats=member_stats)
             )

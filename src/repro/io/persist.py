@@ -29,25 +29,64 @@ from repro.core.database import SpatialDatabase
 _FORMAT_VERSION = 1
 
 
-def save_points(path: str | os.PathLike, points: List[Point]) -> None:
-    """Write a bare point list to ``path`` (numpy ``.npz``)."""
+def _written_path(path: str | os.PathLike) -> str:
+    """The path numpy actually writes: ``.npz`` appended if missing.
+
+    ``np.savez_compressed`` silently renames ``snapshot`` to
+    ``snapshot.npz``; save functions return this resolved path so
+    callers (the ``serve --load`` CLI round-trip) can hand it straight
+    back to the loaders.
+    """
+    text = os.fspath(path)
+    return text if text.endswith(".npz") else text + ".npz"
+
+
+def _resolve_path(path: str | os.PathLike) -> str:
+    """Find the file a save function produced for ``path``.
+
+    Accepts the exact file or the extensionless name the caller passed
+    to ``save_*`` (whose ``.npz`` numpy appended) — previously
+    ``load_database(p)`` failed with ``FileNotFoundError`` after a
+    successful ``save_database(p)`` whenever ``p`` lacked the suffix.
+    """
+    text = os.fspath(path)
+    if os.path.exists(text):
+        return text
+    fallback = _written_path(text)
+    if fallback != text and os.path.exists(fallback):
+        return fallback
+    return text  # np.load reports the FileNotFoundError with this name
+
+
+def save_points(path: str | os.PathLike, points: List[Point]) -> str:
+    """Write a bare point list to ``path`` (numpy ``.npz``).
+
+    Returns the path actually written (``.npz`` appended if missing).
+    """
     xy = np.asarray([(p.x, p.y) for p in points], dtype=np.float64).reshape(
         len(points), 2
     )
     np.savez_compressed(path, xy=xy)
+    return _written_path(path)
 
 
 def load_points(path: str | os.PathLike) -> List[Point]:
-    """Read a point list written by :func:`save_points` (or a database file)."""
-    with np.load(path, allow_pickle=False) as archive:
+    """Read a point list written by :func:`save_points` (or a database file).
+
+    ``path`` may be the exact file or the extensionless name passed to
+    the save function.
+    """
+    with np.load(_resolve_path(path), allow_pickle=False) as archive:
         xy = archive["xy"]
     return [Point(float(x), float(y)) for x, y in xy]
 
 
-def save_database(path: str | os.PathLike, db: SpatialDatabase) -> None:
+def save_database(path: str | os.PathLike, db: SpatialDatabase) -> str:
     """Write ``db``'s points and configuration to ``path``.
 
-    The file extension ``.npz`` is appended by numpy if missing.
+    Returns the path actually written (numpy appends the ``.npz``
+    extension if missing), so callers can pass it straight to
+    :func:`load_database` — or to ``python -m repro serve --load``.
     """
     xy = np.asarray(
         [(p.x, p.y) for p in db.points], dtype=np.float64
@@ -61,6 +100,7 @@ def save_database(path: str | os.PathLike, db: SpatialDatabase) -> None:
         }
     )
     np.savez_compressed(path, xy=xy, config=np.asarray(config))
+    return _written_path(path)
 
 
 def load_database(
@@ -68,11 +108,12 @@ def load_database(
 ) -> SpatialDatabase:
     """Restore a database written by :func:`save_database`.
 
-    Row ids are preserved exactly (row order is the id order).  Pass
-    ``prepare=True`` to rebuild the Voronoi backend eagerly; by default it
-    stays lazy, like a freshly constructed database.
+    Row ids are preserved exactly (row order is the id order).  ``path``
+    may be the exact file or the extensionless name the saver was given.
+    Pass ``prepare=True`` to rebuild the Voronoi backend eagerly; by
+    default it stays lazy, like a freshly constructed database.
     """
-    with np.load(path, allow_pickle=False) as archive:
+    with np.load(_resolve_path(path), allow_pickle=False) as archive:
         xy = archive["xy"]
         config = json.loads(str(archive["config"]))
     if config.get("version") != _FORMAT_VERSION:

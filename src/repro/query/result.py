@@ -159,6 +159,44 @@ class QueryResult:
             return (anchor.distance_to(point(i)) for i in ids)
         return ids
 
+    def chunks(self, size: int) -> Iterator[List]:
+        """Yield the projected rows in successive lists of ``size``.
+
+        The chunked form of :meth:`stream`, built for push/chunked
+        delivery (the query server's ``chunk`` frames): for
+        streaming-capable specs each chunk is produced on demand —
+        consuming one chunk of an unbounded kNN examines only ~``size``
+        candidates — and abandoning the iterator (``.close()``, garbage
+        collection, ``break``) closes the underlying stream and
+        abandons the remaining work.  The final chunk may be shorter
+        than ``size``; exhaustion ends the iterator without an empty
+        chunk.  Nothing is memoised for streaming specs; other specs
+        execute once (memoised) and chunk the eager record.
+        """
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size!r}")
+        from itertools import islice
+
+        def produce(stream: Iterator) -> Iterator[List]:
+            # Explicitly close the source stream when the consumer
+            # abandons this generator: islice chains do not propagate
+            # close(), and the server's cancel path relies on the
+            # underlying expansion being torn down deterministically.
+            try:
+                while True:
+                    block = list(islice(stream, size))
+                    if not block:
+                        return
+                    yield block
+                    if len(block) < size:
+                        return
+            finally:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+
+        return produce(self.stream())
+
     def first(self, n: int) -> List:
         """The first ``n`` rows under the spec's projection.
 

@@ -1,0 +1,53 @@
+"""The concurrent query server: NDJSON protocol over asyncio TCP.
+
+The network surface of the library, layered on the existing declarative
+query stack (:mod:`repro.query`) and batch engine (:mod:`repro.engine`):
+
+``repro.server.protocol``
+    The versioned newline-delimited-JSON wire format: request /
+    response / chunk / error / stats frames, with query specs carried in
+    the exact :mod:`repro.query.serialize` form.
+``repro.server.coalescer``
+    Cross-client batch coalescing: specs arriving from *different*
+    connections within a short admission window execute as **one**
+    :meth:`~repro.engine.batch.BatchQueryEngine.run_specs` job pool, so
+    concurrent clients share window frontiers, Voronoi seed walks, batch
+    dedup, and the LRU result cache.
+``repro.server.app``
+    The :class:`QueryServer` itself (``asyncio.start_server``), chunked
+    result streaming with client-driven continuation (``next`` /
+    ``cancel``), per-connection limits, and the ``stats`` frame; plus
+    :class:`ServerThread`, the run-in-a-background-thread harness used
+    by tests, benchmarks, and the experiment workload.
+``repro.server.client``
+    :class:`QueryClient`, a small blocking client for tests, benchmarks,
+    and the ``python -m repro query --remote`` CLI path.
+
+Start a server with ``python -m repro serve`` (``--load`` serves a
+persisted snapshot); see ``docs/SERVER.md`` for the protocol spec and
+coalescing semantics.
+"""
+
+from repro.server.app import QueryServer, ServerThread
+from repro.server.client import QueryClient, RemoteError, RemoteResult
+from repro.server.coalescer import BatchCoalescer, CoalescerStats
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "QueryServer",
+    "ServerThread",
+    "QueryClient",
+    "RemoteResult",
+    "RemoteError",
+    "BatchCoalescer",
+    "CoalescerStats",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "decode_frame",
+]

@@ -1,0 +1,590 @@
+"""The asyncio NDJSON query server.
+
+:class:`QueryServer` listens on TCP (``asyncio.start_server``), speaks
+the frame protocol of :mod:`repro.server.protocol`, and answers queries
+against one shared :class:`~repro.core.database.SpatialDatabase`:
+
+* **Batch queries** (the default) go through the cross-client
+  :class:`~repro.server.coalescer.BatchCoalescer`: specs from all
+  connections arriving within the admission window execute as one
+  engine job pool and each result is de-multiplexed back to its
+  requester as a ``result`` frame (optionally with the planner's
+  rendered ``explain`` attached).
+* **Streaming queries** (``"stream": true`` — unbounded
+  ``KnnQuery(k=None)``, composites, or any spec the client prefers
+  chunked) are served as bounded ``chunk`` frames with *client-driven
+  continuation*: the first chunk is pushed immediately, each further
+  chunk only on a ``next`` frame, and ``cancel`` (or the client
+  disconnecting) closes the underlying lazy iterator so abandoned
+  streams never finish ranking the database.
+* **Introspection**: a ``stats`` request returns server counters,
+  coalescer admission stats, and the engine's lifetime job-pool totals
+  (:class:`~repro.engine.batch.EngineTotals`).
+
+Per-connection limits keep one client from starving the rest: at most
+``max_inflight`` outstanding requests (pending batch queries plus open
+streams) and frames over the protocol line limit close the connection.
+
+The event loop is single-threaded and the engine runs *on* it (the
+engine is not thread-safe); a flush blocks the loop for one batch
+execution, during which arriving requests simply queue into the next
+admission window.  :class:`ServerThread` hosts the loop in a background
+thread for tests, benchmarks, and the experiment harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
+
+from repro.core.exceptions import ReproError
+from repro.server.coalescer import BatchCoalescer
+from repro.server.protocol import (
+    DEFAULT_CHUNK_SIZE,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    parse_query_spec,
+    rows_to_wire,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.database import SpatialDatabase
+
+
+class _Stream:
+    """Server-side state of one open chunked stream."""
+
+    __slots__ = ("request_id", "chunks", "seq", "examined", "closed")
+
+    def __init__(self, request_id: int, chunks: Iterator[List]) -> None:
+        self.request_id = request_id
+        #: the lazy chunk iterator (``QueryResult.chunks``)
+        self.chunks = chunks
+        self.seq = 0
+        #: candidates examined so far (counting-predicate observable)
+        self.examined = 0
+        self.closed = False
+
+    def close(self) -> None:
+        """Tear down the underlying iterator (idempotent)."""
+        if not self.closed:
+            self.closed = True
+            self.chunks.close()
+
+
+class _Connection:
+    """Per-connection bookkeeping: writer, in-flight ids, open streams."""
+
+    __slots__ = ("writer", "lock", "inflight", "streams", "tasks")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        #: serialises concurrent frame writes from handler tasks
+        self.lock = asyncio.Lock()
+        #: request ids with an outstanding response (batch or stream)
+        self.inflight: Set[int] = set()
+        #: open streams by request id
+        self.streams: Dict[int, _Stream] = {}
+        #: in-flight batch-query tasks (strong refs; they self-discard)
+        self.tasks: Set[asyncio.Task] = set()
+
+
+class QueryServer:
+    """Concurrent NDJSON query server over one spatial database.
+
+    Parameters
+    ----------
+    database:
+        The served database.  Built (and optionally
+        :meth:`~repro.core.database.SpatialDatabase.prepare`-d) by the
+        caller; the server never mutates it.
+    host, port:
+        Listen address.  ``port=0`` picks a free port — read the bound
+        address from :attr:`address` after :meth:`start`.
+    window_ms, max_batch:
+        Admission-window parameters of the
+        :class:`~repro.server.coalescer.BatchCoalescer`.
+    chunk_size:
+        Default rows per ``chunk`` frame (clients may override per
+        query, capped by the protocol maximum).
+    max_inflight:
+        Per-connection cap on outstanding requests; beyond it the
+        server answers ``too-many-requests`` errors.
+    """
+
+    def __init__(
+        self,
+        database: "SpatialDatabase",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_ms: float = 2.0,
+        max_batch: int = 64,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_inflight: int = 32,
+    ) -> None:
+        self._db = database
+        self._host = host
+        self._port = port
+        self.chunk_size = int(chunk_size)
+        self.max_inflight = int(max_inflight)
+        #: the cross-client admission queue; the ready hint makes the
+        #: window a fallback — the queue group-commits as soon as every
+        #: open connection has a request pending
+        self.coalescer = BatchCoalescer(
+            database,
+            window_ms=window_ms,
+            max_batch=max_batch,
+            ready_hint=lambda: self.active_connections,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[_Connection] = set()
+        #: lifetime server counters (the ``server`` stats section)
+        self.metrics: Dict[str, int] = {
+            "connections_total": 0,
+            "requests_total": 0,
+            "streams_opened": 0,
+            "streams_completed": 0,
+            "streams_cancelled": 0,
+            "errors_sent": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def active_connections(self) -> int:
+        """Connections currently open."""
+        return len(self._connections)
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently open across all connections."""
+        return sum(len(c.streams) for c in self._connections)
+
+    async def start(self) -> tuple:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting, close every connection, tear down streams."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for connection in list(self._connections):
+            self._teardown(connection)
+            connection.writer.close()
+        self.coalescer.flush_now()
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client session: hello, then a frame loop until EOF."""
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        self.metrics["connections_total"] += 1
+        try:
+            await self._send(
+                connection,
+                {
+                    "type": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "server": f"repro/{_server_version()}",
+                    "points": len(self._db),
+                },
+            )
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # line exceeded the stream limit
+                    await self._send_error(
+                        connection,
+                        None,
+                        "bad-frame",
+                        f"frame exceeds the {MAX_LINE_BYTES}-byte line limit",
+                    )
+                    break
+                if not line:
+                    break  # EOF: client closed (or vanished)
+                if not line.strip():
+                    continue  # blank keep-alive lines are tolerated
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError as exc:
+                    await self._send_error(
+                        connection, None, exc.code, exc.message
+                    )
+                    continue
+                await self._dispatch(connection, frame)
+        except ConnectionError:
+            pass  # client vanished mid-write; teardown below
+        finally:
+            self._teardown(connection)
+            self._connections.discard(connection)
+            writer.close()
+
+    def _teardown(self, connection: _Connection) -> None:
+        """Close every open stream of a finished connection.
+
+        This is the disconnect-cancellation path: closing the chunk
+        iterator propagates to the underlying lazy expansion
+        (``QueryResult.chunks`` closes its source stream), so a client
+        that vanishes mid-stream abandons the remaining work instead of
+        leaking a half-consumed iterator.
+        """
+        for stream in list(connection.streams.values()):
+            stream.close()
+            self.metrics["streams_cancelled"] += 1
+        connection.streams.clear()
+        connection.inflight.clear()
+
+    async def _send(self, connection: _Connection, frame: Dict) -> None:
+        """Encode and write one frame (serialised per connection)."""
+        data = encode_frame(frame)
+        async with connection.lock:
+            connection.writer.write(data)
+            await connection.writer.drain()
+
+    async def _send_error(
+        self,
+        connection: _Connection,
+        request_id: Optional[int],
+        code: str,
+        message: str,
+    ) -> None:
+        """Write an ``error`` frame and count it."""
+        self.metrics["errors_sent"] += 1
+        await self._send(
+            connection, error_frame(request_id, code, message)
+        )
+
+    # -- frame dispatch ----------------------------------------------------
+
+    async def _dispatch(self, connection: _Connection, frame: Dict) -> None:
+        """Route one validated frame to its handler.
+
+        Batch queries are handled in their own task so the read loop
+        keeps consuming frames while the coalescer window is open —
+        that is what lets one connection *pipeline* requests (and what
+        makes the ``max_inflight`` admission cap reachable at all).
+        Stream frames are handled inline: they only await fast writes,
+        and their ordering guarantees (open, then ``next``/``cancel``)
+        come from being processed in arrival order.
+        """
+        frame_type = frame["type"]
+        if frame_type == "query":
+            if frame.get("stream"):
+                await self._on_query(connection, frame)
+            else:
+                task = asyncio.ensure_future(
+                    self._query_task(connection, frame)
+                )
+                connection.tasks.add(task)
+                task.add_done_callback(connection.tasks.discard)
+        elif frame_type == "next":
+            await self._on_next(connection, frame)
+        elif frame_type == "cancel":
+            await self._on_cancel(connection, frame)
+        else:  # "stats" — the only remaining client frame type
+            await self._on_stats(connection)
+
+    async def _query_task(self, connection: _Connection, frame: Dict) -> None:
+        """A pipelined batch query; write failures mean the client left."""
+        try:
+            await self._on_query(connection, frame)
+        except ConnectionError:
+            pass  # client vanished before its result could be written
+
+    async def _on_query(self, connection: _Connection, frame: Dict) -> None:
+        """Admit one query: coalesced batch result or chunked stream."""
+        request_id = frame["id"]
+        if request_id in connection.inflight:
+            await self._send_error(
+                connection,
+                request_id,
+                "bad-request",
+                f"request id {request_id} is already in flight",
+            )
+            return
+        if len(connection.inflight) >= self.max_inflight:
+            await self._send_error(
+                connection,
+                request_id,
+                "too-many-requests",
+                f"connection exceeds {self.max_inflight} in-flight requests",
+            )
+            return
+        try:
+            spec = parse_query_spec(frame)
+        except ProtocolError as exc:
+            await self._send_error(
+                connection, request_id, exc.code, exc.message
+            )
+            return
+        self.metrics["requests_total"] += 1
+        connection.inflight.add(request_id)
+        if frame.get("stream"):
+            await self._open_stream(connection, request_id, spec, frame)
+            return
+        try:
+            record = await self.coalescer.submit(spec, client=connection)
+        except Exception as exc:
+            connection.inflight.discard(request_id)
+            # Admission-time rejections (degenerate regions, empty
+            # database, value errors) are the client's fault; anything
+            # else is an execution failure on our side.
+            code = (
+                "bad-spec"
+                if isinstance(exc, (ValueError, ReproError))
+                else "server-error"
+            )
+            await self._send_error(connection, request_id, code, str(exc))
+            return
+        connection.inflight.discard(request_id)
+        response: Dict = {
+            "type": "result",
+            "id": request_id,
+            "ids": list(record.ids),
+            "stats": _stats_to_wire(record.stats),
+        }
+        if frame.get("explain"):
+            response["explain"] = self._db.explain(spec).render()
+        await self._send(connection, response)
+
+    async def _open_stream(
+        self,
+        connection: _Connection,
+        request_id: int,
+        spec,
+        frame: Dict,
+    ) -> None:
+        """Start a chunked stream and push its first chunk."""
+        size = frame.get("chunk_size", self.chunk_size)
+        stream = _Stream(request_id, chunks=None)  # type: ignore[arg-type]
+
+        def count(_point) -> bool:
+            # The examined counter rides the spec's predicate slot: the
+            # lazy executors invoke a predicate exactly once per examined
+            # candidate, so this measures real work — for an unbounded
+            # kNN, the first chunk reports examined == chunk_size, the
+            # wire-visible proof that streaming never ranks the rest of
+            # the database.  Wire specs cannot carry a predicate of
+            # their own (no closure serialisation), so the slot is free.
+            stream.examined += 1
+            return True
+
+        try:
+            self._db.engine.validate_spec(spec)
+        except Exception as exc:
+            connection.inflight.discard(request_id)
+            await self._send_error(
+                connection, request_id, "bad-spec", str(exc)
+            )
+            return
+        result = self._db.query(spec.where(count))
+        stream.chunks = result.chunks(size)
+        connection.streams[request_id] = stream
+        self.metrics["streams_opened"] += 1
+        await self._push_chunk(connection, stream)
+
+    async def _push_chunk(
+        self, connection: _Connection, stream: _Stream
+    ) -> None:
+        """Produce and send one chunk; finish the stream on exhaustion.
+
+        ``done`` reports *stream exhausted* (the chunk iterator returned
+        nothing), never a guess from a short chunk — so a final chunk of
+        exactly ``chunk_size`` rows is followed by one empty ``done``
+        chunk on the next ``next``, and the client logic stays a plain
+        "read until done".
+        """
+        try:
+            rows = next(stream.chunks, None)
+        except Exception as exc:
+            connection.streams.pop(stream.request_id, None)
+            connection.inflight.discard(stream.request_id)
+            stream.close()
+            await self._send_error(
+                connection, stream.request_id, "server-error", str(exc)
+            )
+            return
+        frame = {
+            "type": "chunk",
+            "id": stream.request_id,
+            "seq": stream.seq,
+            "rows": rows_to_wire(rows or []),
+            "done": rows is None,
+            "examined": stream.examined,
+        }
+        stream.seq += 1
+        if rows is None:
+            connection.streams.pop(stream.request_id, None)
+            connection.inflight.discard(stream.request_id)
+            stream.close()
+            self.metrics["streams_completed"] += 1
+        await self._send(connection, frame)
+
+    async def _on_next(self, connection: _Connection, frame: Dict) -> None:
+        """Client-driven continuation: produce the next chunk."""
+        stream = connection.streams.get(frame["id"])
+        if stream is None:
+            await self._send_error(
+                connection,
+                frame["id"],
+                "bad-request",
+                f"no open stream with id {frame['id']}",
+            )
+            return
+        await self._push_chunk(connection, stream)
+
+    async def _on_cancel(self, connection: _Connection, frame: Dict) -> None:
+        """Tear down an open stream; acknowledge with a final chunk."""
+        request_id = frame["id"]
+        stream = connection.streams.pop(request_id, None)
+        if stream is None:
+            await self._send_error(
+                connection,
+                request_id,
+                "bad-request",
+                f"no open stream with id {request_id}",
+            )
+            return
+        stream.close()
+        connection.inflight.discard(request_id)
+        self.metrics["streams_cancelled"] += 1
+        await self._send(
+            connection,
+            {
+                "type": "chunk",
+                "id": request_id,
+                "seq": stream.seq,
+                "rows": [],
+                "done": True,
+                "cancelled": True,
+                "examined": stream.examined,
+            },
+        )
+
+    async def _on_stats(self, connection: _Connection) -> None:
+        """Answer a ``stats`` request with all three counter sections."""
+        server = dict(self.metrics)
+        server["connections"] = self.active_connections
+        server["streams_open"] = self.active_streams
+        await self._send(
+            connection,
+            {
+                "type": "stats",
+                "server": server,
+                "coalescer": self.coalescer.stats.as_dict(),
+                "engine": self._db.engine.totals.as_dict(),
+            },
+        )
+
+
+def _stats_to_wire(stats) -> Dict:
+    """JSON-ready form of one record's :class:`~repro.core.stats.QueryStats`."""
+    from dataclasses import asdict
+
+    data = asdict(stats)
+    data["time_ms"] = round(float(data["time_ms"]), 4)
+    return data
+
+
+def _server_version() -> str:
+    """The library version string (import deferred to avoid cycles)."""
+    import repro
+
+    return repro.__version__
+
+
+class ServerThread:
+    """A :class:`QueryServer` hosted on a background event loop.
+
+    The blocking harness used by tests, benchmarks, and the experiment
+    workload: construction starts the loop thread, binds the server, and
+    blocks until it accepts connections; :meth:`close` (or leaving the
+    ``with`` block) stops it.  ``host``/``port`` attributes hold the
+    bound address.
+    """
+
+    def __init__(self, database: "SpatialDatabase", **server_kwargs) -> None:
+        self.server = QueryServer(database, **server_kwargs)
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-query-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._failure is not None:
+            raise RuntimeError(
+                "query server failed to start"
+            ) from self._failure
+        #: the bound listen address
+        self.host, self.port = self.server.address
+
+    def _run(self) -> None:
+        """Thread target: run the server until :meth:`close`."""
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        """Start the server, signal readiness, park until stopped."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def close(self) -> None:
+        """Stop the server and join the loop thread (idempotent)."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        """Context-manager entry: the server is already accepting."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: stop the server."""
+        self.close()

@@ -1,0 +1,375 @@
+"""A small blocking client for the NDJSON query server.
+
+:class:`QueryClient` speaks the protocol of
+:mod:`repro.server.protocol` over a plain TCP socket: one request at a
+time, responses read synchronously — exactly the shape tests,
+benchmarks, and the ``python -m repro query --remote`` CLI need.  (The
+*server* supports pipelining; a client wanting it can hold several
+:class:`QueryClient` connections, which is also how the benchmark
+simulates concurrent tenants.)
+
+Specs are the library's own immutable :class:`~repro.query.spec.Query`
+objects; the client serialises them with
+:func:`repro.query.serialize.spec_to_dict`, so anything expressible
+locally (minus predicates, which have no wire form) works remotely::
+
+    from repro.server import QueryClient
+    from repro.query.spec import KnnQuery, WindowQuery
+
+    with QueryClient(host, port) as client:
+        result = client.query(WindowQuery((0.4, 0.4, 0.6, 0.6)))
+        print(result.ids, result.stats["method"])
+        for row_id in client.stream(KnnQuery((0.5, 0.5), None)):
+            ...  # unbounded kNN, chunked server-side; break to cancel
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Iterator, List, Optional
+
+from repro.query.serialize import spec_to_dict
+from repro.query.spec import Query
+from repro.server.protocol import (
+    DEFAULT_CHUNK_SIZE,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class RemoteError(RuntimeError):
+    """An ``error`` frame received from the server.
+
+    Carries the frame's stable ``code`` (see
+    :data:`repro.server.protocol.ERROR_CODES`) alongside the message.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        #: the error frame's machine-readable code
+        self.code = code
+
+
+class RemoteResult:
+    """One ``result`` frame: ids, execution stats, optional explain."""
+
+    __slots__ = ("ids", "stats", "explain")
+
+    def __init__(
+        self, ids: List[int], stats: Dict, explain: Optional[str]
+    ) -> None:
+        #: result row ids (ascending for region kinds, kNN order for points)
+        self.ids = ids
+        #: the execution record's :class:`~repro.core.stats.QueryStats` dict
+        self.stats = stats
+        #: the planner's rendered explain table (``explain=True`` only)
+        self.explain = explain
+
+    def __len__(self) -> int:
+        """Number of result rows."""
+        return len(self.ids)
+
+    def __iter__(self):
+        """Iterate the result row ids."""
+        return iter(self.ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteResult({len(self.ids)} rows, "
+            f"method={self.stats.get('method')!r})"
+        )
+
+
+class QueryClient:
+    """Blocking NDJSON client: connect, query, stream, stats, close.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address (see
+        :attr:`repro.server.app.QueryServer.address`).
+    timeout:
+        Socket timeout in seconds for connect and each response read.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+        # cancels sent without waiting for their ack (abandoned streams);
+        # _read_response consumes the acks in passing
+        self._unacked_cancels: set = set()
+        #: the server's ``hello`` frame (protocol checked on connect)
+        self.hello = self._read_frame()
+        if self.hello.get("type") != "hello":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected a hello frame, got {self.hello.get('type')!r}",
+            )
+        if self.hello["protocol"] != PROTOCOL_VERSION:
+            self.close()
+            raise ProtocolError(
+                "bad-frame",
+                f"server speaks protocol {self.hello['protocol']}, "
+                f"this client speaks {PROTOCOL_VERSION}",
+            )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_frame(self, frame: Dict) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def _read_frame(self) -> Dict:
+        line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    def _read_response(self, request_id: Optional[int]) -> Dict:
+        """Read one frame, surfacing ``error`` frames as exceptions.
+
+        Acks for lazily-cancelled streams (:meth:`RemoteStream.abandon`)
+        are consumed and skipped here — the server answers frames in
+        order, so such an ack can only sit *between* real responses.
+        """
+        while True:
+            frame = self._read_frame()
+            frame_id = frame.get("id")
+            if (
+                frame_id in self._unacked_cancels
+                and frame["type"] == "chunk"
+                and frame.get("cancelled")
+            ):
+                self._unacked_cancels.discard(frame_id)
+                continue
+            if frame["type"] == "error":
+                raise RemoteError(frame["code"], frame["message"])
+            if request_id is not None and frame_id != request_id:
+                raise ProtocolError(
+                    "bad-frame",
+                    f"response correlates to id {frame_id!r}, "
+                    f"expected {request_id}",
+                )
+            return frame
+
+    def _lazy_cancel(self, request_id: int) -> None:
+        """Best-effort ``cancel`` without reading the ack (finalizers).
+
+        Used when a stream is abandoned rather than closed: the cancel
+        frame goes out (so the server tears the stream down and frees
+        the request id) and the ack is consumed by a later
+        :meth:`_read_response`.  Failures are swallowed — a finalizer
+        must never raise, and a dead connection cancels server-side
+        anyway.
+        """
+        try:
+            self._send_frame({"type": "cancel", "id": request_id})
+            self._unacked_cancels.add(request_id)
+        except Exception:  # noqa: BLE001 - connection already gone
+            pass
+
+    def _allocate_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- the client surface ------------------------------------------------
+
+    def query(self, spec: Query, *, explain: bool = False) -> RemoteResult:
+        """Answer ``spec`` through the server's coalesced batch path.
+
+        Returns the de-multiplexed :class:`RemoteResult`; with
+        ``explain=True`` the planner's rendered decision table rides
+        along.  Raises :class:`RemoteError` on a per-request ``error``
+        frame (bad spec, admission limits, execution failure).
+        """
+        request_id = self._allocate_id()
+        frame: Dict = {
+            "type": "query",
+            "id": request_id,
+            "spec": spec_to_dict(spec),
+        }
+        if explain:
+            frame["explain"] = True
+        self._send_frame(frame)
+        response = self._read_response(request_id)
+        if response["type"] != "result":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected a result frame, got {response['type']!r}",
+            )
+        return RemoteResult(
+            response["ids"], response["stats"], response.get("explain")
+        )
+
+    def stream(
+        self, spec: Query, *, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> "RemoteStream":
+        """Open a chunked stream over ``spec``; iterate rows lazily.
+
+        The returned :class:`RemoteStream` yields individual rows,
+        requesting a new ``chunk_size``-row chunk from the server only
+        when the previous one is exhausted — an unbounded
+        ``KnnQuery(k=None)`` therefore costs the server ~``chunk_size``
+        examined candidates per chunk, never a full ranking.  Abandoning
+        the iterator (``close()``, ``break`` + garbage collection, or
+        leaving its ``with`` block) sends ``cancel`` so the server tears
+        the underlying iterator down.
+        """
+        request_id = self._allocate_id()
+        self._send_frame(
+            {
+                "type": "query",
+                "id": request_id,
+                "spec": spec_to_dict(spec),
+                "stream": True,
+                "chunk_size": chunk_size,
+            }
+        )
+        first = self._read_response(request_id)
+        if first["type"] != "chunk":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected a chunk frame, got {first['type']!r}",
+            )
+        return RemoteStream(self, request_id, first)
+
+    def stats(self) -> Dict:
+        """The server's ``stats`` frame (server/coalescer/engine sections)."""
+        self._send_frame({"type": "stats"})
+        frame = self._read_response(None)
+        if frame["type"] != "stats":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected a stats frame, got {frame['type']!r}",
+            )
+        return frame
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._rfile.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+
+    def __enter__(self) -> "QueryClient":
+        """Context-manager entry (connection already established)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+
+class RemoteStream:
+    """Client-side iterator over one server stream (rows, not chunks).
+
+    Produced by :meth:`QueryClient.stream`.  Attributes expose the
+    protocol-level accounting the benchmarks assert on:
+    ``chunks_received`` counts ``chunk`` frames consumed, ``examined``
+    mirrors the server's candidates-examined counter from the most
+    recent chunk, and ``done``/``cancelled`` reflect the stream's final
+    state.
+    """
+
+    def __init__(
+        self, client: QueryClient, request_id: int, first_chunk: Dict
+    ) -> None:
+        self._client = client
+        self._request_id = request_id
+        self._buffer: List = list(first_chunk["rows"])
+        self._position = 0
+        #: ``chunk`` frames received so far
+        self.chunks_received = 1
+        #: the server's examined-candidates counter (latest chunk)
+        self.examined = int(first_chunk.get("examined", 0))
+        #: has the server reported the stream exhausted?
+        self.done = bool(first_chunk["done"])
+        #: did this side cancel before exhaustion?
+        self.cancelled = False
+
+    def __iter__(self) -> Iterator:
+        """Iterate the remaining rows, fetching chunks on demand."""
+        return self
+
+    def __next__(self):
+        """The next row; sends ``next`` when the buffer runs dry."""
+        while self._position >= len(self._buffer):
+            if self.done or self.cancelled:
+                raise StopIteration
+            self._fetch()
+        row = self._buffer[self._position]
+        self._position += 1
+        return row
+
+    def _fetch(self) -> None:
+        """Request and ingest one more chunk."""
+        self._client._send_frame(
+            {"type": "next", "id": self._request_id}
+        )
+        chunk = self._client._read_response(self._request_id)
+        if chunk["type"] != "chunk":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected a chunk frame, got {chunk['type']!r}",
+            )
+        self.chunks_received += 1
+        self.examined = int(chunk.get("examined", self.examined))
+        self.done = bool(chunk["done"])
+        self._buffer = list(chunk["rows"])
+        self._position = 0
+
+    def close(self) -> None:
+        """Cancel the stream server-side and wait for the ack
+        (no-op once done/cancelled)."""
+        if self.done or self.cancelled:
+            return
+        self.cancelled = True
+        self._client._send_frame(
+            {"type": "cancel", "id": self._request_id}
+        )
+        ack = self._client._read_response(self._request_id)
+        if ack["type"] != "chunk" or not ack.get("cancelled"):
+            raise ProtocolError(
+                "bad-frame", "expected a cancellation-ack chunk frame"
+            )
+
+    def abandon(self) -> None:
+        """Cancel without waiting for the ack (safe in finalizers).
+
+        The dropped-on-the-floor path: ``break``-ing out of the
+        iteration and letting the stream be garbage collected lands
+        here via ``__del__``, so an abandoned stream still frees its
+        server-side iterator and request id.  The ack is reconciled by
+        the client on its next read.  Prefer ``close()`` (or the
+        ``with`` block) when you need the cancellation to be complete
+        before the next call.
+        """
+        if self.done or self.cancelled:
+            return
+        self.cancelled = True
+        self._client._lazy_cancel(self._request_id)
+
+    def __del__(self) -> None:
+        """Finalizer: abandon the stream if it was never closed."""
+        try:
+            self.abandon()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    def __enter__(self) -> "RemoteStream":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: cancel if still open."""
+        self.close()

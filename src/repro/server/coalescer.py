@@ -1,0 +1,238 @@
+"""Cross-client batch coalescing: the server's admission queue.
+
+One client rarely batches its own requests — but *many* concurrent
+clients do it for free, if the server holds arriving specs for a short
+admission window and executes everything that accumulated as **one**
+:meth:`~repro.engine.batch.BatchQueryEngine.run_specs` job pool.  Every
+sharing mechanism the engine has then applies *across connections*:
+near-coincident windows from different dashboards share one index
+traversal, spatially adjacent Voronoi queries chain seed walks, a spec
+two clients both ask for executes once (batch dedup), and the LRU result
+cache serves repeats from earlier windows.  Per-request results are
+de-multiplexed back to each submitter's future in submission order.
+
+The window trades a small admission latency (``window_ms``, default 2
+milliseconds) for shared execution — but it is a *fallback*, not a tax:
+the queue also flushes immediately once it is **full** (``max_batch``)
+or **complete** (group commit: every client the ``ready_hint`` callable
+counts — for the server, every open connection — has a request
+pending, so nothing more can arrive until results go out).  A lone
+sequential client therefore never waits out the window (its own request
+always completes the group), while a burst from N concurrent clients
+coalesces the moment the N-th request lands.  Setting ``window_ms=0``
+degenerates to one-batch-per-request regardless of the hint.
+
+The coalescer is single-loop asyncio: submissions come from connection
+handler tasks, the flush runs synchronously on the event loop (the
+engine is not thread-safe, and a blocking flush simply lets the next
+window's arrivals queue up behind it — they form the next batch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.core.stats import QueryResult as QueryRecord
+from repro.query.spec import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.database import SpatialDatabase
+
+
+@dataclass
+class CoalescerStats:
+    """Admission accounting across the coalescer's lifetime."""
+
+    #: specs accepted by :meth:`BatchCoalescer.submit`
+    requests: int = 0
+    #: flushes executed (each one engine ``run_specs`` call)
+    batches: int = 0
+    #: batches that coalesced two or more requests
+    coalesced_batches: int = 0
+    #: batches whose requests came from two or more distinct clients
+    multi_client_batches: int = 0
+    #: largest batch flushed so far
+    max_batch_size: int = 0
+    #: histogram of flushed batch sizes (size -> count)
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
+    #: flushes forced early by a full queue (``max_batch`` reached)
+    full_flushes: int = 0
+    #: group-commit flushes (every hinted client had a request pending)
+    complete_flushes: int = 0
+    #: flushes fired by the admission-window timer expiring
+    window_flushes: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average flushed batch size (0.0 before the first flush)."""
+        if not self.batches:
+            return 0.0
+        return self.requests_flushed / self.batches
+
+    @property
+    def requests_flushed(self) -> int:
+        """Total requests across all flushed batches."""
+        return sum(
+            size * count for size, count in self.batch_sizes.items()
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready mapping for the ``stats`` frame."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced_batches": self.coalesced_batches,
+            "multi_client_batches": self.multi_client_batches,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "batch_sizes": {
+                str(size): count
+                for size, count in sorted(self.batch_sizes.items())
+            },
+            "full_flushes": self.full_flushes,
+            "complete_flushes": self.complete_flushes,
+            "window_flushes": self.window_flushes,
+        }
+
+
+class BatchCoalescer:
+    """Collects concurrent query specs and executes them as one batch.
+
+    Parameters
+    ----------
+    database:
+        The served :class:`~repro.core.database.SpatialDatabase`; its
+        engine (and thus its planner and LRU result cache) answers every
+        flushed batch.
+    window_ms:
+        Admission window in milliseconds: the first spec entering an
+        empty queue arms a flush timer this far in the future, and
+        everything submitted before it fires joins the same batch.
+        ``0`` flushes on the next event-loop turn (per-request batches —
+        no cross-client sharing, no added latency).
+    max_batch:
+        Queue size that triggers an immediate flush, bounding both the
+        admission latency under load and the per-batch memory.
+    ready_hint:
+        Optional zero-argument callable returning how many distinct
+        clients could currently be submitting (the server passes its
+        open-connection count).  When every one of them has a request
+        pending, the queue is *complete* and flushes without waiting
+        out the window — the group-commit fast path.  ``None`` disables
+        the heuristic (timer and ``max_batch`` only).
+    """
+
+    def __init__(
+        self,
+        database: "SpatialDatabase",
+        *,
+        window_ms: float = 2.0,
+        max_batch: int = 64,
+        ready_hint: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        self._db = database
+        self.window_ms = float(window_ms)
+        self.max_batch = int(max_batch)
+        self.ready_hint = ready_hint
+        #: admission accounting over this coalescer's lifetime
+        self.stats = CoalescerStats()
+        self._pending: List[Tuple[Query, asyncio.Future, object]] = []
+        self._pending_clients: set = set()
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    @property
+    def pending(self) -> int:
+        """Specs currently queued for the next flush."""
+        return len(self._pending)
+
+    async def submit(
+        self, spec: Query, *, client: object = None
+    ) -> QueryRecord:
+        """Queue ``spec`` and wait for its batch to flush; returns its record.
+
+        ``client`` is an opaque identity tag (the server passes the
+        connection object) used only for the ``multi_client_batches``
+        counter — the observable proof that coalescing crossed
+        connection boundaries.  Invalid specs raise immediately
+        (:meth:`~repro.engine.batch.BatchQueryEngine.validate_spec`)
+        without poisoning the shared batch; execution errors inside a
+        flush are propagated to every future of that batch.
+        """
+        self._db.engine.validate_spec(spec)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((spec, future, client))
+        self._pending_clients.add(client)
+        self.stats.requests += 1
+        if len(self._pending) >= self.max_batch:
+            self.stats.full_flushes += 1
+            self._flush()
+        elif self._group_complete():
+            self.stats.complete_flushes += 1
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.window_ms / 1000.0, self._window_flush
+            )
+        return await future
+
+    def _group_complete(self) -> bool:
+        """Group commit: has every hinted client submitted already?
+
+        With one open connection this is true on every submit (a lone
+        sequential client never pays the admission window); with N it
+        becomes true the moment the N-th distinct client's request
+        lands.  A connection that is connected but not querying (a
+        monitor, an idle dashboard) keeps the group incomplete — those
+        batches fall back to the window timer.
+        """
+        if self.ready_hint is None or self.window_ms == 0.0:
+            return False
+        return len(self._pending_clients) >= max(1, self.ready_hint())
+
+    def flush_now(self) -> None:
+        """Flush the queue immediately (tests and shutdown paths)."""
+        if self._pending:
+            self._flush()
+
+    def _window_flush(self) -> None:
+        """Timer callback: the admission window expired."""
+        self.stats.window_flushes += 1
+        self._flush()
+
+    def _flush(self) -> None:
+        """Execute everything queued as one engine batch; settle futures."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        self._pending_clients = set()
+        if not batch:  # pragma: no cover - timer vs full-flush race guard
+            return
+        stats = self.stats
+        stats.batches += 1
+        size = len(batch)
+        stats.max_batch_size = max(stats.max_batch_size, size)
+        stats.batch_sizes[size] = stats.batch_sizes.get(size, 0) + 1
+        if size >= 2:
+            stats.coalesced_batches += 1
+        clients = {client for _, _, client in batch if client is not None}
+        if len(clients) >= 2:
+            stats.multi_client_batches += 1
+        specs = [spec for spec, _, _ in batch]
+        try:
+            records = self._db.engine.run_specs(specs).results
+        except Exception as exc:  # engine failure poisons this batch only
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future, _), record in zip(batch, records):
+            if not future.done():  # submitter may have disconnected
+                future.set_result(record)

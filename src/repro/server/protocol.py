@@ -1,0 +1,376 @@
+"""The versioned NDJSON wire format of the query server.
+
+One frame per line: a single JSON object terminated by ``\\n``, UTF-8
+encoded, no intra-frame newlines.  Every frame carries a ``type`` tag;
+query specs travel in the exact JSON form of
+:mod:`repro.query.serialize`, so anything expressible to
+:meth:`SpatialDatabase.query <repro.core.database.SpatialDatabase.query>`
+— leaf kinds, nested composites, unbounded streaming kNN — is
+expressible over the wire (specs with a ``predicate`` are the one
+exception; a closure has no wire form).
+
+Client-to-server frames::
+
+    {"type": "query",  "id": 7, "spec": {...},
+     "explain": false, "stream": false, "chunk_size": 256}
+    {"type": "next",   "id": 7}
+    {"type": "cancel", "id": 7}
+    {"type": "stats"}
+
+Server-to-client frames::
+
+    {"type": "hello",  "protocol": 1, "server": "repro/x.y.z", "points": N}
+    {"type": "result", "id": 7, "ids": [...], "stats": {...},
+     "explain": "..."}
+    {"type": "chunk",  "id": 7, "seq": 0, "rows": [...], "done": false,
+     "examined": 256, "cancelled": false}
+    {"type": "error",  "id": 7, "code": "bad-spec", "message": "..."}
+    {"type": "stats",  "server": {...}, "coalescer": {...}, "engine": {...}}
+
+``id`` is a client-chosen non-negative integer correlating responses to
+requests; it must be unique among the connection's *in-flight* requests
+(pending batch queries and open streams) and is free for reuse after the
+``result`` frame, the ``done`` chunk, or an ``error`` frame for that id.
+``hello`` is pushed by the server on connect; a client whose
+``protocol`` differs must disconnect.  A ``query`` with
+``"stream": true`` is answered by ``chunk`` frames — the first is pushed
+immediately, every further one only in response to ``next`` (client-
+driven continuation), and ``cancel`` tears the stream down server-side
+(acknowledged by a final ``done`` chunk with ``"cancelled": true``).
+``rows`` follow the spec's ``select`` projection: row ids (integers),
+points (``[x, y]`` pairs), or distances (floats).  ``examined`` counts
+the candidates the underlying iterator examined so far — for an
+unbounded kNN the first chunk reports exactly ``chunk_size``, the
+observable proof that streaming never ranks the rest of the database.
+
+:func:`decode_frame` rejects malformed input with
+:class:`ProtocolError`, whose ``code`` is stable for programmatic
+handling: ``bad-frame`` (not JSON / not an object / unknown or missing
+type / wrong field shape), ``bad-spec`` (spec body that
+:func:`repro.query.serialize.spec_from_dict` rejects, raised by
+:func:`parse_query_spec`), plus the server-emitted ``bad-request``,
+``too-many-requests``, and ``server-error``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.query.serialize import spec_from_dict
+from repro.query.spec import Query
+
+#: Wire-format version; bumped on any incompatible frame change.  The
+#: server states it in the ``hello`` frame and clients must disconnect
+#: on mismatch rather than guess.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one encoded frame line, bytes (newline included).  The
+#: server passes this as the asyncio stream limit, so an oversized
+#: request fails fast instead of buffering without bound.
+MAX_LINE_BYTES = 1 << 20
+
+#: Default and maximum rows per ``chunk`` frame.
+DEFAULT_CHUNK_SIZE = 256
+MAX_CHUNK_SIZE = 65_536
+
+#: Frame type tags, by direction.
+CLIENT_FRAME_TYPES = ("query", "next", "cancel", "stats")
+SERVER_FRAME_TYPES = ("hello", "result", "chunk", "error", "stats")
+
+#: Stable error codes carried by ``error`` frames.
+ERROR_CODES = (
+    "bad-frame",
+    "bad-spec",
+    "bad-request",
+    "too-many-requests",
+    "server-error",
+)
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire format (or a spec its schema).
+
+    ``code`` is one of :data:`ERROR_CODES`; the server converts this
+    exception into an ``error`` frame with the same code and message.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        #: stable machine-readable error class (see :data:`ERROR_CODES`)
+        self.code = code
+        #: human-readable detail
+        self.message = message
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise a ``bad-frame`` :class:`ProtocolError` unless ``condition``."""
+    if not condition:
+        raise ProtocolError("bad-frame", message)
+
+
+def _check_id(frame: Dict) -> None:
+    """Validate the correlation ``id`` field (non-negative int)."""
+    request_id = frame.get("id")
+    _require(
+        isinstance(request_id, int)
+        and not isinstance(request_id, bool)
+        and request_id >= 0,
+        f"'id' must be a non-negative integer, got {request_id!r}",
+    )
+
+
+def _validate_query(frame: Dict) -> None:
+    _check_id(frame)
+    _require(
+        isinstance(frame.get("spec"), dict),
+        "'spec' must be a JSON object (see repro.query.serialize)",
+    )
+    for flag in ("explain", "stream"):
+        if flag in frame:
+            _require(
+                isinstance(frame[flag], bool),
+                f"{flag!r} must be a boolean, got {frame[flag]!r}",
+            )
+    if "chunk_size" in frame:
+        size = frame["chunk_size"]
+        _require(
+            isinstance(size, int)
+            and not isinstance(size, bool)
+            and 1 <= size <= MAX_CHUNK_SIZE,
+            f"'chunk_size' must be an int in [1, {MAX_CHUNK_SIZE}], "
+            f"got {size!r}",
+        )
+        _require(
+            frame.get("stream") is True,
+            "'chunk_size' is only meaningful with \"stream\": true",
+        )
+
+
+def _validate_result(frame: Dict) -> None:
+    _check_id(frame)
+    ids = frame.get("ids")
+    _require(isinstance(ids, list), "'ids' must be a list")
+    # One C-speed pass instead of a Python-level loop: result frames
+    # carry thousands of ids, and this validator runs on both sides of
+    # every response.  ``type`` (not ``isinstance``) also rejects bools.
+    _require(
+        not ids or set(map(type, ids)) == {int},
+        "result ids must all be integers",
+    )
+    _require(
+        isinstance(frame.get("stats"), dict), "'stats' must be an object"
+    )
+    if "explain" in frame:
+        _require(
+            isinstance(frame["explain"], str),
+            "'explain' must be the rendered plan text",
+        )
+
+
+def _validate_chunk(frame: Dict) -> None:
+    _check_id(frame)
+    seq = frame.get("seq")
+    _require(
+        isinstance(seq, int) and not isinstance(seq, bool) and seq >= 0,
+        f"'seq' must be a non-negative integer, got {seq!r}",
+    )
+    _require(isinstance(frame.get("rows"), list), "'rows' must be a list")
+    _require(
+        isinstance(frame.get("done"), bool), "'done' must be a boolean"
+    )
+    if "examined" in frame:
+        examined = frame["examined"]
+        _require(
+            isinstance(examined, int)
+            and not isinstance(examined, bool)
+            and examined >= 0,
+            f"'examined' must be a non-negative integer, got {examined!r}",
+        )
+    if "cancelled" in frame:
+        _require(
+            isinstance(frame["cancelled"], bool),
+            "'cancelled' must be a boolean",
+        )
+
+
+def _validate_error(frame: Dict) -> None:
+    request_id = frame.get("id")
+    if request_id is not None:
+        _check_id(frame)
+    _require(
+        frame.get("code") in ERROR_CODES,
+        f"'code' must be one of {ERROR_CODES}, got {frame.get('code')!r}",
+    )
+    _require(
+        isinstance(frame.get("message"), str), "'message' must be a string"
+    )
+
+
+def _validate_hello(frame: Dict) -> None:
+    protocol = frame.get("protocol")
+    _require(
+        isinstance(protocol, int)
+        and not isinstance(protocol, bool)
+        and protocol >= 1,
+        f"'protocol' must be a positive integer, got {protocol!r}",
+    )
+    _require(
+        isinstance(frame.get("server"), str), "'server' must be a string"
+    )
+    points = frame.get("points")
+    _require(
+        isinstance(points, int)
+        and not isinstance(points, bool)
+        and points >= 0,
+        f"'points' must be a non-negative integer, got {points!r}",
+    )
+
+
+def _validate_stats(frame: Dict) -> None:
+    # The request form is bare {"type": "stats"}; the response form adds
+    # the three payload objects.  Either all three are present or none.
+    sections = [key for key in ("server", "coalescer", "engine") if key in frame]
+    if sections:
+        _require(
+            len(sections) == 3,
+            "a stats response carries 'server', 'coalescer', and 'engine'",
+        )
+        for key in sections:
+            _require(
+                isinstance(frame[key], dict),
+                f"{key!r} must be an object",
+            )
+
+
+_VALIDATORS = {
+    "query": _validate_query,
+    "next": _check_id,
+    "cancel": _check_id,
+    "stats": _validate_stats,
+    "hello": _validate_hello,
+    "result": _validate_result,
+    "chunk": _validate_chunk,
+    "error": _validate_error,
+}
+
+
+def validate_frame(frame: Dict) -> Dict:
+    """Structurally validate ``frame``; returns it unchanged.
+
+    Raises :class:`ProtocolError` (code ``bad-frame``) on a missing or
+    unknown ``type`` or any field of the wrong shape.  Unknown *extra*
+    fields are tolerated (minor-version forward compatibility).
+    """
+    _require(isinstance(frame, dict), "a frame must be a JSON object")
+    frame_type = frame.get("type")
+    validator = _VALIDATORS.get(frame_type)
+    _require(
+        validator is not None,
+        f"unknown frame type {frame_type!r}; expected one of "
+        f"{tuple(sorted(_VALIDATORS))}",
+    )
+    validator(frame)
+    return frame
+
+
+def encode_frame(frame: Dict) -> bytes:
+    """Validate and serialise ``frame`` as one UTF-8 NDJSON line.
+
+    The output ends with exactly one ``\\n`` and contains no other
+    newline (``json.dumps`` never emits raw control characters), so
+    frames can be framed by ``readline`` on the receiving side.  Frames
+    over :data:`MAX_LINE_BYTES` raise :class:`ProtocolError`.
+    """
+    validate_frame(frame)
+    try:
+        line = json.dumps(
+            frame, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8") + b"\n"
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            "bad-frame", f"frame is not JSON-serialisable: {exc}"
+        ) from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "bad-frame",
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit",
+        )
+    return line
+
+
+def decode_frame(line: bytes | str) -> Dict:
+    """Parse and validate one NDJSON line into a frame dict.
+
+    Accepts the raw line with or without its trailing newline.  Raises
+    :class:`ProtocolError` (code ``bad-frame``) on oversized input,
+    undecodable bytes, non-JSON, a non-object payload, or any schema
+    violation :func:`validate_frame` detects.
+    """
+    if isinstance(line, (bytes, bytearray)):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                "bad-frame",
+                f"line of {len(line)} bytes exceeds the "
+                f"{MAX_LINE_BYTES}-byte limit",
+            )
+        try:
+            text = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                "bad-frame", f"line is not valid UTF-8: {exc}"
+            ) from exc
+    else:
+        text = line
+    try:
+        frame = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(
+            "bad-frame", f"line is not valid JSON: {exc}"
+        ) from exc
+    return validate_frame(frame)
+
+
+def parse_query_spec(frame: Dict) -> Query:
+    """Rebuild the :class:`~repro.query.spec.Query` of a ``query`` frame.
+
+    Wraps :func:`repro.query.serialize.spec_from_dict`, converting its
+    :class:`ValueError`/:class:`KeyError`/:class:`TypeError` into a
+    :class:`ProtocolError` with code ``bad-spec`` so the server can
+    answer with a per-request ``error`` frame instead of dropping the
+    connection.
+    """
+    try:
+        return spec_from_dict(frame["spec"])
+    except ProtocolError:
+        raise
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ProtocolError("bad-spec", f"unusable query spec: {exc}") from exc
+
+
+def rows_to_wire(rows: Iterable) -> List:
+    """Project result rows into their JSON wire form.
+
+    Row ids and distances are already JSON scalars;
+    :class:`~repro.geometry.point.Point` rows (``select="points"``)
+    become ``[x, y]`` pairs.
+    """
+    wire: List = []
+    for row in rows:
+        x = getattr(row, "x", None)
+        if x is not None:
+            wire.append([x, row.y])
+        else:
+            wire.append(row)
+    return wire
+
+
+def error_frame(
+    request_id: Optional[int], code: str, message: str
+) -> Dict:
+    """Build an ``error`` frame (``request_id`` may be None)."""
+    frame: Dict = {"type": "error", "code": code, "message": message}
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame

@@ -33,6 +33,7 @@ loop on a production-style trace where hot regions repeat.
 from __future__ import annotations
 
 import argparse
+import math
 import random
 import sys
 import time
@@ -536,6 +537,274 @@ def run_composite_throughput_experiment(
     )
 
 
+def make_serve_trace(
+    query_size: float,
+    distinct: int,
+    repeat: int,
+    seed: int = 0,
+    cluster: int = 4,
+    shape: str = "mixed",
+) -> List[Query]:
+    """A multi-tenant trace: clustered hot-spot specs, repeated.
+
+    Models N tenants watching a few hot areas *at the same time* (a
+    live event, a dashboard auto-refresh tick): ``distinct`` specs are
+    generated in clusters of ``cluster`` near-coincident regions around
+    shared centres, emitted cluster by cluster, and the whole trace is
+    repeated ``repeat`` times.  Submission order is deliberately
+    cluster-contiguous: when the trace is dealt round-robin to N
+    concurrent connections, each coalescing wave carries one cluster's
+    near-coincident members from *different* clients — the traffic
+    shape cross-client batching exists for.  Clusters alternate between
+    the two sharing-friendly shapes of real map traffic:
+
+    * **hot tiles** — jittered same-size :class:`WindowQuery` rectangles
+      (one viewport, nudged per tenant): batched, the engine's window
+      grouping answers the whole cluster with **one** shared index
+      traversal;
+    * **hot regions** — jittered voronoi-method :class:`AreaQuery`
+      polygons: batched, expansion seeds chain across the cluster by
+      Delaunay-graph walks instead of per-query index descents.
+
+    Sequential round-trips (batches of one) can exploit neither, which
+    is exactly the gap the served-throughput experiment measures; exact
+    repeats (the ``repeat`` rounds) hit the LRU result cache in *both*
+    settings, so they do not skew the comparison.  ``shape`` restricts
+    the mix: ``"tiles"`` (all window clusters — the tile-server
+    workload ``benchmarks/bench_server.py`` asserts on), ``"regions"``
+    (all voronoi-method polygon clusters), or ``"mixed"`` (alternating,
+    the default).
+    """
+    if shape not in ("mixed", "tiles", "regions"):
+        raise ValueError(
+            f"shape must be 'mixed', 'tiles', or 'regions', got {shape!r}"
+        )
+    rng = random.Random(seed)
+    specs: List[Query] = []
+    tile = shape != "regions"
+    while len(specs) < distinct:
+        cx = rng.uniform(0.15, 0.85)
+        cy = rng.uniform(0.15, 0.85)
+        members = min(cluster, distinct - len(specs))
+        if tile:
+            side = math.sqrt(query_size)
+            for _ in range(members):
+                jx = rng.uniform(-0.02, 0.02) * side
+                jy = rng.uniform(-0.02, 0.02) * side
+                specs.append(
+                    WindowQuery(
+                        (
+                            cx - side / 2 + jx,
+                            cy - side / 2 + jy,
+                            cx + side / 2 + jx,
+                            cy + side / 2 + jy,
+                        )
+                    )
+                )
+        else:
+            for _ in range(members):
+                polygon = random_query_polygon(query_size, rng=rng)
+                mbr = polygon.mbr
+                side = max(mbr.max_x - mbr.min_x, mbr.max_y - mbr.min_y)
+                dx = (
+                    cx
+                    - (mbr.min_x + mbr.max_x) / 2.0
+                    + rng.uniform(-0.1, 0.1) * side
+                )
+                dy = (
+                    cy
+                    - (mbr.min_y + mbr.max_y) / 2.0
+                    + rng.uniform(-0.1, 0.1) * side
+                )
+                specs.append(
+                    AreaQuery(
+                        Polygon(
+                            [
+                                Point(p.x + dx, p.y + dy)
+                                for p in polygon.vertices
+                            ]
+                        ),
+                        method="voronoi",
+                    )
+                )
+        if shape == "mixed":
+            tile = not tile
+    return [spec for _ in range(repeat) for spec in specs]
+
+
+def serve_trace_sequential(host: str, port: int, trace: List[Query]):
+    """Answer ``trace`` over the wire, one blocking round-trip at a time.
+
+    The no-concurrency baseline of the served-throughput experiment: a
+    single :class:`~repro.server.client.QueryClient` submits each spec
+    and waits for its result before sending the next, so every request
+    is its own admission window (a batch of one — no cross-client
+    sharing, though the server's LRU cache still sees the repeats).
+    Returns the per-request id lists in trace order.
+    """
+    from repro.server.client import QueryClient
+
+    with QueryClient(host, port) as client:
+        return [client.query(spec).ids for spec in trace]
+
+
+def serve_trace_concurrent(
+    host: str, port: int, trace: List[Query], clients: int
+):
+    """Answer ``trace`` over the wire from ``clients`` concurrent clients.
+
+    The trace is split round-robin over ``clients`` threads, each
+    holding its own blocking connection; a barrier releases them
+    together, so their requests land inside shared admission windows
+    and the server coalesces them into cross-client engine batches.
+    Returns the per-request id lists re-assembled in trace order (plus
+    raising any client thread's failure).
+    """
+    import threading
+
+    from repro.server.client import QueryClient
+
+    shards = [trace[i::clients] for i in range(clients)]
+    results: List[Optional[List[List[int]]]] = [None] * clients
+    failures: List[BaseException] = []
+    barrier = threading.Barrier(clients)
+
+    def worker(position: int) -> None:
+        try:
+            with QueryClient(host, port) as client:
+                barrier.wait()
+                results[position] = [
+                    client.query(spec).ids for spec in shards[position]
+                ]
+        except BaseException as exc:  # surfaced to the caller below
+            failures.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+    merged: List[Optional[List[int]]] = [None] * len(trace)
+    for position, shard_ids in enumerate(results):
+        assert shard_ids is not None
+        for offset, ids in enumerate(shard_ids):
+            merged[position + offset * clients] = ids
+    return merged
+
+
+def run_serve_throughput_experiment(
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    data_size: int = 10_000,
+    clients: int = 8,
+    distinct: int = 16,
+    repeat: int = 4,
+    query_size: float = 0.002,
+    rounds: int = 3,
+    window_ms: float = 5.0,
+    cluster: int = 8,
+    shape: str = "mixed",
+    database: Optional[SpatialDatabase] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BatchThroughputRow]:
+    """Served throughput: N coalesced clients vs sequential round-trips.
+
+    Two server phases over the same database and the same repeated trace
+    (:func:`make_serve_trace`), results asserted id-identical:
+
+    * ``serve/sequential`` — one client, one blocking round-trip per
+      request, against a server with ``window_ms=0`` (every request
+      flushes immediately: the *strongest* sequential configuration,
+      with no admission latency to unfairly pad the baseline);
+    * ``serve/coalesced`` — ``clients`` concurrent connections against a
+      server with the given ``window_ms``, so requests from different
+      connections land in shared admission windows and execute as one
+      cross-client engine batch.
+
+    The engine's LRU cache is cleared before every timed round of both
+    phases, so each round pays the same cold-cache cost and the ratio
+    isolates what coalescing adds: shared execution, intra-batch dedup,
+    and round-trip overlap.  Each phase reports its best of ``rounds``.
+    """
+    from repro.server.app import ServerThread
+
+    if database is not None:
+        db = database
+    else:
+        if progress is not None:
+            progress(f"building database of {data_size:,} points...")
+        db = _build_database(data_size, config)
+    trace = make_serve_trace(
+        query_size,
+        distinct,
+        repeat,
+        seed=config.seed,
+        cluster=cluster,
+        shape=shape,
+    )
+    if progress is not None:
+        progress(
+            f"served trace: {len(trace)} requests over {distinct} distinct "
+            f"regions, {clients} clients"
+        )
+    expected = [db.query(spec).ids() for spec in trace]
+
+    rows: List[BatchThroughputRow] = []
+    phases = (
+        ("serve/sequential", 0.0, 1),
+        (f"serve/coalesced x{clients}", window_ms, clients),
+    )
+    for label, phase_window, phase_clients in phases:
+        with ServerThread(db, window_ms=phase_window) as server:
+            best = float("inf")
+            for _ in range(rounds):
+                db.engine.cache.clear()
+                totals_before = db.engine.totals.duplicate_hits
+                started = time.perf_counter()
+                if phase_clients == 1:
+                    ids = serve_trace_sequential(
+                        server.host, server.port, trace
+                    )
+                else:
+                    ids = serve_trace_concurrent(
+                        server.host, server.port, trace, phase_clients
+                    )
+                elapsed = time.perf_counter() - started
+                if ids != expected:
+                    raise AssertionError(
+                        "served strategy returned different ids than "
+                        "local execution"
+                    )
+                best = min(best, elapsed)
+            duplicate_hits = db.engine.totals.duplicate_hits - totals_before
+            coalescer_stats = server.server.coalescer.stats
+        total_ms = best * 1000.0
+        rows.append(
+            BatchThroughputRow(
+                strategy=label,
+                total_ms=total_ms,
+                queries_per_second=len(trace) / (total_ms / 1000.0),
+                speedup=1.0,
+                duplicate_hits=duplicate_hits,
+                method_counts={},
+            )
+        )
+        if progress is not None:
+            progress(
+                f"{label}: {total_ms:.1f} ms "
+                f"(batches: {coalescer_stats.batch_sizes})"
+            )
+    baseline = rows[0].total_ms
+    for row in rows:
+        row.speedup = baseline / row.total_ms if row.total_ms else 0.0
+    return rows
+
+
 def run_batch_throughput_experiment(
     config: ExperimentConfig = ExperimentConfig(),
     *,
@@ -802,6 +1071,7 @@ _TARGETS = (
     "batch",
     "mixed",
     "composite",
+    "serve",
     "all",
 )
 
@@ -851,6 +1121,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=0.01,
         help="batch target: query size of the trace regions",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="serve target: concurrent client connections",
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=5.0,
+        help="serve target: cross-client coalescing window",
     )
     args = parser.parse_args(argv)
 
@@ -903,6 +1185,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(render_batch_table(mixed_rows))
         if args.target == "mixed":
+            return 0
+
+    if args.target in ("serve", "all"):
+        serve_rows = run_serve_throughput_experiment(
+            config,
+            data_size=args.data_size or 10_000,
+            clients=args.clients,
+            distinct=args.batch_distinct,
+            repeat=args.batch_repeat,
+            query_size=args.batch_query_size,
+            window_ms=args.window_ms,
+            progress=progress,
+        )
+        print(
+            f"\nServed throughput over the NDJSON wire ({args.clients} "
+            f"coalesced clients vs one sequential client, "
+            f"{args.batch_distinct} regions x {args.batch_repeat} hits):"
+        )
+        print(render_batch_table(serve_rows))
+        if args.target == "serve":
             return 0
 
     if args.target in ("composite", "all"):

@@ -94,6 +94,27 @@ class TestDatabaseRoundTrip:
         with pytest.raises(ValueError, match="version"):
             load_database(path)
 
+    def test_extensionless_path_round_trips(self, tmp_path):
+        """Regression: save appends .npz via numpy, so loading the same
+        extensionless name used to raise FileNotFoundError."""
+        db = SpatialDatabase.from_points(uniform_points(40, seed=263))
+        bare = tmp_path / "snapshot"
+        written = save_database(bare, db)
+        assert written == str(bare) + ".npz"
+        for path in (bare, written):
+            restored = load_database(path)
+            assert [restored.point(i) for i in range(40)] == db.points
+
+    def test_save_points_returns_written_path(self, tmp_path):
+        points = uniform_points(10, seed=265)
+        written = save_points(tmp_path / "pts", points)
+        assert written.endswith(".npz")
+        assert load_points(tmp_path / "pts") == points
+
+    def test_missing_file_still_reports_requested_name(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nowhere"):
+            load_database(tmp_path / "nowhere")
+
     def test_count_mismatch_detected(self, tmp_path):
         path = tmp_path / "corrupt.npz"
         np.savez_compressed(

@@ -126,3 +126,111 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServerCLI:
+    def test_snapshot_writes_loadable_database(self, tmp_path, capsys):
+        from repro.io.persist import load_database
+
+        out_path = tmp_path / "snap"  # extensionless on purpose
+        exit_code = main(
+            [
+                "snapshot",
+                "--points",
+                "300",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "snap.npz" in out
+        assert len(load_database(out_path)) == 300
+
+    def test_serve_load_plumbing(self, tmp_path, capsys):
+        """`--load` restores the exact snapshot (the serve entry point
+        itself blocks, so the database plumbing is tested directly)."""
+        import argparse
+
+        from repro.__main__ import _build_or_load_database
+        from repro.core.database import SpatialDatabase
+        from repro.io.persist import save_database
+        from repro.workloads.generators import uniform_points
+
+        db = SpatialDatabase.from_points(
+            uniform_points(250, seed=3), backend_kind="scipy"
+        )
+        written = save_database(tmp_path / "served", db)
+        args = argparse.Namespace(load=written, points=999, seed=0)
+        restored = _build_or_load_database(args)
+        assert len(restored) == 250  # the snapshot, not --points
+        assert restored.points == db.points
+        assert "restored" in capsys.readouterr().out
+
+    def test_query_remote_round_trip(self, tmp_path, capsys):
+        from repro import dump_specs
+        from repro.core.database import SpatialDatabase
+        from repro.geometry.rectangle import Rect
+        from repro.query.spec import KnnQuery, WindowQuery
+        from repro.server import ServerThread
+        from repro.workloads.generators import uniform_points
+
+        specs = [
+            WindowQuery(Rect(0.2, 0.2, 0.6, 0.6)),
+            KnnQuery((0.5, 0.5), 4),
+        ]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(dump_specs(specs), encoding="utf-8")
+        db = SpatialDatabase.from_points(
+            uniform_points(600, seed=9), backend_kind="scipy"
+        ).prepare()
+        with ServerThread(db) as server:
+            exit_code = main(
+                [
+                    "query",
+                    "--spec-file",
+                    str(spec_file),
+                    "--remote",
+                    f"{server.host}:{server.port}",
+                ]
+            )
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            assert "Connected to" in out
+            assert "coalesced batches" in out
+
+            exit_code = main(
+                [
+                    "query",
+                    "--spec-file",
+                    str(spec_file),
+                    "--remote",
+                    f"{server.host}:{server.port}",
+                    "--first",
+                    "3",
+                ]
+            )
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            assert "first 3" in out
+            expected = db.query(specs[1]).first(3)
+            assert str(expected) in out
+
+    def test_query_remote_bad_address(self, tmp_path):
+        from repro import dump_specs
+        from repro.query.spec import NearestQuery
+
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(
+            dump_specs([NearestQuery((0.5, 0.5))]), encoding="utf-8"
+        )
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(
+                [
+                    "query",
+                    "--spec-file",
+                    str(spec_file),
+                    "--remote",
+                    "not-an-address",
+                ]
+            )

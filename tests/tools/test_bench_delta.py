@@ -1,0 +1,113 @@
+"""Unit tests of the CI perf-trajectory comparator (tools/bench_delta.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+from bench_delta import TOLERANCE, compare, load_record, main  # noqa: E402
+
+
+def record(**results):
+    """A minimal BENCH_pr.json payload with the given results section."""
+    return {"schema": "repro-bench/1", "python": "3.12.0", "results": results}
+
+
+class TestCompare:
+    def test_improvement_and_noise_are_not_regressions(self):
+        previous = record(bench={"speedup": 2.0, "batch_ms": 100.0})
+        current = record(bench={"speedup": 2.1, "batch_ms": 95.0})
+        rows, warnings = compare(previous, current)
+        assert warnings == []
+        assert all(not row[5] for row in rows)
+
+    def test_shrinking_speedup_warns(self):
+        previous = record(bench={"speedup": 2.0})
+        current = record(bench={"speedup": 2.0 * (1 - TOLERANCE) - 0.1})
+        rows, warnings = compare(previous, current)
+        assert len(warnings) == 1 and "regressed" in warnings[0]
+        assert rows[0][5] is True
+
+    def test_growing_time_warns_lower_is_better(self):
+        previous = record(bench={"batch_ms": 100.0})
+        current = record(bench={"batch_ms": 140.0})
+        _, warnings = compare(previous, current)
+        assert len(warnings) == 1
+
+    def test_small_shrink_within_tolerance_passes(self):
+        previous = record(bench={"speedup": 2.0})
+        current = record(bench={"speedup": 2.0 * (1 - TOLERANCE / 2)})
+        _, warnings = compare(previous, current)
+        assert warnings == []
+
+    def test_context_keys_and_non_numeric_skipped(self):
+        previous = record(
+            bench={"threshold": 1.3, "clients": 8, "materialised": False}
+        )
+        current = record(
+            bench={"threshold": 1.5, "clients": 4, "materialised": True}
+        )
+        rows, warnings = compare(previous, current)
+        assert rows == [] and warnings == []
+
+    def test_new_and_vanished_benchmarks_are_tolerated(self):
+        previous = record(old_bench={"speedup": 1.5})
+        current = record(new_bench={"speedup": 1.8})
+        rows, warnings = compare(previous, current)
+        assert warnings == []  # nothing comparable, nothing to warn about
+        assert rows == []
+
+
+class TestLoadRecord:
+    def test_missing_and_invalid_files(self, tmp_path):
+        assert load_record(str(tmp_path / "absent.json")) is None
+        broken = tmp_path / "broken.json"
+        broken.write_text("not json", encoding="utf-8")
+        assert load_record(str(broken)) is None
+        no_results = tmp_path / "odd.json"
+        no_results.write_text('{"schema": "x"}', encoding="utf-8")
+        assert load_record(str(no_results)) is None
+
+
+class TestMain:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_missing_previous_is_fine(self, tmp_path, capsys):
+        current = tmp_path / "cur.json"
+        self._write(current, record(bench={"speedup": 2.0}))
+        assert main([str(tmp_path / "absent.json"), str(current)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_missing_current_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "a.json"), str(tmp_path / "b.json")]) == 1
+        assert "::warning::" in capsys.readouterr().out
+
+    def test_summary_file_receives_the_table(self, tmp_path, capsys):
+        previous = tmp_path / "prev.json"
+        current = tmp_path / "cur.json"
+        summary = tmp_path / "summary.md"
+        self._write(previous, record(bench={"speedup": 2.0, "batch_ms": 50}))
+        self._write(current, record(bench={"speedup": 1.2, "batch_ms": 80}))
+        assert (
+            main([str(previous), str(current), "--summary", str(summary)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        table = summary.read_text(encoding="utf-8")
+        assert "| bench | speedup | 2.0 | 1.2 |" in table
+        assert "regression" in table
+        assert out.count("::warning::") == 2  # speedup down, time up
+
+
+@pytest.mark.parametrize(
+    "name,direction",
+    [("speedup", 1), ("loop_ms", -1), ("seed_walk_reuses", 1)],
+)
+def test_direction_heuristic(name, direction):
+    from bench_delta import _direction
+
+    assert _direction(name) == direction

@@ -251,3 +251,79 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Table II" in out
         assert "32%" in out
+
+
+class TestServeThroughput:
+    def test_serve_trace_shapes(self):
+        from repro.query.spec import AreaQuery, WindowQuery
+        from repro.workloads.experiments import make_serve_trace
+
+        trace = make_serve_trace(0.01, 8, 2, seed=5, cluster=4)
+        assert len(trace) == 16
+        assert trace[:8] == trace[8:]  # the repeat rounds
+        assert trace == make_serve_trace(0.01, 8, 2, seed=5, cluster=4)
+        kinds = {type(spec) for spec in trace}
+        assert kinds == {WindowQuery, AreaQuery}  # mixed shape default
+        # clusters are contiguous: the first four specs are jittered
+        # copies of one hot tile (near-coincident anchors)
+        anchors = [spec.anchor() for spec in trace[:4]]
+        union = anchors[0]
+        for anchor in anchors[1:]:
+            union = union.union(anchor)
+        assert union.area <= 1.2 * max(a.area for a in anchors)
+        tiles = make_serve_trace(0.01, 6, 1, seed=5, shape="tiles")
+        assert {type(spec) for spec in tiles} == {WindowQuery}
+        regions = make_serve_trace(0.01, 6, 1, seed=5, shape="regions")
+        assert {type(spec) for spec in regions} == {AreaQuery}
+        with pytest.raises(ValueError, match="shape"):
+            make_serve_trace(0.01, 6, 1, shape="spiral")
+
+    def test_serve_experiment_rows(self):
+        from repro.core.database import SpatialDatabase
+        from repro.workloads.experiments import (
+            run_serve_throughput_experiment,
+        )
+        from repro.workloads.generators import uniform_points
+
+        db = SpatialDatabase.from_points(
+            uniform_points(500, seed=47), backend_kind="scipy"
+        ).prepare()
+        rows = run_serve_throughput_experiment(
+            ExperimentConfig(seed=3),
+            clients=2,
+            distinct=4,
+            repeat=1,
+            query_size=0.02,
+            rounds=1,
+            cluster=2,
+            database=db,
+        )
+        assert [row.strategy for row in rows] == [
+            "serve/sequential",
+            "serve/coalesced x2",
+        ]
+        assert rows[0].speedup == 1.0
+        assert all(row.total_ms > 0.0 for row in rows)
+        table = render_batch_table(rows)
+        assert "serve/coalesced x2" in table
+
+    def test_main_serve_smoke(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--data-size",
+                "500",
+                "--batch-distinct",
+                "4",
+                "--batch-repeat",
+                "1",
+                "--clients",
+                "2",
+                "--batch-query-size",
+                "0.02",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Served throughput over the NDJSON wire" in out
+        assert "serve/sequential" in out

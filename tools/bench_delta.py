@@ -1,0 +1,199 @@
+"""Perf-trajectory comparison of two ``BENCH_pr.json`` records.
+
+CI records every run's benchmark outcomes as a ``BENCH_pr.json``
+artifact (see ``benchmarks/conftest.py``).  This tool compares the
+previous run's record against the current one and renders a markdown
+delta table for the workflow step summary, so the speedup trajectory of
+the acceptance benchmarks is visible per commit instead of only living
+in pass/fail asserts.
+
+Regressions **warn, never fail**: timing ratios on shared CI runners are
+noisy, and the hard floors are already enforced by the benchmark asserts
+themselves.  A metric counts as regressed when it shrinks by more than
+:data:`TOLERANCE` relative to the previous run; such rows are marked and
+an actionable ``::warning::`` workflow command is emitted per metric.
+
+Usage::
+
+    python tools/bench_delta.py PREVIOUS.json CURRENT.json \
+        [--summary $GITHUB_STEP_SUMMARY]
+
+Either file may be missing (first run on a branch, expired artifact):
+the tool says so and exits 0.  Exit status is always 0 unless the
+*current* record is unreadable JSON — the one situation that means the
+pipeline itself broke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Relative shrink tolerated before a numeric metric is flagged.
+TOLERANCE = 0.10
+
+#: Keys that describe configuration, not performance — never compared.
+_CONTEXT_KEYS = {
+    "threshold",
+    "clients",
+    "requests",
+    "data_size",
+    "query_size",
+    "composites",
+    "parts",
+    "first_n",
+    "chunk_size",
+    "distinct",
+}
+
+#: Metrics where *larger is worse* (times); everything else numeric is
+#: treated as larger-is-better (speedups, hit/reuse counters).
+_LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s")
+
+
+def _direction(name: str) -> int:
+    """+1 when larger is better for ``name``, -1 when smaller is."""
+    return (
+        -1 if name.endswith(_LOWER_IS_BETTER_SUFFIXES) else 1
+    )
+
+
+def load_record(path: str) -> Optional[Dict]:
+    """Read one ``BENCH_pr.json``; ``None`` when absent/unreadable."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or "results" not in data:
+        return None
+    return data
+
+
+def compare(
+    previous: Dict, current: Dict
+) -> Tuple[List[Tuple[str, str, object, object, str, bool]], List[str]]:
+    """Row-by-row delta of two records' numeric metrics.
+
+    Returns ``(rows, warnings)``: each row is ``(benchmark, metric,
+    previous value, current value, delta text, regressed?)`` for every
+    numeric metric present in either record, and ``warnings`` holds one
+    message per regression (shrink beyond :data:`TOLERANCE` in the
+    metric's better-direction).
+    """
+    rows: List[Tuple[str, str, object, object, str, bool]] = []
+    warnings: List[str] = []
+    prev_results = previous.get("results", {})
+    curr_results = current.get("results", {})
+    for bench in sorted(set(prev_results) | set(curr_results)):
+        prev_bench = prev_results.get(bench, {})
+        curr_bench = curr_results.get(bench, {})
+        for metric in sorted(set(prev_bench) | set(curr_bench)):
+            if metric in _CONTEXT_KEYS:
+                continue
+            before = prev_bench.get(metric)
+            after = curr_bench.get(metric)
+            numeric = all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in (before, after)
+            )
+            if not numeric:
+                continue
+            if before:
+                change = (after - before) / abs(before)
+                delta = f"{change:+.1%}"
+            else:
+                change = 0.0 if after == before else float("inf")
+                delta = "n/a" if after != before else "±0%"
+            regressed = (
+                change != float("inf")
+                and change * _direction(metric) < -TOLERANCE
+            )
+            if regressed:
+                warnings.append(
+                    f"{bench}.{metric} regressed "
+                    f"{before} -> {after} ({delta})"
+                )
+            rows.append((bench, metric, before, after, delta, regressed))
+    return rows, warnings
+
+
+def render_markdown(
+    rows: List[Tuple[str, str, object, object, str, bool]],
+    previous_meta: Dict,
+    current_meta: Dict,
+) -> str:
+    """The step-summary markdown: header plus one table row per metric."""
+    lines = [
+        "### Benchmark trajectory vs previous run",
+        "",
+        f"previous: python {previous_meta.get('python', '?')}, "
+        f"current: python {current_meta.get('python', '?')} "
+        f"(tolerance ±{TOLERANCE:.0%}; regressions warn, never fail)",
+        "",
+        "| benchmark | metric | previous | current | delta | |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for bench, metric, before, after, delta, regressed in rows:
+        flag = "⚠️ regression" if regressed else ""
+        lines.append(
+            f"| {bench} | {metric} | {before} | {after} | {delta} | {flag} |"
+        )
+    if not rows:
+        lines.append("| _no comparable numeric metrics_ | | | | | |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI driver; always exits 0 unless the current record is broken."""
+    parser = argparse.ArgumentParser(
+        description="Render a markdown delta of two BENCH_pr.json records."
+    )
+    parser.add_argument("previous", help="previous run's BENCH_pr.json")
+    parser.add_argument("current", help="this run's BENCH_pr.json")
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help="file to append the markdown table to "
+        "(e.g. $GITHUB_STEP_SUMMARY); stdout is always written",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_record(args.current)
+    if current is None:
+        print(
+            f"::warning::current benchmark record {args.current!r} is "
+            "missing or unreadable — did bench-smoke run?"
+        )
+        return 1
+    previous = load_record(args.previous)
+    if previous is None:
+        text = (
+            "### Benchmark trajectory vs previous run\n\n"
+            f"no previous record at `{args.previous}` "
+            "(first run, or the artifact expired) — nothing to compare.\n"
+        )
+        print(text)
+        if args.summary:
+            with open(args.summary, "a", encoding="utf-8") as handle:
+                handle.write(text)
+        return 0
+
+    rows, warnings = compare(previous, current)
+    text = render_markdown(rows, previous, current)
+    print(text)
+    for message in warnings:
+        print(f"::warning::{message}")
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test docs-check lint bench-smoke bench demo
+.PHONY: test docs-check lint bench-smoke bench-columnar bench demo
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -18,16 +18,22 @@ docs-check:
 lint:
 	python tools/lint.py src tests benchmarks examples tools
 
-## fast benchmark smoke: batch-engine + composite + server suites with
-## their speedup assertions (timing collection disabled; the 1.5x /
-## 1.3x throughput asserts still run).  Emits the machine-readable
-## per-PR record BENCH_pr.json (override the path with
+## fast benchmark smoke: columnar + batch-engine + composite + server
+## suites with their speedup assertions (timing collection disabled;
+## the 2x / 1.5x / 1.3x throughput asserts still run).  Emits the
+## machine-readable per-PR record BENCH_pr.json (override the path with
 ## REPRO_BENCH_JSON); CI uploads it as a workflow artifact on every run
 ## and compares it against the previous run's artifact (see
 ## tools/bench_delta.py).
 bench-smoke:
-	$(PYTEST) benchmarks/bench_batch_engine.py benchmarks/bench_composite.py \
+	$(PYTEST) benchmarks/bench_columnar.py benchmarks/bench_batch_engine.py \
+		benchmarks/bench_composite.py \
 		benchmarks/bench_server.py -q --benchmark-disable
+
+## columnar acceptance bench alone: vectorized vs scalar hot paths on
+## the refinement-heavy trace (>= 2x asserted), ids byte-identical
+bench-columnar:
+	$(PYTEST) benchmarks/bench_columnar.py -q --benchmark-disable
 
 ## full benchmark run: every paper artefact + the batch engine (slow;
 ## REPRO_BENCH_SCALE=paper selects the paper's 1E5-1E6 sweep)
@@ -40,6 +46,7 @@ bench:
 		benchmarks/bench_ablation_polygon.py \
 		benchmarks/bench_ablation_knn.py \
 		benchmarks/bench_ablation_iocost.py \
+		benchmarks/bench_columnar.py \
 		benchmarks/bench_batch_engine.py \
 		benchmarks/bench_composite.py \
 		benchmarks/bench_server.py

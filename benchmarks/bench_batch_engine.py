@@ -48,8 +48,8 @@ DISTINCT = 20
 REPEAT = 3
 QUERY_SIZE = 0.01
 #: min-of-N rounds for the assertion tests; high enough that scheduler
-#: noise on a loaded box cannot erase the ~2.4x measured margin
-ROUNDS = 5
+#: noise on a loaded box cannot erase the ~2.5x measured margin
+ROUNDS = 7
 
 
 @pytest.mark.parametrize("repeat", [1, REPEAT])

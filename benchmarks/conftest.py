@@ -22,6 +22,7 @@ import sys
 import time
 from typing import Dict, List, Tuple
 
+import numpy
 import pytest
 
 from repro.core.database import SpatialDatabase
@@ -78,6 +79,10 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         "schema": "repro-bench/1",
         "generated_unix": time.time(),
         "python": sys.version.split()[0],
+        # The vectorized hot paths run on numpy; delta comparisons of
+        # their speedups across runs are only meaningful when the numpy
+        # build matches, so the record names it.
+        "numpy": numpy.__version__,
         "platform": platform.platform(),
         "pytest_exit_status": int(exitstatus),
         "paper_scale": PAPER_SCALE,

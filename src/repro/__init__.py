@@ -67,6 +67,7 @@ Packages
 from repro.core import (
     EmptyDatabaseError,
     InvalidQueryAreaError,
+    PointStore,
     QueryResult,
     QueryStats,
     ReproError,
@@ -101,6 +102,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "SpatialDatabase",
+    "PointStore",
     "Query",
     "AreaQuery",
     "WindowQuery",

@@ -10,9 +10,13 @@ Two interchangeable implementations of "find all points inside polygon A":
   expansion over Voronoi neighbours with boundary-crossing checks.
 
 Both are wrapped by :class:`~repro.core.database.SpatialDatabase`, the
-user-facing entry point that owns the point table, the R-tree, and the
-Voronoi neighbour backend, and reports per-query
-:class:`~repro.core.stats.QueryStats`.
+user-facing entry point that owns the point table (the columnar
+:class:`~repro.core.store.PointStore`), the R-tree, and the Voronoi
+neighbour backend, and reports per-query
+:class:`~repro.core.stats.QueryStats`.  Both query functions accept the
+store to run their refinement over coordinate arrays (the vectorized hot
+paths); without it they fall back to the scalar per-point loops with
+byte-identical results.
 """
 
 from repro.core.database import SpatialDatabase
@@ -22,11 +26,14 @@ from repro.core.exceptions import (
     ReproError,
 )
 from repro.core.stats import QueryResult, QueryStats
+from repro.core.store import PointStore, PointsView
 from repro.core.traditional_query import traditional_area_query
 from repro.core.voronoi_query import voronoi_area_query
 
 __all__ = [
     "SpatialDatabase",
+    "PointStore",
+    "PointsView",
     "QueryStats",
     "QueryResult",
     "traditional_area_query",

@@ -2,7 +2,12 @@
 
 :class:`SpatialDatabase` owns the pieces every query strategy shares:
 
-* the **point table** (row id -> :class:`Point`),
+* the **point table** — a columnar :class:`~repro.core.store.PointStore`
+  (contiguous float64 ``xs``/``ys``, row id = array index); the hot
+  paths gather coordinates straight from its arrays, while
+  :attr:`SpatialDatabase.points` / :meth:`SpatialDatabase.point`
+  materialize :class:`Point` objects at the API edge (see the
+  conversion-boundary note in :mod:`repro.geometry.point`),
 * a **spatial index** (R-tree by default — the paper's choice for both the
   window query of the baseline and the NN seed of the Voronoi method),
 * a **Voronoi neighbour backend** (built lazily on first use, since the
@@ -51,6 +56,7 @@ from repro.index.base import SpatialIndex
 from repro.delaunay.backends import DelaunayBackend, make_backend
 from repro.core.exceptions import EmptyDatabaseError
 from repro.core.stats import QueryResult
+from repro.core.store import PointStore, PointsView
 from repro.query.result import BatchQueryResults
 from repro.query.result import QueryResult as LazyQueryResult
 from repro.query.spec import (
@@ -89,6 +95,15 @@ class SpatialDatabase:
     backend_kind:
         Voronoi-neighbour backend: ``"pure"`` (our Bowyer–Watson, default)
         or ``"scipy"`` (Qhull-accelerated, identical neighbour sets).
+    vectorized:
+        When ``True`` (the default) queries run the columnar hot paths —
+        array refinement kernels, bulk index probes, batched distances —
+        over the :class:`~repro.core.store.PointStore` columns.
+        ``False`` forces the scalar per-point fallbacks everywhere; the
+        two modes return byte-identical results (pinned by
+        ``tests/core/test_columnar_equivalence.py``), so the flag exists
+        as the equivalence oracle and for debugging, not as a tuning
+        knob.
     index_kwargs:
         Extra constructor arguments for the index (e.g. ``max_entries``).
     """
@@ -97,15 +112,18 @@ class SpatialDatabase:
         self,
         index_kind: str = "rtree",
         backend_kind: str = "pure",
+        *,
+        vectorized: bool = True,
         **index_kwargs,
     ) -> None:
-        self._points: List[Point] = []
+        self._store = PointStore()
         self._index: SpatialIndex = make_index(index_kind, **index_kwargs)
         self._index_kind = index_kind
         self._backend_kind = backend_kind
         self._backend: Optional[DelaunayBackend] = None
         self._engine: Optional["BatchQueryEngine"] = None
-        self._version = 0
+        #: run the columnar/vectorized hot paths (scalar oracle if False)
+        self.vectorized = bool(vectorized)
 
     # -- construction ------------------------------------------------------
 
@@ -116,11 +134,44 @@ class SpatialDatabase:
         *,
         index_kind: str = "rtree",
         backend_kind: str = "pure",
+        vectorized: bool = True,
         **index_kwargs,
     ) -> "SpatialDatabase":
         """Bulk-build a database from an iterable of points or (x, y) pairs."""
-        db = cls(index_kind, backend_kind, **index_kwargs)
+        db = cls(
+            index_kind, backend_kind, vectorized=vectorized, **index_kwargs
+        )
         db.extend(points)
+        return db
+
+    @classmethod
+    def from_arrays(
+        cls,
+        xs,
+        ys,
+        *,
+        index_kind: str = "rtree",
+        backend_kind: str = "pure",
+        vectorized: bool = True,
+        **index_kwargs,
+    ) -> "SpatialDatabase":
+        """Bulk-build from coordinate arrays (row id = array index).
+
+        The columnar loading edge: the arrays land in the
+        :class:`~repro.core.store.PointStore` with one numpy copy each —
+        no per-point Python conversion — and only the index bulk load
+        materializes :class:`Point` objects (once, via the store's
+        cached view).  Snapshot restores
+        (:func:`repro.io.persist.load_database`, ``repro serve --load``)
+        come through here.
+        """
+        db = cls(
+            index_kind, backend_kind, vectorized=vectorized, **index_kwargs
+        )
+        rows = db._store.extend_array(xs, ys)
+        view = db._store.view()
+        db._index.bulk_load((view[row], row) for row in rows)
+        db._backend = None
         return db
 
     def insert(self, point: Point | Tuple[float, float]) -> int:
@@ -134,10 +185,8 @@ class SpatialDatabase:
         lazy rebuild-on-next-use.
         """
         p = point if isinstance(point, Point) else Point(*map(float, point))
-        row_id = len(self._points)
-        self._points.append(p)
+        row_id = self._store.append(p.x, p.y)
         self._index.insert(p, row_id)
-        self._version += 1
         backend = self._backend
         if backend is not None:
             add_point = getattr(backend, "add_point", None)
@@ -158,17 +207,15 @@ class SpatialDatabase:
             p if isinstance(p, Point) else Point(float(p[0]), float(p[1]))
             for p in points
         ]
-        start = len(self._points)
-        self._points.extend(normalized)
+        rows = self._store.extend_points(normalized)
         self._index.bulk_load(
-            (p, start + offset) for offset, p in enumerate(normalized)
+            (p, row) for p, row in zip(normalized, rows)
         )
         self._backend = None
-        self._version += 1
-        return list(range(start, len(self._points)))
+        return list(rows)
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._store)
 
     @property
     def version(self) -> int:
@@ -176,17 +223,34 @@ class SpatialDatabase:
 
         The engine's result cache stamps entries with this value, so any
         ``insert``/``extend`` implicitly invalidates cached query results.
+        (Delegates to the :class:`~repro.core.store.PointStore` stamp —
+        the store is the single source of truth for the table.)
         """
-        return self._version
+        return self._store.version
 
     def point(self, row_id: int) -> Point:
-        """The point stored at ``row_id``."""
-        return self._points[row_id]
+        """The point stored at ``row_id`` (materialized once, then cached)."""
+        return self._store.point(row_id)
 
     @property
-    def points(self) -> List[Point]:
-        """The full point table (row id = list index)."""
-        return self._points
+    def points(self) -> PointsView:
+        """The full point table as an immutable view (row id = index).
+
+        A live, read-only :class:`~repro.core.store.PointsView` over the
+        columnar store: indexing, slicing, iteration and equality behave
+        like the list this property used to return, but there are no
+        mutators — callers cannot desynchronise the table from the
+        spatial index (or the engine's version-stamped cache) by
+        appending to what they were handed.  ``Point`` objects
+        materialize lazily on first access and stay cached (the store is
+        append-only, so they never invalidate).
+        """
+        return self._store.view()
+
+    @property
+    def store(self) -> PointStore:
+        """The columnar coordinate store (the hot paths' data plane)."""
+        return self._store
 
     @property
     def index(self) -> SpatialIndex:
@@ -197,11 +261,13 @@ class SpatialDatabase:
     def backend(self) -> DelaunayBackend:
         """The Voronoi neighbour backend (built on first access)."""
         if self._backend is None:
-            if not self._points:
+            if not len(self._store):
                 raise EmptyDatabaseError(
                     "cannot build a Voronoi diagram over an empty database"
                 )
-            self._backend = make_backend(self._backend_kind, self._points)
+            self._backend = make_backend(
+                self._backend_kind, self._store.view()
+            )
         return self._backend
 
     def prepare(self) -> "SpatialDatabase":
@@ -418,21 +484,29 @@ class SpatialDatabase:
         internal: List[int] = []
         boundary: List[int] = []
         external: List[int] = []
-        inside = {
-            row_id
-            for row_id, p in enumerate(self._points)
-            if area.contains_point(p)
-        }
+        points = self._store.view()
+        contains_many = (
+            getattr(area, "contains_many", None) if self.vectorized else None
+        )
+        if contains_many is not None:
+            mask = contains_many(self._store.xs, self._store.ys)
+            inside = set(map(int, mask.nonzero()[0]))
+        else:
+            inside = {
+                row_id
+                for row_id, p in enumerate(points)
+                if area.contains_point(p)
+            }
         from repro.geometry.segment import Segment
 
-        for row_id, p in enumerate(self._points):
+        for row_id, p in enumerate(points):
             if row_id in inside:
                 internal.append(row_id)
                 continue
             adjacent = False
             for neighbor in self.backend.neighbors(row_id):
                 if neighbor in inside or area.intersects_segment(
-                    Segment(p, self._points[neighbor])
+                    Segment(p, points[neighbor])
                 ):
                     adjacent = True
                     break

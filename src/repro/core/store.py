@@ -1,0 +1,294 @@
+"""Columnar point storage: the database's point table as numpy columns.
+
+:class:`PointStore` keeps the coordinates of every stored row in two
+contiguous ``float64`` arrays (``xs``/``ys``, row id = array index) with
+amortized-O(1) append and bulk extension.  Everything *above* the store
+speaks arrays on its hot paths — the vectorized refinement kernels
+(:mod:`repro.geometry.kernels`), the bulk index probes
+(:meth:`repro.index.base.SpatialIndex.window_ids_array`), and the batch
+engine's shared window frontiers all gather coordinates straight from
+these columns by row id — while :class:`~repro.geometry.point.Point`
+objects are materialized only at API edges (:meth:`PointStore.point`,
+:meth:`PointStore.view`).
+
+Design rules:
+
+* **Append-only.**  Row ids are stable forever (the database never
+  deletes rows), so the lazily-materialized :class:`PointsView` never
+  invalidates — already-built ``Point`` objects stay valid across any
+  number of later inserts.
+* **Version stamps.**  Every mutation bumps :attr:`PointStore.version`;
+  the engine's result cache stamps entries with it, so mutations
+  implicitly invalidate cached query results.
+* **Zero-copy edges.**  :attr:`xs`/:attr:`ys` are read-only views of the
+  filled prefix (no copy); :meth:`as_xy` hands snapshots
+  (:mod:`repro.io.persist`) an ``(n, 2)`` array built with one numpy
+  stack — no per-point Python conversion in either direction
+  (:meth:`extend_array` is the loading mirror).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple, Union, overload
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+#: Initial column capacity of a store that grows from empty.
+_INITIAL_CAPACITY = 64
+
+
+class PointStore:
+    """Contiguous ``float64`` coordinate columns with stable row ids.
+
+    The single source of truth for the database's point table.  Rows are
+    appended (never removed), so a row id handed out once stays valid for
+    the lifetime of the store.
+    """
+
+    __slots__ = ("_xs", "_ys", "_size", "_version", "_materialized", "_view")
+
+    def __init__(self) -> None:
+        self._xs = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._ys = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._size = 0
+        self._version = 0
+        #: lazily-built Point objects for rows [0, len(_materialized))
+        self._materialized: List[Point] = []
+        self._view = PointsView(self)
+
+    # -- capacity ----------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        """Grow the columns geometrically to fit ``extra`` more rows."""
+        needed = self._size + extra
+        capacity = self._xs.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_xs", "_ys"):
+            column = getattr(self, name)
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self._size] = column[: self._size]
+            setattr(self, name, grown)
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, x: float, y: float) -> int:
+        """Add one row; returns its (stable) row id."""
+        self._reserve(1)
+        row_id = self._size
+        self._xs[row_id] = x
+        self._ys[row_id] = y
+        self._size = row_id + 1
+        self._version += 1
+        return row_id
+
+    def extend_points(self, points: Sequence[Point]) -> range:
+        """Add many :class:`Point` rows; returns their row-id range."""
+        count = len(points)
+        start = self._size
+        if count == 0:
+            return range(start, start)
+        self._reserve(count)
+        self._xs[start : start + count] = np.fromiter(
+            (p.x for p in points), dtype=np.float64, count=count
+        )
+        self._ys[start : start + count] = np.fromiter(
+            (p.y for p in points), dtype=np.float64, count=count
+        )
+        self._size = start + count
+        self._version += 1
+        return range(start, self._size)
+
+    def extend_array(
+        self,
+        xs: "np.ndarray",
+        ys: "np.ndarray",
+    ) -> range:
+        """Add many rows from coordinate arrays (no Python-level loop).
+
+        The bulk-loading mirror of :meth:`as_xy`: snapshot restores
+        (``repro serve --load``) hand the persisted columns straight in,
+        skipping per-point ``Point`` construction entirely.
+        """
+        xs = np.asarray(xs, dtype=np.float64).reshape(-1)
+        ys = np.asarray(ys, dtype=np.float64).reshape(-1)
+        if xs.shape[0] != ys.shape[0]:
+            raise ValueError(
+                f"coordinate columns disagree: {xs.shape[0]} xs "
+                f"vs {ys.shape[0]} ys"
+            )
+        count = xs.shape[0]
+        start = self._size
+        if count == 0:
+            return range(start, start)
+        self._reserve(count)
+        self._xs[start : start + count] = xs
+        self._ys[start : start + count] = ys
+        self._size = start + count
+        self._version += 1
+        return range(start, self._size)
+
+    # -- structure ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version, bumped by every mutation."""
+        return self._version
+
+    @property
+    def xs(self) -> "np.ndarray":
+        """Read-only ``float64`` view of the x column (row id = index)."""
+        view = self._xs[: self._size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def ys(self) -> "np.ndarray":
+        """Read-only ``float64`` view of the y column (row id = index)."""
+        view = self._ys[: self._size]
+        view.flags.writeable = False
+        return view
+
+    def as_xy(self) -> "np.ndarray":
+        """The filled table as a fresh ``(n, 2)`` float64 array.
+
+        One numpy stack, no per-point conversion — the snapshot writers
+        in :mod:`repro.io.persist` persist exactly this.
+        """
+        return np.stack(
+            (self._xs[: self._size], self._ys[: self._size]), axis=1
+        )
+
+    def coords(self, row_id: int) -> Tuple[float, float]:
+        """The raw ``(x, y)`` floats of one row."""
+        if row_id < 0:
+            # Normalise against the *filled* size, not the capacity
+            # array (the columns over-allocate past the last row).
+            row_id += self._size
+        if not 0 <= row_id < self._size:
+            raise IndexError(f"row id {row_id} out of range")
+        return (float(self._xs[row_id]), float(self._ys[row_id]))
+
+    # -- materializing views ------------------------------------------------
+
+    def _materialize(self, upto: int | None = None) -> List[Point]:
+        """Top the Point cache up to row ``upto`` (default: everything).
+
+        The cache is a contiguous prefix (append-only store, so built
+        prefixes never invalidate); single-row lookups extend it only as
+        far as the requested row instead of paying a full-table
+        materialization pass on first touch.
+        """
+        target = self._size if upto is None else min(upto, self._size)
+        built = len(self._materialized)
+        if built < target:
+            xs = self._xs
+            ys = self._ys
+            self._materialized.extend(
+                Point(float(xs[i]), float(ys[i]))
+                for i in range(built, target)
+            )
+        return self._materialized
+
+    def point(self, row_id: int) -> Point:
+        """The row as a :class:`Point` (materialized once, then cached)."""
+        return self._view[row_id]
+
+    def rows(self) -> List[Point]:
+        """The materialized ``Point`` cache list itself (row id = index).
+
+        The hot-loop sibling of :meth:`view`: plain list indexing beats
+        the view's bounds logic in tight per-row loops (the engine's
+        seed walks, the scalar BFS fallback), so internal consumers take
+        this.  The store owns the list — callers must treat it as
+        read-only (it is topped up in place by later appends); anything
+        user-facing goes through the immutable :class:`PointsView`.
+        """
+        return self._materialize()
+
+    def view(self) -> "PointsView":
+        """The store's immutable, lazily-materializing sequence view.
+
+        This is what :attr:`SpatialDatabase.points
+        <repro.core.database.SpatialDatabase.points>` returns: a live
+        read-only window onto the point table.  It supports indexing,
+        slicing, iteration, ``len`` and sequence equality, but offers no
+        mutators — callers cannot desynchronise the table from the
+        spatial index by poking at it.
+        """
+        return self._view
+
+
+class PointsView(Sequence):
+    """Immutable sequence view over a :class:`PointStore`.
+
+    ``Point`` objects are built lazily on first access and cached — the
+    store is append-only, so cached prefixes never invalidate.  The view
+    is *live*: rows appended to the store become visible immediately,
+    but there is no way to mutate the underlying table through it.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: PointStore) -> None:
+        self._store = store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @overload
+    def __getitem__(self, item: int) -> Point: ...
+
+    @overload
+    def __getitem__(self, item: slice) -> List[Point]: ...
+
+    def __getitem__(self, item: Union[int, slice]):
+        """Row lookup (negative indices and slices as for a list)."""
+        size = len(self._store)
+        if isinstance(item, slice):
+            start, stop, step = item.indices(size)
+            # Positive-step slices only need the prefix through `stop`;
+            # negative steps start from their highest touched row.
+            upto = stop if step > 0 else start + 1
+            materialized = self._store._materialize(upto)
+            return materialized[item]
+        row = item
+        if row < 0:
+            row += size
+        if not 0 <= row < size:
+            raise IndexError(f"row id {item} out of range for {size} rows")
+        materialized = self._store._materialized
+        if row >= len(materialized):
+            materialized = self._store._materialize(row + 1)
+        return materialized[row]
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._store._materialize())
+
+    def __eq__(self, other: object) -> bool:
+        """Element-wise equality against any sequence of points."""
+        if isinstance(other, PointsView) and other._store is self._store:
+            return True
+        if not isinstance(other, (PointsView, list, tuple)):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # mutable-underneath (live view): unhashable, like list
+
+    def __repr__(self) -> str:
+        return f"PointsView({len(self)} rows)"

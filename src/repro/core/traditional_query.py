@@ -18,7 +18,7 @@ experiments confirm (Figs. 5 and 7).
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -26,12 +26,16 @@ from repro.geometry.region import QueryRegion
 from repro.index.base import SpatialIndex
 from repro.core.stats import QueryResult, QueryStats
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import PointStore
+
 
 def traditional_area_query(
     index: SpatialIndex,
     area: QueryRegion,
     *,
     contains: Callable[[QueryRegion, Point], bool] | None = None,
+    store: Optional["PointStore"] = None,
 ) -> QueryResult:
     """Run the filter–refine area query on ``index``.
 
@@ -47,6 +51,18 @@ def traditional_area_query(
     contains:
         Override for the refinement predicate, used by tests to inject
         failures; defaults to the exact :meth:`Polygon.contains_point`.
+        Forces the scalar path (the override is a per-point callable).
+    store:
+        The database's columnar :class:`~repro.core.store.PointStore`.
+        When given (and the region provides a vectorized
+        ``contains_many``), the filter runs as a bulk id probe
+        (:meth:`~repro.index.base.SpatialIndex.window_ids_array`) and
+        the refinement as one array kernel over the store's coordinate
+        columns — the index's item ids must be the store's row ids, as
+        they are inside :class:`~repro.core.database.SpatialDatabase`.
+        Result ids are byte-identical to the scalar path (the kernels
+        certify every edge decision or re-answer the candidate with the
+        scalar test itself).
 
     Returns
     -------
@@ -54,6 +70,13 @@ def traditional_area_query(
         Result ids (ascending) and a :class:`QueryStats` with
         ``method="traditional"``.
     """
+    contains_many = (
+        getattr(area, "contains_many", None)
+        if store is not None and contains is None
+        else None
+    )
+    if contains_many is not None:
+        return _traditional_vectorized(index, area, store, contains_many)
     if contains is not None:
         def refine(p: Point) -> bool:
             return contains(area, p)
@@ -78,6 +101,38 @@ def traditional_area_query(
     stats.index_node_accesses = index.stats.node_accesses - nodes_before
     stats.result_size = len(results)
     results.sort()
+    return QueryResult(ids=results, stats=stats)
+
+
+def _traditional_vectorized(
+    index: SpatialIndex,
+    area: QueryRegion,
+    store: "PointStore",
+    contains_many,
+) -> QueryResult:
+    """Filter–refine over row-id arrays: bulk probe + one refine kernel."""
+    import numpy as np
+
+    stats = QueryStats(method="traditional")
+    nodes_before = index.stats.node_accesses
+
+    started = time.perf_counter()
+    candidate_ids = index.window_ids_array(area.mbr)
+    count = int(candidate_ids.shape[0])
+    stats.candidates = count
+    stats.validations = count
+    if count:
+        xs = store.xs
+        ys = store.ys
+        mask = contains_many(xs[candidate_ids], ys[candidate_ids])
+        results = np.sort(candidate_ids[mask]).tolist()
+        stats.redundant_validations = count - len(results)
+    else:
+        results = []
+    stats.time_ms = (time.perf_counter() - started) * 1000.0
+
+    stats.index_node_accesses = index.stats.node_accesses - nodes_before
+    stats.result_size = len(results)
     return QueryResult(ids=results, stats=stats)
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -34,6 +34,9 @@ from repro.index.base import SpatialIndex
 from repro.delaunay.backends import DelaunayBackend
 from repro.core.exceptions import InvalidQueryAreaError
 from repro.core.stats import QueryResult, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import PointStore
 
 
 def interior_position(area: Polygon) -> Point:
@@ -65,6 +68,7 @@ def voronoi_area_query(
     seed_position: Optional[Point] = None,
     seed_id: Optional[int] = None,
     contains: Callable[[QueryRegion, Point], bool] | None = None,
+    store: Optional["PointStore"] = None,
 ) -> QueryResult:
     """Run Algorithm 1.
 
@@ -91,7 +95,20 @@ def voronoi_area_query(
         index (see :mod:`repro.engine.batch`).
     contains:
         Override for the refinement predicate (test hook); defaults to the
-        exact :meth:`Polygon.contains_point`.
+        exact :meth:`Polygon.contains_point`.  Forces the scalar path.
+    store:
+        The database's columnar :class:`~repro.core.store.PointStore`.
+        When given (and the region provides ``contains_many``), the BFS
+        runs *wave by wave*: every frontier generation is refined with
+        one vectorized kernel call over coordinates gathered from the
+        store's columns instead of one Python ``contains_point`` per
+        candidate.  The visited closure — and therefore the result id
+        list — is identical to the scalar queue's (the expansion rule
+        depends only on per-point/per-segment predicates, never on
+        order), and the kernels are bitwise-exact against the scalar
+        refinement; ``segment_tests`` is the one counter whose value may
+        differ, since which external point first reaches a shared
+        neighbour is order-dependent.
 
     Returns
     -------
@@ -127,6 +144,17 @@ def voronoi_area_query(
             stats.time_ms = (time.perf_counter() - started) * 1000.0
             return QueryResult(ids=[], stats=stats)
         seed_id = seed_entry[1]
+
+    contains_many = (
+        getattr(area, "contains_many", None)
+        if store is not None and contains is None
+        else None
+    )
+    if contains_many is not None:
+        return _expand_vectorized(
+            index, backend, area, contains_many, store, points, seed_id,
+            nodes_before, started, stats,
+        )
 
     candidate_queue: deque[int] = deque([seed_id])
     # A bytearray visited-set: O(1) no-hash membership, one byte per row.
@@ -180,3 +208,145 @@ def voronoi_area_query(
     stats.result_size = len(results)
     results.sort()
     return QueryResult(ids=results, stats=stats)
+
+
+#: Frontier size below which a wave is processed scalar: numpy dispatch
+#: overhead beats the kernel's throughput on tiny waves (small query
+#: regions never leave this regime and run exactly the classic loop).
+_WAVE_MIN = 48
+
+
+def _expand_vectorized(
+    index: SpatialIndex,
+    backend: DelaunayBackend,
+    area: QueryRegion,
+    contains_many,
+    store: "PointStore",
+    points: Sequence[Point],
+    seed_id: int,
+    nodes_before: int,
+    started: float,
+    stats: QueryStats,
+) -> QueryResult:
+    """Algorithm 1's expansion, refined one BFS *wave* at a time.
+
+    Identical closure to the scalar queue (see the ``store`` parameter
+    note on :func:`voronoi_area_query`): each generation of the frontier
+    is gathered into a row-id array and refined with one
+    ``contains_many`` kernel call over the store's coordinate columns.
+    Internal members then enqueue all their unvisited neighbours in one
+    CSR gather (:meth:`~repro.delaunay.backends.DelaunayBackend.neighbor_csr`)
+    — no Python loop over (candidate, neighbour) pairs — while external
+    members (the one-cell shell around the boundary) run the per-segment
+    crossing rule in the scalar loop, exactly as before.  Waves smaller
+    than :data:`_WAVE_MIN` are processed entirely scalar (numpy dispatch
+    would cost more than it saves); since the kernel is bitwise-exact
+    against ``contains_point``, mixing regimes cannot change the
+    closure.  Whether a point joins it depends only on per-point /
+    per-segment predicates, never on visit order, so the result ids
+    match the scalar queue's; ``segment_tests`` is the one
+    order-dependent counter.
+    """
+    import numpy as np
+
+    xs = store.xs
+    ys = store.ys
+    visited = np.zeros(len(store), dtype=bool)
+    visited[seed_id] = True
+    wave: List[int] = [seed_id]
+    results: List[int] = []
+    result_arrays: List[np.ndarray] = []
+    indptr, indices = backend.neighbor_csr()
+    neighbor_table = backend.neighbor_table()
+    refine = area.contains_point
+    crosses = area.crosses_boundary_xy
+    candidates = 1
+    validations = 0
+    redundant = 0
+    segment_tests = 0
+
+    while wave:
+        validations += len(wave)
+        if len(wave) < _WAVE_MIN:
+            # Scalar wave: the classic per-candidate loop.
+            next_wave: List[int] = []
+            push = next_wave.append
+            for current in wave:
+                if refine(points[current]):
+                    results.append(current)
+                    for neighbor in neighbor_table[current]:
+                        if not visited[neighbor]:
+                            visited[neighbor] = True
+                            push(neighbor)
+                            candidates += 1
+                else:
+                    redundant += 1
+                    current_point = points[current]
+                    cx, cy = current_point.x, current_point.y
+                    for neighbor in neighbor_table[current]:
+                        if not visited[neighbor]:
+                            segment_tests += 1
+                            neighbor_point = points[neighbor]
+                            if crosses(
+                                cx, cy, neighbor_point.x, neighbor_point.y
+                            ):
+                                visited[neighbor] = True
+                                push(neighbor)
+                                candidates += 1
+            wave = next_wave
+            continue
+        # Wide wave: one refine kernel + one CSR neighbour gather.
+        wave_array = np.asarray(wave, dtype=np.int64)
+        inside = contains_many(xs[wave_array], ys[wave_array])
+        internal = wave_array[inside]
+        if internal.size:
+            result_arrays.append(internal)
+            # One gather for every internal member's adjacency row:
+            # repeat each row start over its length, offset by the
+            # position within the concatenated output.
+            starts = indptr[internal]
+            counts = indptr[internal + 1] - starts
+            total = int(counts.sum())
+            base = np.repeat(starts, counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            neighbors = indices[base + offsets]
+            fresh = np.unique(neighbors[~visited[neighbors]])
+            visited[fresh] = True
+            candidates += int(fresh.size)
+        else:
+            fresh = np.empty(0, dtype=np.int64)
+        shell_admitted: List[int] = []
+        external = wave_array[~inside]
+        redundant += int(external.size)
+        for current in external.tolist():
+            cx = xs[current]
+            cy = ys[current]
+            for neighbor in neighbor_table[current]:
+                if not visited[neighbor]:
+                    segment_tests += 1
+                    if crosses(cx, cy, xs[neighbor], ys[neighbor]):
+                        visited[neighbor] = True
+                        shell_admitted.append(neighbor)
+                        candidates += 1
+        wave = fresh.tolist()
+        wave.extend(shell_admitted)
+
+    stats.candidates = candidates
+    stats.validations = validations
+    stats.redundant_validations = redundant
+    stats.segment_tests = segment_tests
+    stats.time_ms = (time.perf_counter() - started) * 1000.0
+    stats.index_node_accesses = index.stats.node_accesses - nodes_before
+    if result_arrays:
+        merged = np.concatenate(
+            result_arrays
+            + [np.asarray(results, dtype=np.int64)]
+        )
+        ids = np.sort(merged).tolist()
+    else:
+        results.sort()
+        ids = results
+    stats.result_size = len(ids)
+    return QueryResult(ids=ids, stats=stats)

@@ -53,6 +53,36 @@ class DelaunayBackend(ABC):
             self._neighbor_table = cached
         return cached
 
+    def neighbor_csr(self):
+        """The neighbour table in CSR form: ``(indptr, indices)`` int64.
+
+        Point ``i``'s neighbours are ``indices[indptr[i]:indptr[i + 1]]``.
+        The columnar BFS (:mod:`repro.core.voronoi_query`) expands whole
+        frontier waves with array gathers over these, instead of one
+        Python loop iteration per (candidate, neighbour) pair.  Cached;
+        rebuilt automatically when the backend has grown since the cache
+        was taken (:meth:`PureDelaunayBackend.add_point` patches the
+        dense table in place, so size is the invalidation signal).
+        """
+        import numpy as np
+
+        cached = getattr(self, "_neighbor_csr", None)
+        if cached is not None and cached[2] == self.size:
+            return cached[0], cached[1]
+        table = self.neighbor_table()
+        counts = np.fromiter(
+            (len(row) for row in table), dtype=np.int64, count=len(table)
+        )
+        indptr = np.zeros(len(table) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.fromiter(
+            (neighbor for row in table for neighbor in row),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        self._neighbor_csr = (indptr, indices, self.size)
+        return indptr, indices
+
 
 class PureDelaunayBackend(DelaunayBackend):
     """Neighbour lookups from :class:`repro.delaunay.DelaunayTriangulation`.

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
@@ -78,10 +78,9 @@ from repro.query.spec import (
     WindowQuery,
 )
 
-try:  # numpy vectorises the shared-frontier member scans when present
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy ships with the test env
-    _np = None
+import numpy as _np
+
+from repro.geometry.kernels import rect_contains_many as _rect_mask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.database import SpatialDatabase
@@ -258,6 +257,31 @@ def greedy_seed_walk(
     return None
 
 
+#: Seed walks beat a best-first index NN descent only while the walk is
+#: short: each hop costs a handful of neighbour distance evaluations,
+#: the descent a few dozen node inspections, so the breakeven sits
+#: around this many expected hops.  Beyond it the engine descends the
+#: index instead of walking — the walk's purpose is chaining *nearby*
+#: queries (clustered tiles, composite siblings), not crossing the map.
+_WALK_HOP_BUDGET = 24
+
+
+def _walk_radius_sq(planner: QueryPlanner) -> float:
+    """Squared distance within which a seed walk is expected to pay off.
+
+    The steepest-descent walk advances roughly one site spacing per hop
+    (``sqrt(space_area / n)`` under uniform density), so the profitable
+    radius is the hop budget times that spacing.  The space extent comes
+    from the planner's per-version cache (``index.bounds`` itself walks
+    every entry); degenerate extents fall back to "always walk".
+    """
+    density = planner.density()
+    if density <= 0.0:
+        return float("inf")
+    spacing_sq = 1.0 / density
+    return _WALK_HOP_BUDGET * _WALK_HOP_BUDGET * spacing_sq
+
+
 def _execution_region(spec: Query) -> QueryRegion:
     """The region a Voronoi expansion runs over for ``spec``.
 
@@ -314,6 +338,13 @@ class BatchQueryEngine:
         Accepts a heterogeneous mix of query kinds.  Id lists are
         identical to executing each spec alone via
         :func:`repro.query.executor.execute_spec`.
+
+        The returned records are **engine-owned and read-only**:
+        duplicate submissions share one record object and cached entries
+        are stored by reference, so consumers must copy before mutating
+        (the lazy result surfaces do — ``.ids()`` returns a fresh list).
+        The legacy :meth:`batch_area_query` shim isolates its records
+        precisely because pre-spec callers predate that convention.
         """
         specs = list(specs)
         db = self._db
@@ -443,19 +474,29 @@ class BatchQueryEngine:
         #    composite leaves too, so later batches (or later composites)
         #    reuse them.  Every execution path above returns finalized
         #    records (spec options applied once per level).
+        stored: set = set()
         for i in pending:
             record = self._assemble(trees[i], job_records)
             assert record is not None
             results[i] = record
             if use_cache and keys[i] is not None:
                 self.cache.put(keys[i], version, record)
+                stored.add(keys[i])
             for j in aliases[i]:
-                results[j] = QueryResult(
-                    ids=list(record.ids), stats=replace(record.stats)
-                )
+                # Duplicates share the owner's record by reference:
+                # handed-out records are read-only by engine convention
+                # (every consumer surface copies on materialisation; the
+                # legacy shim isolates its callers).
+                results[j] = record
         if use_cache and self.cache.capacity > 0:
             for j, key in enumerate(job_cache_keys):
-                if key is not None and job_records[j] is not None:
+                # A plain spec IS its own job: its key was already stored
+                # above — skip the duplicate put (and its entry snapshot).
+                if (
+                    key is not None
+                    and key not in stored
+                    and job_records[j] is not None
+                ):
                     self.cache.put(key, version, job_records[j])
 
         stats.time_ms = (time.perf_counter() - started) * 1000.0
@@ -557,9 +598,21 @@ class BatchQueryEngine:
         for region in regions:
             if region.area <= 0.0:
                 raise InvalidQueryAreaError("query area has zero area")
-        return self.run_specs(
+        batch = self.run_specs(
             [AreaQuery(region, method=method) for region in regions],
             use_cache=use_cache,
+        )
+        # This legacy surface hands out raw records that pre-spec callers
+        # may reasonably mutate (sort, clear, extend), while run_specs
+        # shares finalized records with the result cache and between
+        # duplicate submissions — so isolate them here, at the one
+        # boundary where the read-only convention cannot be assumed.
+        return BatchResult(
+            results=[
+                QueryResult(ids=list(r.ids), stats=r.stats.copy())
+                for r in batch.results
+            ],
+            stats=batch.stats,
         )
 
     def explain(self, spec_or_region, *, execute: bool = False):
@@ -622,6 +675,19 @@ class BatchQueryEngine:
 
         The shared descent's node accesses are attributed to the group's
         first member (splitting them would fabricate fractional counters).
+
+        The shared frontier is columnar end-to-end: one bulk id probe
+        (:meth:`~repro.index.base.SpatialIndex.window_ids_array`) over
+        the union MBR, candidate coordinates gathered from the
+        :class:`~repro.core.store.PointStore` columns by row id, and
+        every member answered by array masks — window members' masks ARE
+        their answers, area members additionally refine the masked
+        candidates with one ``contains_many`` kernel call (PR 4
+        vectorised only the pure-window masks; the refine loop was the
+        remaining per-candidate Python).  The scalar loop below it is
+        kept solely as the equivalence oracle
+        (``SpatialDatabase(vectorized=False)``) and for regions without
+        a vectorized kernel.
         """
         db = self._db
         if len(group) == 1:
@@ -632,52 +698,30 @@ class BatchQueryEngine:
         stats.shared_window_groups += 1
         stats.shared_window_queries += len(group)
         index = db.index
+        vectorized = db.vectorized
+        kernels = {}
+        if vectorized:
+            for i in group:
+                spec = specs[i]
+                if isinstance(spec, AreaQuery):
+                    kernel = getattr(spec.region, "contains_many", None)
+                    if kernel is None:  # custom region: scalar fallback
+                        vectorized = False
+                        break
+                    kernels[i] = kernel
         nodes_before = index.stats.node_accesses
         group_started = time.perf_counter()
-        entries = index.window_query(union)
+        if vectorized:
+            id_array = index.window_ids_array(union)
+            store = db.store
+            xs = store.xs[id_array]
+            ys = store.ys[id_array]
+            rows = None
+        else:
+            entries = index.window_query(union)
+            rows = [(p.x, p.y, p, item_id) for p, item_id in entries]
         shared_nodes = index.stats.node_accesses - nodes_before
         shared_ms = (time.perf_counter() - group_started) * 1000.0
-        # The scan loop below runs once per member over the *whole* shared
-        # candidate list, so its constant factor multiplies by the group
-        # size — profiling showed it roughly cancelling the shared
-        # descent's saving at laptop scale.  Two fixes (see the
-        # "shared-frontier scan loop" table in docs/BENCHMARKS.md):
-        # coordinates are unpacked once per *group* instead of twice per
-        # member per entry, and when numpy is available the per-member
-        # rectangle filter runs as one vectorised mask over the group's
-        # coordinate arrays (Rect.contains_point is a pure closed-bounds
-        # comparison, so the mask is exact); the pure-Python fallback
-        # inlines the same bounds test into a comprehension.
-        # Vectorising helps exactly the members whose scan is *pure*
-        # filtering (windows: the mask result IS the answer); refine
-        # members (area specs) pay a Python call per candidate anyway,
-        # and candidates ~= the whole group list for near-coincident
-        # groups, so indexing back through numpy would only add
-        # overhead — they keep the tuple-unpacked loop.
-        window_members = sum(
-            1 for i in group if not isinstance(specs[i], AreaQuery)
-        )
-        use_numpy = (
-            _np is not None and window_members >= 2 and len(entries) >= 32
-        )
-        if use_numpy:
-            count = len(entries)
-            xs = _np.fromiter(
-                (p.x for p, _ in entries), dtype=_np.float64, count=count
-            )
-            ys = _np.fromiter(
-                (p.y for p, _ in entries), dtype=_np.float64, count=count
-            )
-            id_array = _np.fromiter(
-                (item_id for _, item_id in entries),
-                dtype=_np.int64,
-                count=count,
-            )
-        rows = (
-            None
-            if use_numpy and window_members == len(group)
-            else [(p.x, p.y, p, item_id) for p, item_id in entries]
-        )
         for position, i in enumerate(group):
             spec = specs[i]
             if isinstance(spec, AreaQuery):
@@ -691,15 +735,26 @@ class BatchQueryEngine:
             min_x, min_y = mbr.min_x, mbr.min_y
             max_x, max_y = mbr.max_x, mbr.max_y
             member_started = time.perf_counter()
-            if refine is None and use_numpy:
-                mask = (
-                    (xs >= min_x)
-                    & (xs <= max_x)
-                    & (ys >= min_y)
-                    & (ys <= max_y)
-                )
-                ids = _np.sort(id_array[mask]).tolist()  # sorted already
-                member_stats.candidates = len(ids)
+            if vectorized:
+                mask = _rect_mask(mbr, xs, ys)
+                if refine is None:
+                    member_ids = _np.sort(id_array[mask])
+                    member_stats.candidates = int(member_ids.shape[0])
+                    if spec.limit is not None and spec.predicate is None:
+                        # Same ascending prefix finalize_record would
+                        # keep — truncate before materialising ints.
+                        member_ids = member_ids[: spec.limit]
+                    ids = member_ids.tolist()
+                else:
+                    member_ids = id_array[mask]
+                    inside = kernels[i](xs[mask], ys[mask])
+                    ids = _np.sort(member_ids[inside]).tolist()
+                    candidates = int(member_ids.shape[0])
+                    member_stats.candidates = candidates
+                    member_stats.validations = candidates
+                    member_stats.redundant_validations = (
+                        candidates - len(ids)
+                    )
             elif refine is None:
                 ids = [
                     item_id
@@ -749,9 +804,10 @@ class BatchQueryEngine:
             return
         db = self._db
         backend = db.backend
-        points = db.points
+        points = db.store.rows()
         neighbor_table = backend.neighbor_table()
         max_hops = 64 + int(4.0 * math.sqrt(len(points)))
+        walk_radius_sq = _walk_radius_sq(self.planner)
         previous_seed: Optional[int] = None
         for i in tour:
             region = _execution_region(specs[i])
@@ -764,14 +820,18 @@ class BatchQueryEngine:
             position = interior_seed_position(region)
             seed_id: Optional[int] = None
             if previous_seed is not None:
-                seed_id = greedy_seed_walk(
-                    neighbor_table,
-                    points,
-                    previous_seed,
-                    position.x,
-                    position.y,
-                    max_hops,
-                )
+                anchor = points[previous_seed]
+                dx = position.x - anchor.x
+                dy = position.y - anchor.y
+                if dx * dx + dy * dy <= walk_radius_sq:
+                    seed_id = greedy_seed_walk(
+                        neighbor_table,
+                        points,
+                        previous_seed,
+                        position.x,
+                        position.y,
+                        max_hops,
+                    )
                 if seed_id is not None:
                     stats.seed_walk_reuses += 1
             if seed_id is None:
@@ -788,7 +848,12 @@ class BatchQueryEngine:
             )
             seeding_ms = (time.perf_counter() - seeding_started) * 1000.0
             result = voronoi_area_query(
-                db.index, backend, points, region, seed_id=seed_id
+                db.index,
+                backend,
+                points,
+                region,
+                seed_id=seed_id,
+                store=db.store if db.vectorized else None,
             )
             result.stats.index_node_accesses += seeding_nodes
             result.stats.time_ms += seeding_ms
@@ -810,7 +875,8 @@ class BatchQueryEngine:
         Index-method point queries are a plain loop — a best-first descent
         has no frontier worth sharing — but Voronoi kNN executions chain
         exactly like area queries: the previous seed is walked to the next
-        query position, replacing the index NN descent.
+        query position when the hop is short enough to beat a descent
+        (:func:`_walk_radius_sq`), replacing the index NN lookup.
         """
         if not tour:
             return
@@ -818,6 +884,7 @@ class BatchQueryEngine:
         previous_seed: Optional[int] = None
         neighbor_table = None
         max_hops = 0
+        walk_radius_sq = _walk_radius_sq(self.planner)
         for i in tour:
             spec = specs[i]
             use_walk = (
@@ -830,15 +897,20 @@ class BatchQueryEngine:
             if use_walk and previous_seed is not None:
                 if neighbor_table is None:
                     neighbor_table = db.backend.neighbor_table()
-                    max_hops = 64 + int(4.0 * math.sqrt(len(db.points)))
-                seed_id = greedy_seed_walk(
-                    neighbor_table,
-                    db.points,
-                    previous_seed,
-                    spec.point.x,
-                    spec.point.y,
-                    max_hops,
-                )
+                    max_hops = 64 + int(4.0 * math.sqrt(len(db)))
+                rows = db.store.rows()
+                anchor = rows[previous_seed]
+                dx = spec.point.x - anchor.x
+                dy = spec.point.y - anchor.y
+                if dx * dx + dy * dy <= walk_radius_sq:
+                    seed_id = greedy_seed_walk(
+                        neighbor_table,
+                        rows,
+                        previous_seed,
+                        spec.point.x,
+                        spec.point.y,
+                        max_hops,
+                    )
                 if seed_id is not None:
                     stats.seed_walk_reuses += 1
             if use_walk and seed_id is None:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Hashable, Optional, Tuple
 
 from repro.core.stats import QueryResult
@@ -137,10 +137,18 @@ class ResultCache:
         self._entries.move_to_end(key)
         self.stats.hits += 1
         result = entry.result
-        return QueryResult(ids=list(result.ids), stats=replace(result.stats))
+        return QueryResult(ids=list(result.ids), stats=result.stats.copy())
 
     def put(self, key: Hashable, version: int, result: QueryResult) -> None:
-        """Store ``result`` for ``key`` at ``version`` (evicting LRU)."""
+        """Store ``result`` for ``key`` at ``version`` (evicting LRU).
+
+        The entry keeps its own snapshot (ids list + stats copied), so a
+        caller of ``run_specs`` mutating the record it was handed cannot
+        poison later cache hits.  The copy is cheap since
+        :meth:`QueryStats.copy <repro.core.stats.QueryStats.copy>`
+        replaced the generic ``dataclasses.replace`` here — the list
+        copy is C-speed and the stats block is eight scalars.
+        """
         if self.capacity <= 0:
             return
         if key in self._entries:
@@ -148,7 +156,7 @@ class ResultCache:
         self._entries[key] = _Entry(
             version=version,
             result=QueryResult(
-                ids=list(result.ids), stats=replace(result.stats)
+                ids=list(result.ids), stats=result.stats.copy()
             ),
         )
         while len(self._entries) > self.capacity:

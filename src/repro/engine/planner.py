@@ -199,8 +199,25 @@ class QueryPlanner:
         model: Optional[CostModel] = None,
     ) -> None:
         self._db = database
+        # Plan memo: (cache_key, db version) -> chosen method.  A plan
+        # depends only on the spec's geometry/kind, the database summary
+        # statistics (keyed by version), and the cost model (assigning a
+        # new model — calibrate() — clears the memo via the setter), so
+        # repeated specs — hot tiles, every batch round of a benchmark,
+        # the server's coalesced traffic — skip re-estimating.  Bounded.
+        self._plan_memo: Dict[object, str] = {}
         self.model = model or CostModel()
         self._space_cache: Optional[tuple] = None
+
+    @property
+    def model(self) -> CostModel:
+        """The active :class:`CostModel` (assignment clears the plan memo)."""
+        return self._model
+
+    @model.setter
+    def model(self, value: CostModel) -> None:
+        self._model = value
+        self._plan_memo.clear()
 
     # -- database summary --------------------------------------------------
 
@@ -437,6 +454,22 @@ class QueryPlanner:
             return spec.method
         if isinstance(spec, CompositeQuery):
             return "composite"  # always decomposition; parts plan per leaf
+        key = spec.cache_key()
+        memo_key = None
+        if key is not None:
+            memo_key = (key, self._db.version)
+            cached = self._plan_memo.get(memo_key)
+            if cached is not None:
+                return cached
+        choice = self._plan_uncached(spec)
+        if memo_key is not None:
+            if len(self._plan_memo) >= 1024:
+                self._plan_memo.clear()
+            self._plan_memo[memo_key] = choice
+        return choice
+
+    def _plan_uncached(self, spec: Query) -> str:
+        """The actual decision behind :meth:`plan`'s memo."""
         if isinstance(spec, AreaQuery):
             return self.choose(spec.region)
         if isinstance(spec, NearestQuery):

@@ -60,6 +60,17 @@ class Circle:
             return squared <= limit
         return squared < limit
 
+    def contains_many(self, xs, ys, *, boundary: bool = True):
+        """Vectorized :meth:`contains_point` over coordinate arrays.
+
+        Performs the scalar test's exact float operations per element
+        (see :func:`repro.geometry.kernels.circle_contains_many`), so
+        the boolean array matches ``contains_point`` bit for bit.
+        """
+        from repro.geometry.kernels import circle_contains_many
+
+        return circle_contains_many(self, xs, ys, boundary=boundary)
+
     def point_on_boundary(self, p: Point) -> bool:
         """True iff ``p`` lies exactly on the circle (in float arithmetic)."""
         return p.squared_distance_to(self.center) == self.radius * self.radius

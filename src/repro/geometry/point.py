@@ -1,11 +1,16 @@
 """Immutable 2-D points.
 
-The whole library speaks :class:`Point`.  It is deliberately a tiny frozen
-dataclass rather than a numpy array: the query algorithms touch points one at
-a time (hash them, compare them, compute a couple of distances), and a plain
-Python object with ``__slots__`` is both faster and clearer for that access
-pattern.  Bulk storage (the database's point table) uses numpy arrays and
-converts at the edges.
+The *edges* of the library speak :class:`Point`.  It is deliberately a tiny
+frozen dataclass rather than a numpy array: where algorithms touch points one
+at a time (hash them, compare them, compute a couple of distances), a plain
+Python object with ``__slots__`` is both faster and clearer.  Bulk storage —
+the database's point table — is columnar: :class:`repro.core.store.PointStore`
+keeps contiguous float64 ``xs``/``ys`` arrays, the hot paths (refinement
+kernels in :mod:`repro.geometry.kernels`, bulk index probes, the batch
+engine's shared frontiers) operate on those arrays by row id, and ``Point``
+objects are materialized only at the conversion boundary
+(:meth:`repro.core.store.PointStore.view` /
+:attr:`repro.core.database.SpatialDatabase.points`).
 """
 
 from __future__ import annotations

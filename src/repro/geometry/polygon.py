@@ -271,6 +271,21 @@ class Polygon:
                     return boundary
         return inside
 
+    def contains_many(self, xs, ys, *, boundary: bool = True):
+        """Vectorized :meth:`contains_point` over coordinate arrays.
+
+        ``xs``/``ys`` are equally-long float64 arrays (typically gathered
+        from the :class:`~repro.core.store.PointStore` columns by row
+        id); returns a boolean array whose element ``i`` equals
+        ``contains_point(Point(xs[i], ys[i]), boundary=boundary)``
+        **exactly** — candidates whose edge decisions the vectorized
+        error filter cannot certify are re-answered by the scalar test
+        (see :func:`repro.geometry.kernels.polygon_contains_many`).
+        """
+        from repro.geometry.kernels import polygon_contains_many
+
+        return polygon_contains_many(self, xs, ys, boundary=boundary)
+
     def winding_number(self, p: Point) -> int:
         """Winding number of the boundary around ``p``.
 

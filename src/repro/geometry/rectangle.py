@@ -129,6 +129,19 @@ class Rect:
             and self.min_y <= p.y <= self.max_y
         )
 
+    def contains_many(self, xs, ys, *, boundary: bool = True):
+        """Vectorized :meth:`contains_point` over coordinate arrays.
+
+        Returns a boolean array of closed-bounds membership, bitwise
+        identical to the scalar test per element.  ``boundary`` is
+        accepted for kernel-signature uniformity with the other query
+        regions; a rectangle's scalar test is always closed, so the flag
+        is ignored.
+        """
+        from repro.geometry.kernels import rect_contains_many
+
+        return rect_contains_many(self, xs, ys)
+
     def contains_rect(self, other: "Rect") -> bool:
         """True if ``other`` lies entirely inside (or equals) this rectangle."""
         return (

@@ -27,6 +27,14 @@ class QueryRegion(Protocol):
     * ``mbr`` is tight (the traditional filter depends on it);
     * ``crosses_boundary_xy`` must be exact for float inputs — Algorithm
       1's expansion rule rests on it.
+
+    Regions may *optionally* provide
+    ``contains_many(xs, ys, *, boundary=True)`` — a vectorized
+    ``contains_point`` over coordinate arrays whose answers match the
+    scalar test exactly (:class:`~repro.geometry.polygon.Polygon` and
+    :class:`~repro.geometry.circle.Circle` both do).  The columnar hot
+    paths probe for it with ``getattr`` and fall back to the scalar
+    per-point loop when absent, so custom regions stay supported.
     """
 
     @property

@@ -96,6 +96,30 @@ class SpatialIndex(ABC):
         the query polygon's MBR it returns the traditional candidate set.
         """
 
+    def window_ids_array(self, window: Rect):
+        """Item ids of every entry inside ``window`` as an int64 array.
+
+        The bulk-probe sibling of :meth:`window_query` for the columnar
+        hot paths: callers gather candidate *coordinates* from the
+        :class:`~repro.core.store.PointStore` columns by these row ids
+        and refine with the vectorized kernels, so the ``(Point, id)``
+        entry tuples never materialize.  Order is unspecified; the id
+        *set* is always identical to ``window_query``'s.
+
+        This default is the scalar fallback (one :meth:`window_query`,
+        ids repacked); the tree and grid indexes override it with
+        traversals that emit fully-contained subtrees/buckets without
+        per-entry containment tests.
+        """
+        import numpy as np
+
+        entries = self.window_query(window)
+        return np.fromiter(
+            (item_id for _, item_id in entries),
+            dtype=np.int64,
+            count=len(entries),
+        )
+
     @abstractmethod
     def nearest_neighbor(self, query: Point) -> Optional[Entry]:
         """The entry closest to ``query`` (``None`` on an empty index).

@@ -121,6 +121,57 @@ class GridIndex(SpatialIndex):
                 )
         return results
 
+    def window_ids_array(self, window: Rect):
+        """Bulk window probe: gather whole buckets, mask once.
+
+        Instead of calling ``window.contains_point`` per entry, the
+        overlapped cells' buckets are gathered into coordinate/id arrays
+        and filtered with one vectorized closed-bounds mask — identical
+        ids to :meth:`window_query` (the mask is the same comparison),
+        at C speed per candidate.  Every gathered entry goes through the
+        mask: a "cell box inside the window" shortcut would be unsound
+        here, because cell *assignment* (a division rounding) and the
+        cell-box corners (a multiplication rounding) can disagree by an
+        ulp, so a bucket may legitimately hold a point fractionally
+        outside its nominal box — besides the border cells, which hold
+        clamped out-of-extent points outright.
+        """
+        import numpy as np
+
+        overlap = window.intersection(self.extent)
+        if overlap is None:
+            lo = self._cell_of(Point(window.min_x, window.min_y))
+            hi = self._cell_of(Point(window.max_x, window.max_y))
+        else:
+            lo = self._cell_of(Point(overlap.min_x, overlap.min_y))
+            hi = self._cell_of(Point(overlap.max_x, overlap.max_y))
+        candidates: List[Entry] = []
+        for cx in range(lo[0], hi[0] + 1):
+            for cy in range(lo[1], hi[1] + 1):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                self.stats.node_accesses += 1
+                self.stats.entry_tests += len(bucket)
+                candidates.extend(bucket)
+        count = len(candidates)
+        if not count:
+            return np.empty(0, dtype=np.int64)
+        xs = np.fromiter(
+            (p.x for p, _ in candidates), dtype=np.float64, count=count
+        )
+        ys = np.fromiter(
+            (p.y for p, _ in candidates), dtype=np.float64, count=count
+        )
+        ids = np.fromiter(
+            (item_id for _, item_id in candidates),
+            dtype=np.int64,
+            count=count,
+        )
+        from repro.geometry.kernels import rect_contains_many
+
+        return ids[rect_contains_many(window, xs, ys)]
+
     def nearest_neighbor(self, query: Point) -> Optional[Entry]:
         results = self.k_nearest_neighbors(query, 1)
         return results[0] if results else None

@@ -179,6 +179,65 @@ class KDTree(SpatialIndex):
                     stack.append((node.right, min_x, key, max_x, max_y))
         return results
 
+    def window_ids_array(self, window: Rect):
+        """Bulk window probe: ids only, contained half-spaces wholesale.
+
+        Tracks each subtree's implicit bounding box during the descent
+        (as :meth:`window_query` does) and, once a box falls entirely
+        inside the window, emits the whole subtree's live ids without
+        further per-point tests.  Id set identical to
+        :meth:`window_query`; int64 array, unspecified order.
+        """
+        import numpy as np
+
+        ids: List[int] = []
+        if self._root is None:
+            return np.empty(0, dtype=np.int64)
+        inf = float("inf")
+        stack: List[Tuple[_KDNode, float, float, float, float]] = [
+            (self._root, -inf, -inf, inf, inf)
+        ]
+        while stack:
+            node, min_x, min_y, max_x, max_y = stack.pop()
+            if (
+                window.min_x <= min_x
+                and window.min_y <= min_y
+                and window.max_x >= max_x
+                and window.max_y >= max_y
+            ):
+                self._collect_subtree_ids(node, ids)
+                continue
+            self.stats.node_accesses += 1
+            if not node.deleted:
+                self.stats.entry_tests += 1
+                if window.contains_point(node.point):
+                    ids.append(node.item_id)
+            key = node.key()
+            if node.axis == 0:
+                if node.left is not None and window.min_x < key:
+                    stack.append((node.left, min_x, min_y, key, max_y))
+                if node.right is not None and window.max_x >= key:
+                    stack.append((node.right, key, min_y, max_x, max_y))
+            else:
+                if node.left is not None and window.min_y < key:
+                    stack.append((node.left, min_x, min_y, max_x, key))
+                if node.right is not None and window.max_y >= key:
+                    stack.append((node.right, min_x, key, max_x, max_y))
+        return np.fromiter(ids, dtype=np.int64, count=len(ids))
+
+    def _collect_subtree_ids(self, start: _KDNode, ids: List[int]) -> None:
+        """Append every live entry id below ``start`` (no geometric tests)."""
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            self.stats.node_accesses += 1
+            if not node.deleted:
+                ids.append(node.item_id)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
     def nearest_neighbor(self, query: Point) -> Optional[Entry]:
         results = self.k_nearest_neighbors(query, 1)
         return results[0] if results else None

@@ -167,6 +167,50 @@ class QuadTree(SpatialIndex):
                 stack.extend(node.children)
         return results
 
+    def window_ids_array(self, window: Rect):
+        """Bulk window probe: ids only, contained quadrants wholesale.
+
+        Quadrant boxes are exact (space-driven decomposition), so a node
+        box inside the window proves every occupant's membership — those
+        subtrees dump ids with no per-point tests; only boundary leaves
+        pay them.  Id set identical to :meth:`window_query`; int64
+        array, unspecified order.
+        """
+        from repro.index.rtree import _mask_boundary_entries
+
+        ids: List[int] = []
+        boundary_entries: List[Entry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not window.intersects(node.box):
+                continue
+            self.stats.node_accesses += 1
+            if window.contains_rect(node.box):
+                self._collect_subtree_ids(node, ids)
+                continue
+            if node.is_leaf:
+                assert node.entries is not None
+                self.stats.entry_tests += len(node.entries)
+                boundary_entries.extend(node.entries)
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+        return _mask_boundary_entries(window, ids, boundary_entries)
+
+    def _collect_subtree_ids(self, start: _QuadNode, ids: List[int]) -> None:
+        """Append every entry id below ``start`` (no geometric tests)."""
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.entries is not None
+                ids.extend([item_id for _, item_id in node.entries])
+            else:
+                assert node.children is not None
+                self.stats.node_accesses += len(node.children)
+                stack.extend(node.children)
+
     def nearest_neighbor(self, query: Point) -> Optional[Entry]:
         results = self.k_nearest_neighbors(query, 1)
         return results[0] if results else None

@@ -68,6 +68,39 @@ class _Node:
         return len(self.entries) if self.is_leaf else len(self.children)
 
 
+def _mask_boundary_entries(window: Rect, sure_ids: List[int], entries):
+    """Finish a bulk window probe: mask boundary-leaf entries in one pass.
+
+    ``sure_ids`` came from fully-contained subtrees (no tests needed);
+    ``entries`` are the candidates from partially-overlapping leaves.
+    Packs the candidates into coordinate/id columns and applies one
+    vectorized closed-bounds mask — the same comparison
+    ``Rect.contains_point`` performs, at C speed per entry.  Shared by
+    the R-tree family and the quadtree.
+    """
+    import numpy as np
+
+    sure = np.fromiter(sure_ids, dtype=np.int64, count=len(sure_ids))
+    count = len(entries)
+    if not count:
+        return sure
+    if count < 32:  # numpy packing overhead beats tiny leaf scans
+        matched = [
+            item_id
+            for point, item_id in entries
+            if window.contains_point(point)
+        ]
+        inside = np.fromiter(matched, dtype=np.int64, count=len(matched))
+        return np.concatenate((sure, inside)) if sure.size else inside
+    from repro.geometry.kernels import rect_contains_many
+
+    xs = np.fromiter((p.x for p, _ in entries), np.float64, count)
+    ys = np.fromiter((p.y for p, _ in entries), np.float64, count)
+    ids = np.fromiter((i for _, i in entries), np.int64, count)
+    inside = ids[rect_contains_many(window, xs, ys)]
+    return np.concatenate((sure, inside)) if sure.size else inside
+
+
 class RTree(SpatialIndex):
     """Dynamic R-tree over 2-D points.
 
@@ -224,6 +257,51 @@ class RTree(SpatialIndex):
                     if child.mbr is not None and window.intersects(child.mbr)
                 )
         return results
+
+    def window_ids_array(self, window: Rect):
+        """Bulk window probe: ids only, fully-contained subtrees wholesale.
+
+        Same id set as :meth:`window_query`, but subtrees whose MBR lies
+        entirely inside the window dump their entries' ids without a
+        single per-point containment test (the MBR containment already
+        proves membership — the trick :meth:`window_count` uses for
+        aggregates, here applied to materialization).  Only boundary
+        leaves pay per-entry tests.  Returns an int64 array in
+        unspecified order for the columnar refine paths to gather
+        coordinates by row id.
+        """
+        import numpy as np
+
+        ids: List[int] = []
+        boundary_entries: List[Entry] = []
+        if self._root.mbr is None:
+            return np.empty(0, dtype=np.int64)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not window.intersects(node.mbr):
+                continue
+            self.stats.node_accesses += 1
+            if window.contains_rect(node.mbr):
+                self._collect_subtree_ids(node, ids)
+                continue
+            if node.is_leaf:
+                self.stats.entry_tests += len(node.entries)
+                boundary_entries.extend(node.entries)
+            else:
+                stack.extend(node.children)
+        return _mask_boundary_entries(window, ids, boundary_entries)
+
+    def _collect_subtree_ids(self, node: _Node, ids: List[int]) -> None:
+        """Append every entry id below ``node`` (no geometric tests)."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                ids.extend([item_id for _, item_id in current.entries])
+            else:
+                self.stats.node_accesses += len(current.children)
+                stack.extend(current.children)
 
     def window_count(self, window: Rect) -> int:
         """Number of entries inside ``window`` without materialising them.

@@ -84,19 +84,22 @@ def load_points(path: str | os.PathLike) -> List[Point]:
 def save_database(path: str | os.PathLike, db: SpatialDatabase) -> str:
     """Write ``db``'s points and configuration to ``path``.
 
-    Returns the path actually written (numpy appends the ``.npz``
-    extension if missing), so callers can pass it straight to
-    :func:`load_database` — or to ``python -m repro serve --load``.
+    The payload comes straight off the database's columnar
+    :class:`~repro.core.store.PointStore` (one numpy stack of the
+    ``xs``/``ys`` columns — no per-point Python conversion; the loading
+    side mirrors this through :meth:`SpatialDatabase.from_arrays
+    <repro.core.database.SpatialDatabase.from_arrays>`).  Returns the
+    path actually written (numpy appends the ``.npz`` extension if
+    missing), so callers can pass it straight to :func:`load_database` —
+    or to ``python -m repro serve --load``.
     """
-    xy = np.asarray(
-        [(p.x, p.y) for p in db.points], dtype=np.float64
-    ).reshape(len(db.points), 2)
+    xy = db.store.as_xy()
     config = json.dumps(
         {
             "version": _FORMAT_VERSION,
             "index_kind": db._index_kind,
             "backend_kind": db._backend_kind,
-            "count": len(db.points),
+            "count": len(db),
         }
     )
     np.savez_compressed(path, xy=xy, config=np.asarray(config))
@@ -108,10 +111,13 @@ def load_database(
 ) -> SpatialDatabase:
     """Restore a database written by :func:`save_database`.
 
-    Row ids are preserved exactly (row order is the id order).  ``path``
-    may be the exact file or the extensionless name the saver was given.
-    Pass ``prepare=True`` to rebuild the Voronoi backend eagerly; by
-    default it stays lazy, like a freshly constructed database.
+    Row ids are preserved exactly (row order is the id order).  The
+    persisted columns are handed to the
+    :class:`~repro.core.store.PointStore` as arrays — ``repro serve
+    --load`` skips per-point conversion entirely.  ``path`` may be the
+    exact file or the extensionless name the saver was given.  Pass
+    ``prepare=True`` to rebuild the Voronoi backend eagerly; by default
+    it stays lazy, like a freshly constructed database.
     """
     with np.load(_resolve_path(path), allow_pickle=False) as archive:
         xy = archive["xy"]
@@ -125,8 +131,10 @@ def load_database(
             f"corrupt database file: header count {config['count']} != "
             f"payload rows {len(xy)}"
         )
-    db = SpatialDatabase.from_points(
-        (Point(float(x), float(y)) for x, y in xy),
+    xy = xy.reshape(len(xy), 2)
+    db = SpatialDatabase.from_arrays(
+        xy[:, 0],
+        xy[:, 1],
         index_kind=config["index_kind"],
         backend_kind=config["backend_kind"],
     )

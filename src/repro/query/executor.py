@@ -56,6 +56,21 @@ from repro.query.spec import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.database import SpatialDatabase
+    from repro.core.store import PointStore
+
+
+def _columnar_store(
+    database: "SpatialDatabase",
+) -> Optional["PointStore"]:
+    """The database's point store when the vectorized paths are on.
+
+    Every execution helper threads this into the core algorithms: a
+    store means columnar hot paths (bulk index probes, array refinement
+    kernels, batched distances); ``None`` means the scalar per-point
+    fallbacks — the equivalence oracle
+    (``SpatialDatabase(vectorized=False)``).
+    """
+    return database.store if database.vectorized else None
 
 
 def resolve_method(database: "SpatialDatabase", spec: Query) -> str:
@@ -166,13 +181,16 @@ def _execute_area(
     if spec.region.area <= 0.0:
         raise InvalidQueryAreaError("query area has zero area")
     if method == "traditional":
-        return traditional_area_query(database.index, spec.region)
+        return traditional_area_query(
+            database.index, spec.region, store=_columnar_store(database)
+        )
     return voronoi_area_query(
         database.index,
         database.backend,
-        database.points,
+        database.store.rows(),
         spec.region,
         seed_id=seed_id,
+        store=_columnar_store(database),
     )
 
 
@@ -194,18 +212,34 @@ def _execute_window(
         return voronoi_area_query(
             database.index,
             database.backend,
-            database.points,
+            database.store.rows(),
             Polygon.from_rect(spec.rect),
             seed_id=seed_id,
+            store=_columnar_store(database),
         )
     stats = QueryStats(method="index")
     index = database.index
     nodes_before = index.stats.node_accesses
     started = time.perf_counter()
-    entries = index.window_query(spec.rect)
-    ids = sorted(item_id for _, item_id in entries)
+    if database.vectorized:
+        import numpy as np
+
+        id_array = index.window_ids_array(spec.rect)
+        candidates = int(id_array.shape[0])
+        id_array = np.sort(id_array)
+        if spec.limit is not None and spec.predicate is None:
+            # The limit would truncate the very same ascending prefix in
+            # finalize_record; applying it on the array side skips
+            # materialising thousands of Python ints for a first-page
+            # response (finalize's own truncation becomes a no-op).
+            id_array = id_array[: spec.limit]
+        ids = id_array.tolist()
+    else:
+        entries = index.window_query(spec.rect)
+        ids = sorted(item_id for _, item_id in entries)
+        candidates = len(ids)
     stats.time_ms = (time.perf_counter() - started) * 1000.0
-    stats.candidates = len(entries)
+    stats.candidates = candidates
     stats.index_node_accesses = index.stats.node_accesses - nodes_before
     stats.result_size = len(ids)
     return QueryResult(ids=ids, stats=stats)
@@ -246,10 +280,11 @@ def _execute_knn(
             return voronoi_knn_query(
                 database.index,
                 database.backend,
-                database.points,
+                database.store.rows(),
                 spec.point,
                 k,
                 seed_id=seed_id,
+                store=_columnar_store(database),
             )
         return _knn_voronoi_filtered(database, spec, k)
     return _knn_index(database, spec, k)
@@ -313,7 +348,11 @@ def _knn_voronoi_filtered(
     predicate = spec.predicate
     point_of = database.point
     for row_id in incremental_nearest(
-        index, database.backend, database.points, spec.point
+        index,
+        database.backend,
+        database.store.rows(),
+        spec.point,
+        store=_columnar_store(database),
     ):
         stats.candidates += 1
         if predicate is None or predicate(point_of(row_id)):
@@ -429,7 +468,11 @@ def _stream_knn(
     point_of = database.point
     produced = 0
     for row_id in incremental_nearest(
-        database.index, database.backend, database.points, spec.point
+        database.index,
+        database.backend,
+        database.store.rows(),
+        spec.point,
+        store=_columnar_store(database),
     ):
         if predicate is not None and not predicate(point_of(row_id)):
             continue

@@ -124,7 +124,15 @@ class QueryResult:
 
     @property
     def stats(self):
-        """Per-query :class:`~repro.core.stats.QueryStats` (executes)."""
+        """Per-query :class:`~repro.core.stats.QueryStats` (executes).
+
+        Returned by reference and to be treated as **read-only**: the
+        engine shares finalized records between duplicate batch
+        submissions and the result cache, so mutating these counters
+        in place would corrupt sibling handles and cached entries.
+        Copy first (:meth:`~repro.core.stats.QueryStats.copy`) if you
+        need a mutable block.
+        """
         return self.record.stats
 
     # -- streaming consumption --------------------------------------------

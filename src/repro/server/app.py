@@ -48,6 +48,7 @@ from repro.server.protocol import (
     decode_frame,
     encode_frame,
     error_frame,
+    pack_ids,
     parse_query_spec,
     rows_to_wire,
 )
@@ -376,9 +377,15 @@ class QueryServer:
         response: Dict = {
             "type": "result",
             "id": request_id,
-            "ids": list(record.ids),
             "stats": _stats_to_wire(record.stats),
         }
+        if frame.get("packed"):
+            # Columnar wire edge: one base64 int64 array instead of one
+            # JSON number per row (see protocol.pack_ids) — the id
+            # payload's encode cost scales far below per-row JSON.
+            response["ids_packed"] = pack_ids(record.ids)
+        else:
+            response["ids"] = list(record.ids)
         if frame.get("explain"):
             response["explain"] = self._db.explain(spec).render()
         await self._send(connection, response)

@@ -37,6 +37,7 @@ from repro.server.protocol import (
     ProtocolError,
     decode_frame,
     encode_frame,
+    result_ids,
 )
 
 
@@ -193,6 +194,9 @@ class QueryClient:
             "type": "query",
             "id": request_id,
             "spec": spec_to_dict(spec),
+            # Ask for the columnar id transport: one base64 int64 array
+            # beats one JSON number per row on both ends of the wire.
+            "packed": True,
         }
         if explain:
             frame["explain"] = True
@@ -204,7 +208,7 @@ class QueryClient:
                 f"expected a result frame, got {response['type']!r}",
             )
         return RemoteResult(
-            response["ids"], response["stats"], response.get("explain")
+            result_ids(response), response["stats"], response.get("explain")
         )
 
     def stream(

@@ -11,7 +11,7 @@ exception; a closure has no wire form).
 
 Client-to-server frames::
 
-    {"type": "query",  "id": 7, "spec": {...},
+    {"type": "query",  "id": 7, "spec": {...}, "packed": true,
      "explain": false, "stream": false, "chunk_size": 256}
     {"type": "next",   "id": 7}
     {"type": "cancel", "id": 7}
@@ -22,6 +22,7 @@ Server-to-client frames::
     {"type": "hello",  "protocol": 1, "server": "repro/x.y.z", "points": N}
     {"type": "result", "id": 7, "ids": [...], "stats": {...},
      "explain": "..."}
+    {"type": "result", "id": 7, "ids_packed": "<base64>", "stats": {...}}
     {"type": "chunk",  "id": 7, "seq": 0, "rows": [...], "done": false,
      "examined": 256, "cancelled": false}
     {"type": "error",  "id": 7, "code": "bad-spec", "message": "..."}
@@ -42,6 +43,17 @@ points (``[x, y]`` pairs), or distances (floats).  ``examined`` counts
 the candidates the underlying iterator examined so far — for an
 unbounded kNN the first chunk reports exactly ``chunk_size``, the
 observable proof that streaming never ranks the rest of the database.
+
+**Packed id transport.**  A ``query`` with ``"packed": true`` asks the
+server to deliver the result ids as ``ids_packed`` — the little-endian
+int64 id array, base64-encoded (:func:`pack_ids`/:func:`unpack_ids`) —
+instead of the ``ids`` JSON list.  Result frames carry exactly one of
+the two fields.  This is the columnar store's wire edge: for a
+result of thousands of rows, packing/unpacking one array is an order of
+magnitude cheaper on both sides than (de)serialising one JSON number
+per row, which otherwise dominates a fast query's round-trip.  Frames
+without the flag are byte-identical to before, so the protocol version
+stays 1 and mixed clients interoperate.
 
 :func:`decode_frame` rejects malformed input with
 :class:`ProtocolError`, whose ``code`` is stable for programmatic
@@ -126,7 +138,7 @@ def _validate_query(frame: Dict) -> None:
         isinstance(frame.get("spec"), dict),
         "'spec' must be a JSON object (see repro.query.serialize)",
     )
-    for flag in ("explain", "stream"):
+    for flag in ("explain", "stream", "packed"):
         if flag in frame:
             _require(
                 isinstance(frame[flag], bool),
@@ -149,15 +161,27 @@ def _validate_query(frame: Dict) -> None:
 
 def _validate_result(frame: Dict) -> None:
     _check_id(frame)
-    ids = frame.get("ids")
-    _require(isinstance(ids, list), "'ids' must be a list")
-    # One C-speed pass instead of a Python-level loop: result frames
-    # carry thousands of ids, and this validator runs on both sides of
-    # every response.  ``type`` (not ``isinstance``) also rejects bools.
-    _require(
-        not ids or set(map(type, ids)) == {int},
-        "result ids must all be integers",
-    )
+    packed = frame.get("ids_packed")
+    if packed is not None:
+        _require(
+            "ids" not in frame,
+            "a result frame carries 'ids' or 'ids_packed', not both",
+        )
+        _require(
+            isinstance(packed, str),
+            "'ids_packed' must be a base64 string",
+        )
+    else:
+        ids = frame.get("ids")
+        _require(isinstance(ids, list), "'ids' must be a list")
+        # One C-speed pass instead of a Python-level loop: result frames
+        # carry thousands of ids, and this validator runs on both sides
+        # of every response.  ``type`` (not ``isinstance``) also rejects
+        # bools.
+        _require(
+            not ids or set(map(type, ids)) == {int},
+            "result ids must all be integers",
+        )
     _require(
         isinstance(frame.get("stats"), dict), "'stats' must be an object"
     )
@@ -347,6 +371,64 @@ def parse_query_spec(frame: Dict) -> Query:
         raise
     except (ValueError, KeyError, TypeError) as exc:
         raise ProtocolError("bad-spec", f"unusable query spec: {exc}") from exc
+
+
+def pack_ids(ids) -> str:
+    """Encode result row ids as one base64 string (``ids_packed``).
+
+    ``ids`` (any int sequence or integer ndarray) is packed as a
+    little-endian int64 array and base64-encoded — one C-speed pass per
+    side instead of one JSON number parse per row.  (Standard base64,
+    not base85: CPython's ``b85encode`` is a pure-Python loop, which
+    would put a Python-per-chunk cost right back on the hot path.)  The
+    inverse is :func:`unpack_ids`.
+    """
+    import base64
+
+    import numpy as np
+
+    array = np.ascontiguousarray(ids, dtype="<i8")
+    return base64.b64encode(array.tobytes()).decode("ascii")
+
+
+def unpack_ids(packed: str) -> List[int]:
+    """Decode an ``ids_packed`` field back to the row-id list.
+
+    Raises :class:`ProtocolError` (``bad-frame``) on anything that is
+    not a well-formed base64 int64 array — the receiving side's
+    validation of packed frames lives here, where the bytes are decoded
+    anyway.
+    """
+    import base64
+    import binascii
+
+    import numpy as np
+
+    try:
+        raw = base64.b64decode(packed.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError, binascii.Error) as exc:
+        raise ProtocolError(
+            "bad-frame", f"'ids_packed' is not valid base64: {exc}"
+        ) from exc
+    if len(raw) % 8:
+        raise ProtocolError(
+            "bad-frame",
+            f"'ids_packed' decodes to {len(raw)} bytes, "
+            "not a whole number of int64 ids",
+        )
+    return np.frombuffer(raw, dtype="<i8").tolist()
+
+
+def result_ids(frame: Dict) -> List[int]:
+    """The row ids of a validated ``result`` frame, either transport.
+
+    Unpacks ``ids_packed`` when present, otherwise returns the plain
+    ``ids`` list — the one accessor response consumers need.
+    """
+    packed = frame.get("ids_packed")
+    if packed is not None:
+        return unpack_ids(packed)
+    return frame["ids"]
 
 
 def rows_to_wire(rows: Iterable) -> List:

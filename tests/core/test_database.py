@@ -186,3 +186,51 @@ class TestClassification:
         external = set(classes["external"])
         for row in classes["internal"]:
             assert not (set(db_300.voronoi_neighbors(row)) & external)
+
+
+class TestPointsImmutability:
+    """The point table is exposed as an immutable view (regression).
+
+    ``db.points`` used to hand out the internal mutable list — a caller
+    appending to it silently desynchronised ``len(db)`` and the spatial
+    index.  The property now returns a read-only materialized view over
+    the columnar store: mutation attempts fail loudly and nothing can
+    drift.
+    """
+
+    def test_mutation_attempts_fail_and_nothing_desyncs(self):
+        from repro.geometry.rectangle import Rect
+        from repro.query.spec import WindowQuery
+
+        db = SpatialDatabase.from_points(uniform_points(60, seed=8))
+        everything = Rect(-1.0, -1.0, 2.0, 2.0)
+        baseline = db.query(WindowQuery(everything)).ids()
+        view = db.points
+
+        with pytest.raises(AttributeError):
+            view.append(Point(0.5, 0.5))  # type: ignore[attr-defined]
+        with pytest.raises(AttributeError):
+            view.extend([Point(0.5, 0.5)])  # type: ignore[attr-defined]
+        with pytest.raises(TypeError):
+            view[0] = Point(0.5, 0.5)  # type: ignore[index]
+        with pytest.raises(AttributeError):
+            view.pop()  # type: ignore[attr-defined]
+
+        assert len(db) == 60
+        assert len(db.points) == 60
+        assert db.query(WindowQuery(everything)).ids() == baseline
+        assert baseline == list(range(60))
+
+    def test_view_tracks_legitimate_inserts(self):
+        db = SpatialDatabase.from_points(uniform_points(10, seed=9))
+        view = db.points
+        row = db.insert(Point(0.25, 0.75))
+        assert len(view) == 11
+        assert view[row] == Point(0.25, 0.75)
+        assert db.point(row) == Point(0.25, 0.75)
+
+    def test_view_equality_with_lists(self):
+        points = uniform_points(15, seed=10)
+        db = SpatialDatabase.from_points(points)
+        assert db.points == points
+        assert points == db.points

@@ -1,0 +1,148 @@
+"""Vectorized kernels vs scalar containment — bitwise-equality tests.
+
+The whole columnar architecture rests on one contract: the array
+kernels of :mod:`repro.geometry.kernels` answer *exactly* like the
+scalar tests, point for point, including boundary touches, near-edge
+rounding hazards, and denormal coordinate scales.  These tests attack
+that contract directly; the end-to-end query equivalence suite
+(``tests/core/test_columnar_equivalence.py``) covers the paths above.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.kernels import squared_distances
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.random_shapes import random_star_polygon
+from repro.geometry.rectangle import Rect
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+def adversarial_points(polygon: Polygon, rng: random.Random, count=200):
+    """Random points plus vertices, edge midpoints and near-edge nudges."""
+    pts = [(rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)) for _ in range(count)]
+    ring = polygon.vertices
+    for a, b in zip(ring, ring[1:] + ring[:1]):
+        pts.append((a.x, a.y))
+        mx, my = (a.x + b.x) / 2.0, (a.y + b.y) / 2.0
+        pts.append((mx, my))
+        pts.append((np.nextafter(mx, 2.0), my))
+        pts.append((mx, np.nextafter(my, -2.0)))
+        pts.append((a.x, my))  # vertex-level horizontal-ray hazards
+    return pts
+
+
+class TestPolygonContainsMany:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("boundary", [True, False])
+    def test_matches_scalar_on_adversarial_points(self, seed, boundary):
+        rng = random.Random(seed)
+        polygon = random_star_polygon(3 + rng.randrange(20), rng)
+        pts = adversarial_points(polygon, rng)
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        mask = polygon.contains_many(xs, ys, boundary=boundary)
+        scalar = [
+            polygon.contains_point(Point(x, y), boundary=boundary)
+            for x, y in pts
+        ]
+        assert mask.tolist() == scalar
+
+    def test_rectangle_ring_with_horizontal_edges(self):
+        polygon = Polygon.from_rect(Rect(0.25, 0.25, 0.75, 0.5))
+        grid = np.linspace(0.0, 1.0, 41)
+        xs, ys = np.meshgrid(grid, grid)
+        xs, ys = xs.ravel(), ys.ravel()
+        mask = polygon.contains_many(xs, ys)
+        scalar = [
+            polygon.contains_point(Point(x, y)) for x, y in zip(xs, ys)
+        ]
+        assert mask.tolist() == scalar
+
+    def test_denormal_scale_polygon(self):
+        tiny = Polygon([(0.0, 0.0), (1e-160, 0.0), (1e-160, 1e-160)])
+        xs = np.array([0.0, 5e-161, 1e-200, 2e-161, 1e-160])
+        ys = np.array([0.0, 5e-161, 1e-200, 1e-161, 1e-160])
+        mask = tiny.contains_many(xs, ys)
+        scalar = [tiny.contains_point(Point(x, y)) for x, y in zip(xs, ys)]
+        assert mask.tolist() == scalar
+
+    def test_empty_input(self):
+        polygon = random_star_polygon(8, random.Random(1))
+        assert polygon.contains_many(np.empty(0), np.empty(0)).shape == (0,)
+
+    def test_block_boundary_exactness(self):
+        """Inputs spanning multiple kernel blocks stay exact."""
+        from repro.geometry import kernels
+
+        polygon = random_star_polygon(12, random.Random(3))
+        count = 3 * (kernels._BLOCK_CELLS // 12) + 17
+        rng = random.Random(4)
+        xs = np.array([rng.random() for _ in range(count)])
+        ys = np.array([rng.random() for _ in range(count)])
+        mask = polygon.contains_many(xs, ys)
+        scalar = [
+            polygon.contains_point(Point(x, y)) for x, y in zip(xs, ys)
+        ]
+        assert mask.tolist() == scalar
+
+
+class TestRectCircleKernels:
+    @given(
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=64),
+        finite,
+        finite,
+        st.floats(min_value=1e-6, max_value=1e3),
+    )
+    @settings(max_examples=100)
+    def test_circle_matches_scalar(self, pts, cx, cy, radius):
+        circle = Circle(Point(cx, cy), radius)
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        for boundary in (True, False):
+            mask = circle.contains_many(xs, ys, boundary=boundary)
+            assert mask.tolist() == [
+                circle.contains_point(Point(x, y), boundary=boundary)
+                for x, y in pts
+            ]
+
+    @given(
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=64),
+        finite,
+        finite,
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100)
+    def test_rect_matches_scalar(self, pts, min_x, min_y, width, height):
+        rect = Rect(min_x, min_y, min_x + width, min_y + height)
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        mask = rect.contains_many(xs, ys)
+        assert mask.tolist() == [
+            rect.contains_point(Point(x, y)) for x, y in pts
+        ]
+
+    @given(
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=64),
+        finite,
+        finite,
+    )
+    @settings(max_examples=100)
+    def test_squared_distances_bitwise_equal(self, pts, qx, qy):
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        batched = squared_distances(xs, ys, qx, qy).tolist()
+        scalar = [
+            Point(x, y).squared_distance_to(Point(qx, qy)) for x, y in pts
+        ]
+        assert batched == scalar  # exact float equality, not approx

@@ -1,0 +1,86 @@
+"""``window_ids_array`` — the bulk index probe — against ``window_query``.
+
+Every index kind must return exactly the id *set* its entry-level
+``window_query`` returns, for any window, including the structural
+shortcuts the overrides take (fully-contained subtree emission, whole
+grid buckets, boundary-leaf masking) and the clamped-point subtleties of
+the grid's border cells.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index import INDEX_REGISTRY, make_index
+
+WINDOWS = [
+    Rect(0.1, 0.1, 0.6, 0.7),
+    Rect(-1.0, -1.0, 2.0, 2.0),  # superset of everything
+    Rect(0.45, 0.45, 0.55, 0.55),
+    Rect(0.0, 0.0, 1.0, 1.0),
+    Rect(0.5, 0.5, 0.5, 0.5),  # degenerate
+    Rect(1.05, 1.05, 1.5, 1.5),  # outside the unit square (clamped grid)
+    Rect(2.0, 2.0, 3.0, 3.0),  # fully disjoint
+]
+
+
+def dataset(seed=7, n=2500):
+    rng = random.Random(seed)
+    pts = [Point(rng.random(), rng.random()) for _ in range(n)]
+    # out-of-extent points (grid clamping) and exact duplicates
+    pts += [
+        Point(-0.2, 0.5),
+        Point(1.3, 1.2),
+        Point(0.5, 0.5),
+        Point(0.5, 0.5),
+    ]
+    return pts
+
+
+@pytest.mark.parametrize("kind", sorted(INDEX_REGISTRY))
+class TestWindowIdsArray:
+    def test_bulk_loaded_matches_window_query(self, kind):
+        index = make_index(kind)
+        index.bulk_load((p, i) for i, p in enumerate(dataset()))
+        for window in WINDOWS:
+            expected = sorted(i for _, i in index.window_query(window))
+            got = index.window_ids_array(window)
+            assert isinstance(got, np.ndarray)
+            assert got.dtype == np.int64
+            assert sorted(got.tolist()) == expected
+
+    def test_incrementally_built_matches_window_query(self, kind):
+        index = make_index(kind)
+        for i, p in enumerate(dataset(seed=9, n=400)):
+            index.insert(p, i)
+        for window in WINDOWS:
+            expected = sorted(i for _, i in index.window_query(window))
+            assert sorted(index.window_ids_array(window).tolist()) == expected
+
+    def test_empty_index(self, kind):
+        index = make_index(kind)
+        got = index.window_ids_array(Rect(0.0, 0.0, 1.0, 1.0))
+        assert got.shape == (0,)
+
+    def test_after_deletions(self, kind):
+        points = dataset(seed=11, n=600)
+        index = make_index(kind)
+        index.bulk_load((p, i) for i, p in enumerate(points))
+        rng = random.Random(13)
+        for i in rng.sample(range(600), 120):
+            assert index.delete(points[i], i)
+        for window in WINDOWS[:4]:
+            expected = sorted(i for _, i in index.window_query(window))
+            assert sorted(index.window_ids_array(window).tolist()) == expected
+
+
+def test_probe_counts_index_accesses():
+    """The bulk probe reports node accesses like the entry-level query."""
+    index = make_index("rtree")
+    index.bulk_load((p, i) for i, p in enumerate(dataset()))
+    before = index.stats.node_accesses
+    index.window_ids_array(Rect(0.2, 0.2, 0.8, 0.8))
+    assert index.stats.node_accesses > before

@@ -330,3 +330,107 @@ class TestMalformedRejection:
                     "load": float("nan"),
                 }
             )
+
+
+class TestPackedIdTransport:
+    """The columnar id transport: pack/unpack + frame validation."""
+
+    def test_pack_unpack_round_trip(self):
+        from hypothesis import given
+        from hypothesis import strategies as st
+
+        from repro.server.protocol import pack_ids, unpack_ids
+
+        @given(
+            st.lists(
+                st.integers(min_value=0, max_value=2**62), max_size=200
+            )
+        )
+        def round_trip(ids):
+            assert unpack_ids(pack_ids(ids)) == ids
+
+        round_trip()
+
+    def test_packed_result_frame_round_trips(self):
+        from repro.server.protocol import pack_ids, result_ids
+
+        ids = list(range(0, 5000, 7))
+        frame = {
+            "type": "result",
+            "id": 3,
+            "ids_packed": pack_ids(ids),
+            "stats": {"method": "index"},
+        }
+        decoded = decode_frame(encode_frame(frame))
+        assert result_ids(decoded) == ids
+
+    def test_result_ids_accepts_both_transports(self):
+        from repro.server.protocol import result_ids
+
+        assert result_ids({"ids": [1, 2, 3]}) == [1, 2, 3]
+
+    def test_both_fields_rejected(self):
+        from repro.server.protocol import pack_ids
+
+        frame = {
+            "type": "result",
+            "id": 1,
+            "ids": [1],
+            "ids_packed": pack_ids([1]),
+            "stats": {},
+        }
+        with pytest.raises(ProtocolError, match="not both"):
+            encode_frame(frame)
+
+    def test_garbage_packed_payload_rejected(self):
+        from repro.server.protocol import unpack_ids
+
+        with pytest.raises(ProtocolError, match="base64"):
+            unpack_ids("not//valid@@base64!!")
+        # valid base64 but not a whole number of int64s
+        import base64
+
+        with pytest.raises(ProtocolError, match="int64"):
+            unpack_ids(base64.b64encode(b"abc").decode())
+
+    def test_non_string_packed_field_rejected(self):
+        import json
+
+        frame = {"type": "result", "id": 1, "ids_packed": 42, "stats": {}}
+        with pytest.raises(ProtocolError, match="base64"):
+            decode_frame(json.dumps(frame).encode() + b"\n")
+
+    def test_server_honours_the_packed_flag_end_to_end(self):
+        import socket as socket_module
+
+        from repro.core.database import SpatialDatabase
+        from repro.geometry.rectangle import Rect
+        from repro.query.serialize import spec_to_dict
+        from repro.query.spec import WindowQuery
+        from repro.server.app import ServerThread
+        from repro.server.protocol import result_ids
+        from repro.workloads.generators import uniform_points
+
+        db = SpatialDatabase.from_points(uniform_points(300, seed=17))
+        spec = WindowQuery(Rect(0.2, 0.2, 0.8, 0.8))
+        expected = db.query(spec).ids()
+        with ServerThread(db) as server:
+            with socket_module.create_connection(
+                (server.host, server.port)
+            ) as sock:
+                reader = sock.makefile("rb")
+                decode_frame(reader.readline())  # hello
+                for packed in (False, True):
+                    frame = {
+                        "type": "query",
+                        "id": 1,
+                        "spec": spec_to_dict(spec),
+                    }
+                    if packed:
+                        frame["packed"] = True
+                    sock.sendall(encode_frame(frame))
+                    response = decode_frame(reader.readline())
+                    assert response["type"] == "result"
+                    assert ("ids_packed" in response) is packed
+                    assert ("ids" in response) is not packed
+                    assert result_ids(response) == expected

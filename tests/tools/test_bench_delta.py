@@ -53,12 +53,42 @@ class TestCompare:
         rows, warnings = compare(previous, current)
         assert rows == [] and warnings == []
 
-    def test_new_and_vanished_benchmarks_are_tolerated(self):
+    def test_new_benchmark_renders_explicit_new_rows(self):
+        """First-appearance benchmarks are visible, never regressions."""
         previous = record(old_bench={"speedup": 1.5})
-        current = record(new_bench={"speedup": 1.8})
+        current = record(
+            new_bench={"speedup": 1.8, "threshold": 2.0},
+            old_bench={"speedup": 1.55},
+        )
+        rows, warnings = compare(previous, current)
+        assert warnings == []
+        new_rows = [row for row in rows if row[4] == "new"]
+        assert new_rows == [("new_bench", "speedup", "—", 1.8, "new", False)]
+        # context keys of a new benchmark stay excluded
+        assert not any(row[1] == "threshold" for row in rows)
+
+    def test_new_metric_on_existing_benchmark_is_a_new_row(self):
+        previous = record(bench={"speedup": 2.0})
+        current = record(bench={"speedup": 2.1, "scalar_ms": 40.0})
+        rows, warnings = compare(previous, current)
+        assert warnings == []
+        assert ("bench", "scalar_ms", "—", 40.0, "new", False) in rows
+
+    def test_vanished_benchmarks_are_tolerated(self):
+        previous = record(old_bench={"speedup": 1.5})
+        current = record()
         rows, warnings = compare(previous, current)
         assert warnings == []  # nothing comparable, nothing to warn about
         assert rows == []
+
+    def test_new_rows_reach_the_rendered_table(self):
+        from bench_delta import render_markdown
+
+        previous = record()
+        current = record(columnar={"speedup": 5.0})
+        rows, _ = compare(previous, current)
+        table = render_markdown(rows, previous, current)
+        assert "| columnar | speedup | — | 5.0 | new |" in table
 
 
 class TestLoadRecord:

@@ -47,6 +47,8 @@ _CONTEXT_KEYS = {
     "first_n",
     "chunk_size",
     "distinct",
+    "limit",
+    "n_vertices",
 }
 
 #: Metrics where *larger is worse* (times); everything else numeric is
@@ -85,6 +87,11 @@ def compare(
     numeric metric present in either record, and ``warnings`` holds one
     message per regression (shrink beyond :data:`TOLERANCE` in the
     metric's better-direction).
+
+    Metrics (or whole benchmarks) appearing for the **first time** —
+    no previous value, numeric current value — are rendered as explicit
+    ``new`` rows instead of being silently skipped, so the trajectory
+    summary shows coverage growth the moment a benchmark lands.
     """
     rows: List[Tuple[str, str, object, object, str, bool]] = []
     warnings: List[str] = []
@@ -98,9 +105,15 @@ def compare(
                 continue
             before = prev_bench.get(metric)
             after = curr_bench.get(metric)
-            numeric = all(
-                isinstance(v, (int, float)) and not isinstance(v, bool)
-                for v in (before, after)
+            after_numeric = isinstance(
+                after, (int, float)
+            ) and not isinstance(after, bool)
+            if before is None and after_numeric:
+                rows.append((bench, metric, "—", after, "new", False))
+                continue
+            numeric = after_numeric and (
+                isinstance(before, (int, float))
+                and not isinstance(before, bool)
             )
             if not numeric:
                 continue

@@ -18,17 +18,19 @@ docs-check:
 lint:
 	python tools/lint.py src tests benchmarks examples tools
 
-## fast benchmark smoke: columnar + batch-engine + composite + server
-## suites with their speedup assertions (timing collection disabled;
-## the 2x / 1.5x / 1.3x throughput asserts still run).  Emits the
-## machine-readable per-PR record BENCH_pr.json (override the path with
+## fast benchmark smoke: columnar + batch-engine + composite + server +
+## mutable-serving suites with their speedup assertions (timing
+## collection disabled; the 2x / 1.5x / 1.3x throughput asserts and the
+## no-rebuild freshness assert still run).  Emits the machine-readable
+## per-PR record BENCH_pr.json (override the path with
 ## REPRO_BENCH_JSON); CI uploads it as a workflow artifact on every run
 ## and compares it against the previous run's artifact (see
 ## tools/bench_delta.py).
 bench-smoke:
 	$(PYTEST) benchmarks/bench_columnar.py benchmarks/bench_batch_engine.py \
 		benchmarks/bench_composite.py \
-		benchmarks/bench_server.py -q --benchmark-disable
+		benchmarks/bench_server.py \
+		benchmarks/bench_mutable.py -q --benchmark-disable
 
 ## columnar acceptance bench alone: vectorized vs scalar hot paths on
 ## the refinement-heavy trace (>= 2x asserted), ids byte-identical
@@ -49,7 +51,8 @@ bench:
 		benchmarks/bench_columnar.py \
 		benchmarks/bench_batch_engine.py \
 		benchmarks/bench_composite.py \
-		benchmarks/bench_server.py
+		benchmarks/bench_server.py \
+		benchmarks/bench_mutable.py
 
 ## one-shot demo of both methods + the batch engine
 demo:

@@ -1,0 +1,117 @@
+"""Mutable serving — a 95/5 read/write mix over the wire.
+
+Not a paper artefact: this bench gates the MVCC write path added to the
+serving stack.  One blocking client drives a mixed trace against a
+:class:`~repro.server.app.ServerThread` — 95% coalesced reads (windows
+and kNN around a drifting hot spot), 5% writes (inserts with occasional
+deletes) — and the assertions pin the two properties that make mutable
+serving viable at all:
+
+* **Index freshness without rebuilds** — the database's pure-Python
+  Delaunay backend is maintained *incrementally*: after the whole trace
+  it is the same object that served the first request (a full rebuild
+  would have replaced it), its vertex count tracks the store exactly,
+  and a read admitted right after each write observes that write.
+* **Write cost stays in the read budget** — the mixed trace's
+  throughput is recorded in ``BENCH_pr.json`` (requests/s plus the
+  per-op split), so the perf-trajectory gate catches a regression that
+  turns every insert into a rebuild (that moves throughput by orders of
+  magnitude, not percents).
+"""
+
+import random
+import time
+
+from benchmarks.conftest import record_benchmark
+from repro.core.database import SpatialDatabase
+from repro.query.spec import KnnQuery, WindowQuery
+from repro.server import QueryClient, ServerThread
+from repro.workloads.generators import uniform_points
+
+DATA_SIZE = 4_000
+REQUESTS = 400
+WRITE_FRACTION = 0.05
+
+
+def _trace(rng):
+    """The mixed request trace: (kind, payload) tuples, 95/5 split."""
+    operations = []
+    for i in range(REQUESTS):
+        if rng.random() < WRITE_FRACTION:
+            if operations and rng.random() < 0.25:
+                operations.append(("delete", None))  # row chosen at runtime
+            else:
+                operations.append(
+                    ("insert", (rng.random(), rng.random()))
+                )
+        elif rng.random() < 0.5:
+            x, y = rng.uniform(0.1, 0.8), rng.uniform(0.1, 0.8)
+            operations.append(("window", (x, y, x + 0.1, y + 0.1)))
+        else:
+            operations.append(
+                ("knn", (rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8)))
+            )
+    return operations
+
+
+def test_mixed_read_write_serving():
+    rng = random.Random(417)
+    db = SpatialDatabase.from_points(
+        uniform_points(DATA_SIZE, seed=419), backend_kind="pure"
+    ).prepare()
+    backend = db.backend  # identity pin: rebuilds would replace it
+    operations = _trace(rng)
+    inserted = []
+    counts = {"window": 0, "knn": 0, "insert": 0, "delete": 0}
+
+    with ServerThread(db, window_ms=2.0) as server:
+        with QueryClient(server.host, server.port) as client:
+            started = time.perf_counter()
+            for kind, payload in operations:
+                counts[kind] += 1
+                if kind == "window":
+                    client.query(WindowQuery(payload))
+                elif kind == "knn":
+                    client.query(KnnQuery(payload, 8))
+                elif kind == "insert":
+                    ack = client.insert(*payload)
+                    inserted.append((ack.rows[0], payload))
+                    # Freshness probe: the very next read must see the
+                    # new row as its own nearest neighbour.
+                    got = client.query(KnnQuery(payload, 1)).ids
+                    assert got == [ack.rows[0]]
+                else:  # delete a row we inserted earlier (if any)
+                    if inserted:
+                        row, _ = inserted.pop(rng.randrange(len(inserted)))
+                        client.delete(row)
+                    else:
+                        counts["delete"] -= 1
+                        counts["insert"] += 1
+                        ack = client.insert(0.5, 0.5)
+                        inserted.append((ack.rows[0], (0.5, 0.5)))
+            elapsed = time.perf_counter() - started
+            stats = client.stats()
+
+    writes = counts["insert"] + counts["delete"]
+    reads = counts["window"] + counts["knn"]
+    assert reads + writes == REQUESTS
+
+    # Incremental maintenance, not rebuilds: same backend object, vertex
+    # count equal to the full (superset) row space.
+    assert db.backend is backend
+    assert db.backend.size == len(db.store) == DATA_SIZE + counts["insert"]
+    assert db.store.deleted_count == counts["delete"]
+    assert stats["server"]["writes_total"] == writes
+
+    record_benchmark(
+        "mutable_server_mix",
+        data_size=DATA_SIZE,
+        requests=REQUESTS,
+        reads=reads,
+        writes=writes,
+        write_fraction=round(writes / REQUESTS, 4),
+        throughput_rps=round(REQUESTS / elapsed, 1),
+        total_s=round(elapsed, 4),
+        coalescer_batches=stats["coalescer"]["batches"],
+        backend_rebuilds=0,
+    )

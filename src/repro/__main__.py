@@ -24,8 +24,14 @@ Commands
 ``serve``
     Start the concurrent NDJSON query server (:mod:`repro.server`) over a
     generated database or a persisted snapshot (``--load``), with
-    cross-client batch coalescing and chunked result streaming; see
+    cross-client batch coalescing, chunked result streaming, and
+    write frames (``insert``/``extend``/``delete``); see
     ``docs/SERVER.md``.
+``mutate``
+    Send write frames to a running ``serve`` instance: repeatable
+    ``--insert X,Y`` and ``--delete ROW`` options (inserts apply first,
+    then deletes), each acknowledged with its assigned row ids and the
+    post-write database version.
 ``snapshot``
     Persist a generated database to a ``.npz`` snapshot
     (:mod:`repro.io.persist`) for later ``serve --load``.
@@ -300,6 +306,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.server import QueryClient
+
+    host, port = _parse_address(args.remote)
+    operations = []
+    for value in args.insert or []:
+        try:
+            x_text, y_text = value.split(",")
+            operations.append(("insert", (float(x_text), float(y_text))))
+        except ValueError:
+            raise SystemExit(f"--insert expects X,Y, got {value!r}")
+    for row in args.delete or []:
+        operations.append(("delete", row))
+    if not operations:
+        print("nothing to do: pass --insert X,Y and/or --delete ROW")
+        return 1
+    with QueryClient(host, port) as client:
+        print(
+            f"Connected to {host}:{port} "
+            f"({client.hello['server']}, {client.hello['points']:,} points)"
+        )
+        ack = None
+        for op, payload in operations:
+            if op == "insert":
+                ack = client.insert(*payload)
+                print(
+                    f"  insert ({payload[0]:g}, {payload[1]:g}) -> "
+                    f"row {ack.rows[0]} (version {ack.version})"
+                )
+            else:
+                ack = client.delete(payload)
+                print(
+                    f"  delete row {payload} (version {ack.version})"
+                )
+        print(f"{ack.points:,} live points after {len(operations)} writes")
+    return 0
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro import SpatialDatabase
     from repro.io.persist import save_database
@@ -477,6 +521,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="default rows per streamed chunk frame",
     )
 
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="send insert/delete write frames to a running server",
+    )
+    mutate.add_argument(
+        "--remote",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running `python -m repro serve` instance",
+    )
+    mutate.add_argument(
+        "--insert",
+        action="append",
+        metavar="X,Y",
+        help="insert one point (repeatable; inserts apply before deletes)",
+    )
+    mutate.add_argument(
+        "--delete",
+        action="append",
+        type=int,
+        metavar="ROW",
+        help="tombstone one row id (repeatable)",
+    )
+
     snapshot = subparsers.add_parser(
         "snapshot", help="persist a generated database for serve --load"
     )
@@ -519,6 +587,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "mutate":
+        return _cmd_mutate(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
     if args.command == "figures":

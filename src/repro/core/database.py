@@ -202,7 +202,13 @@ class SpatialDatabase:
     def extend(
         self, points: Iterable[Point] | Iterable[Tuple[float, float]]
     ) -> List[int]:
-        """Add many points via the index's bulk loader; returns their row ids."""
+        """Add many points via the index's bulk loader; returns their row ids.
+
+        Like :meth:`insert`, an already-built pure backend is maintained
+        *incrementally* (one cavity insertion per point) instead of being
+        discarded for a full rebuild; the scipy backend, and points far
+        outside the original extent, fall back to lazy rebuild-on-next-use.
+        """
         normalized = [
             p if isinstance(p, Point) else Point(float(p[0]), float(p[1]))
             for p in points
@@ -211,11 +217,45 @@ class SpatialDatabase:
         self._index.bulk_load(
             (p, row) for p, row in zip(normalized, rows)
         )
-        self._backend = None
+        backend = self._backend
+        if backend is not None and normalized:
+            add_point = getattr(backend, "add_point", None)
+            if add_point is None or backend.size != rows.start:
+                self._backend = None
+            else:
+                try:
+                    for p in normalized:
+                        add_point(p)
+                except ValueError:  # outside the incremental-safe extent
+                    self._backend = None
         return list(rows)
 
+    def delete(self, row_id: int) -> None:
+        """Tombstone one row: remove it from every live read path.
+
+        The row is deleted *physically* from the spatial index (window,
+        traditional and index-kNN paths never see it again) and
+        *logically* from the point table — its coordinates stay
+        addressable so the Delaunay graph keeps the vertex as a transit
+        node (the Voronoi expansions traverse through it but filter it
+        from results; the paper's coverage argument holds over the
+        superset point set) and so MVCC snapshot readers admitted before
+        the delete still see it.  Raises :class:`IndexError` for an
+        out-of-range id, :class:`ValueError` if already deleted; a
+        rejected delete changes nothing.
+        """
+        point = self._store.point(row_id)  # IndexError when out of range
+        self._store.delete(row_id)  # ValueError when already deleted
+        self._index.delete(point, row_id)
+
     def __len__(self) -> int:
-        return len(self._store)
+        """The number of *live* rows (inserted minus deleted).
+
+        Tombstoned rows keep their ids (``db.store`` still addresses
+        them) but no longer count — this is the cardinality every query
+        answer is drawn from.
+        """
+        return self._store.live_count
 
     @property
     def version(self) -> int:
@@ -497,9 +537,14 @@ class SpatialDatabase:
                 for row_id, p in enumerate(points)
                 if area.contains_point(p)
             }
+        deleted = self._store.deleted_rows
+        if deleted:
+            inside -= deleted.keys()
         from repro.geometry.segment import Segment
 
         for row_id, p in enumerate(points):
+            if row_id in deleted:
+                continue  # tombstones are transit vertices, not members
             if row_id in inside:
                 internal.append(row_id)
                 continue

@@ -31,15 +31,16 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
 from repro.delaunay.backends import DelaunayBackend
 from repro.core.stats import QueryResult, QueryStats
+from repro.core.voronoi_query import graph_nearest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.store import PointStore
+    from repro.core.store import PointStore, StoreSnapshot
 
 
 def _batched_expand(store: "PointStore", query: Point):
@@ -103,6 +104,7 @@ def voronoi_knn_query(
     *,
     seed_id: int | None = None,
     store: Optional["PointStore"] = None,
+    deleted: Optional[Dict[int, int]] = None,
 ) -> QueryResult:
     """The ``k`` nearest rows to ``query``, nearest first.
 
@@ -114,7 +116,12 @@ def voronoi_knn_query(
     neighbour graph) — in which case the index NN search is skipped.
     ``store`` switches the expansion to batched distance kernels over the
     columnar coordinate arrays (identical ranking, see the module
-    docstring).
+    docstring).  ``deleted`` (the store's tombstone map) makes popped
+    tombstones expand without counting toward ``k`` — the heap walk runs
+    over the superset graph, where Okabe's theorem holds, and the seed is
+    corrected from the live index's answer to the graph nearest
+    neighbour first (see
+    :func:`repro.core.voronoi_query.graph_nearest`).
 
     Returns a :class:`QueryResult` whose ``ids`` are ordered by distance
     (ties broken by row id) — note this differs from the area query, whose
@@ -134,6 +141,11 @@ def voronoi_knn_query(
         _, seed_id = seed_entry
 
     neighbor_table = backend.neighbor_table()
+    if deleted:
+        seed_id = graph_nearest(
+            neighbor_table, points, seed_id, query.x, query.y
+        )
+    tombstoned = deleted if deleted else ()
     visited = bytearray(len(points))
     visited[seed_id] = 1
     frontier: List[Tuple[float, int]] = [
@@ -149,7 +161,8 @@ def voronoi_knn_query(
 
     while frontier and len(results) < k:
         _, current = heapq.heappop(frontier)
-        results.append(current)
+        if current not in tombstoned:
+            results.append(current)
         stats.candidates += expand(
             current, visited, frontier, neighbor_table
         )
@@ -167,6 +180,8 @@ def incremental_nearest(
     query: Point,
     *,
     store: Optional["PointStore"] = None,
+    deleted: Optional[Dict[int, int]] = None,
+    snapshot: Optional["StoreSnapshot"] = None,
 ):
     """Generator yielding rows in increasing distance order, lazily.
 
@@ -174,15 +189,52 @@ def incremental_nearest(
     any rank without choosing ``k`` up front (distance browsing).
     ``store`` batches each confirmation's neighbour distances exactly as
     in the eager form; the yielded order is identical either way.
+
+    ``deleted`` (the store's tombstone map) filters tombstoned rows from
+    the yields while still expanding through them, after correcting the
+    live-index seed to the graph nearest neighbour — for synchronous
+    consumers that drain the generator before the next mutation.
+
+    ``snapshot`` (a :class:`~repro.core.store.StoreSnapshot`) gives the
+    generator full MVCC isolation for consumers that stay suspended
+    across mutations (the server's chunked streams): the Delaunay
+    adjacency list is frozen with one O(n) pointer copy — incremental
+    inserts patch the live table's rows *in place*, so the copy pins the
+    admission-time graph (rows are immutable tuples) and, as a
+    consequence, bounds the walk to admission-time row ids — and yields
+    are filtered by :meth:`~repro.core.store.StoreSnapshot.visible`, so
+    rows deleted after admission still appear and rows inserted after
+    admission never do.  Distances read the snapshot's column views,
+    which later appends cannot touch.
     """
-    if not points:
-        return
+    if snapshot is not None:
+        bound = snapshot.size
+        if bound == 0:
+            return
+        # Freeze the admission-time graph: a shallow copy keeps the old
+        # (immutable) adjacency tuples even as add_point patches the
+        # live list in place, and its length excludes later inserts.
+        neighbor_table = backend.neighbor_table()[:bound]
+        visible = snapshot.visible
+    else:
+        bound = len(points)
+        if bound == 0:
+            return
+        neighbor_table = backend.neighbor_table()
+        visible = None
     seed_entry = index.nearest_neighbor(query)
     assert seed_entry is not None
     _, seed_id = seed_entry
+    if seed_id >= bound or deleted:
+        # The live index may answer a row beyond the frozen horizon, or
+        # (with tombstones) one that does not own the query's Voronoi
+        # cell over the full graph point set — re-seed with the walk.
+        seed_id = graph_nearest(
+            neighbor_table, points, min(seed_id, bound - 1), query.x, query.y
+        )
+    tombstoned = deleted if deleted else ()
 
-    neighbor_table = backend.neighbor_table()
-    visited = bytearray(len(points))
+    visited = bytearray(bound)
     visited[seed_id] = 1
     frontier: List[Tuple[float, int]] = [
         (points[seed_id].squared_distance_to(query), seed_id)
@@ -194,5 +246,9 @@ def incremental_nearest(
     )
     while frontier:
         _, current = heapq.heappop(frontier)
-        yield current
+        if visible is not None:
+            if visible(current):
+                yield current
+        elif current not in tombstoned:
+            yield current
         expand(current, visited, frontier, neighbor_table)

@@ -13,23 +13,31 @@ objects are materialized only at API edges (:meth:`PointStore.point`,
 
 Design rules:
 
-* **Append-only.**  Row ids are stable forever (the database never
-  deletes rows), so the lazily-materialized :class:`PointsView` never
-  invalidates — already-built ``Point`` objects stay valid across any
-  number of later inserts.
-* **Version stamps.**  Every mutation bumps :attr:`PointStore.version`;
-  the engine's result cache stamps entries with it, so mutations
-  implicitly invalidate cached query results.
+* **Append-only columns.**  Row ids are stable forever — deletes are
+  *logical* (a tombstone entry in :attr:`deleted_rows`), never physical,
+  so the lazily-materialized :class:`PointsView` never invalidates —
+  already-built ``Point`` objects stay valid across any number of later
+  inserts and deletes.
+* **Version stamps.**  Every mutation (append *and* delete) bumps
+  :attr:`PointStore.version`; the engine's result cache stamps entries
+  with it, so mutations implicitly invalidate cached query results.
 * **Zero-copy edges.**  :attr:`xs`/:attr:`ys` are read-only views of the
   filled prefix (no copy); :meth:`as_xy` hands snapshots
   (:mod:`repro.io.persist`) an ``(n, 2)`` array built with one numpy
   stack — no per-point Python conversion in either direction
   (:meth:`extend_array` is the loading mirror).
+* **MVCC snapshots.**  :meth:`snapshot` captures an O(1)
+  :class:`StoreSnapshot` — the admission-time row-id horizon plus a
+  visibility predicate over the (append-only) tombstone map — so lazy
+  readers such as the server's chunked streams keep seeing exactly the
+  version that was current when they started, while writers append and
+  delete underneath them.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple, Union, overload
+import math
+from typing import Dict, Iterator, List, Sequence, Tuple, Union, overload
 
 import numpy as np
 
@@ -43,17 +51,34 @@ class PointStore:
     """Contiguous ``float64`` coordinate columns with stable row ids.
 
     The single source of truth for the database's point table.  Rows are
-    appended (never removed), so a row id handed out once stays valid for
-    the lifetime of the store.
+    appended (never physically removed), so a row id handed out once
+    stays valid for the lifetime of the store; :meth:`delete` only marks
+    a row as a tombstone, keeping its coordinates addressable for the
+    Delaunay graph (deleted rows stay as transit vertices) and for any
+    snapshot readers admitted before the delete.
     """
 
-    __slots__ = ("_xs", "_ys", "_size", "_version", "_materialized", "_view")
+    __slots__ = (
+        "_xs",
+        "_ys",
+        "_dead",
+        "_size",
+        "_version",
+        "_deleted_at",
+        "_n_deleted",
+        "_materialized",
+        "_view",
+    )
 
     def __init__(self) -> None:
         self._xs = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
         self._ys = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._dead = np.zeros(_INITIAL_CAPACITY, dtype=bool)
         self._size = 0
         self._version = 0
+        #: append-only tombstone map: row id -> version at deletion
+        self._deleted_at: Dict[int, int] = {}
+        self._n_deleted = 0
         #: lazily-built Point objects for rows [0, len(_materialized))
         self._materialized: List[Point] = []
         self._view = PointsView(self)
@@ -73,11 +98,21 @@ class PointStore:
             grown = np.empty(capacity, dtype=np.float64)
             grown[: self._size] = column[: self._size]
             setattr(self, name, grown)
+        dead = np.zeros(capacity, dtype=bool)
+        dead[: self._size] = self._dead[: self._size]
+        self._dead = dead
 
     # -- mutation ----------------------------------------------------------
 
     def append(self, x: float, y: float) -> int:
-        """Add one row; returns its (stable) row id."""
+        """Add one row; returns its (stable) row id.
+
+        Raises :class:`ValueError` on non-finite coordinates *before*
+        any state changes — a rejected append leaves the store (size,
+        version, columns) bit-identical.
+        """
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValueError(f"non-finite coordinate ({x!r}, {y!r})")
         self._reserve(1)
         row_id = self._size
         self._xs[row_id] = x
@@ -87,18 +122,26 @@ class PointStore:
         return row_id
 
     def extend_points(self, points: Sequence[Point]) -> range:
-        """Add many :class:`Point` rows; returns their row-id range."""
+        """Add many :class:`Point` rows; returns their row-id range.
+
+        Validation is atomic: every coordinate is checked finite before
+        the first row is committed, so a rejected batch changes nothing.
+        """
         count = len(points)
         start = self._size
         if count == 0:
             return range(start, start)
-        self._reserve(count)
-        self._xs[start : start + count] = np.fromiter(
+        new_xs = np.fromiter(
             (p.x for p in points), dtype=np.float64, count=count
         )
-        self._ys[start : start + count] = np.fromiter(
+        new_ys = np.fromiter(
             (p.y for p in points), dtype=np.float64, count=count
         )
+        if not (np.isfinite(new_xs).all() and np.isfinite(new_ys).all()):
+            raise ValueError("non-finite coordinate in extend batch")
+        self._reserve(count)
+        self._xs[start : start + count] = new_xs
+        self._ys[start : start + count] = new_ys
         self._size = start + count
         self._version += 1
         return range(start, self._size)
@@ -125,12 +168,33 @@ class PointStore:
         start = self._size
         if count == 0:
             return range(start, start)
+        if not (np.isfinite(xs).all() and np.isfinite(ys).all()):
+            raise ValueError("non-finite coordinate in extend batch")
         self._reserve(count)
         self._xs[start : start + count] = xs
         self._ys[start : start + count] = ys
         self._size = start + count
         self._version += 1
         return range(start, self._size)
+
+    def delete(self, row_id: int) -> None:
+        """Tombstone one row (logical delete; the row id stays valid).
+
+        The coordinates remain addressable — snapshot readers admitted
+        before the delete still see the row, and the Delaunay graph
+        keeps it as a transit vertex — but every live read path filters
+        it out.  Raises :class:`IndexError` for an out-of-range id and
+        :class:`ValueError` for a row that is already deleted; either
+        way a rejected delete leaves the store untouched.
+        """
+        if not 0 <= row_id < self._size:
+            raise IndexError(f"row id {row_id} out of range")
+        if row_id in self._deleted_at:
+            raise ValueError(f"row {row_id} is already deleted")
+        self._version += 1
+        self._deleted_at[row_id] = self._version
+        self._dead[row_id] = True
+        self._n_deleted += 1
 
     # -- structure ---------------------------------------------------------
 
@@ -141,6 +205,43 @@ class PointStore:
     def version(self) -> int:
         """Monotonic data version, bumped by every mutation."""
         return self._version
+
+    @property
+    def live_count(self) -> int:
+        """Rows that are not tombstoned (``len(store) - deleted_count``)."""
+        return self._size - self._n_deleted
+
+    @property
+    def deleted_count(self) -> int:
+        """Number of tombstoned rows."""
+        return self._n_deleted
+
+    @property
+    def deleted_rows(self) -> Dict[int, int]:
+        """The live tombstone map (row id -> version at deletion).
+
+        The store owns the dict — callers must treat it as read-only.
+        It is append-only (a tombstone is never cleared or rewritten),
+        which is what makes O(1) snapshots sound: a
+        :class:`StoreSnapshot` shares this mapping and filters it by its
+        captured version instead of copying it.
+        """
+        return self._deleted_at
+
+    def is_deleted(self, row_id: int) -> bool:
+        """Whether ``row_id`` is tombstoned (out-of-range ids are not)."""
+        return row_id in self._deleted_at
+
+    @property
+    def dead_mask(self) -> "np.ndarray":
+        """Read-only boolean column: ``True`` where the row is deleted."""
+        mask = self._dead[: self._size]
+        mask.flags.writeable = False
+        return mask
+
+    def snapshot(self) -> "StoreSnapshot":
+        """An O(1) MVCC snapshot of the store at its current version."""
+        return StoreSnapshot(self)
 
     @property
     def xs(self) -> "np.ndarray":
@@ -224,6 +325,57 @@ class PointStore:
         spatial index by poking at it.
         """
         return self._view
+
+
+class StoreSnapshot:
+    """An immutable O(1) view of a :class:`PointStore` version.
+
+    Captures the row-id horizon (``size``), the data ``version``, and
+    read-only coordinate views at snapshot time, and *shares* the
+    store's append-only tombstone map instead of copying it.  A row is
+    :meth:`visible` when it existed at snapshot time and was not yet
+    deleted then — deletes that happen after capture carry a larger
+    version stamp and are ignored, appends land beyond ``size``.  The
+    coordinate views are safe against later writers because the store's
+    columns are append-only: rows below ``size`` are never rewritten,
+    and a capacity reallocation leaves this snapshot holding the old
+    buffer.
+    """
+
+    __slots__ = ("version", "size", "xs", "ys", "_deleted_at", "_live")
+
+    def __init__(self, store: PointStore) -> None:
+        #: store version at capture time
+        self.version = store.version
+        #: row-id horizon: rows ``>= size`` were appended after capture
+        self.size = len(store)
+        #: read-only x column as of capture (length ``size``)
+        self.xs = store.xs
+        #: read-only y column as of capture (length ``size``)
+        self.ys = store.ys
+        self._deleted_at = store.deleted_rows
+        self._live: Union[int, None] = None
+
+    def visible(self, row_id: int) -> bool:
+        """Whether ``row_id`` was live at the snapshot's version."""
+        if not 0 <= row_id < self.size:
+            return False
+        when = self._deleted_at.get(row_id)
+        return when is None or when > self.version
+
+    @property
+    def live_count(self) -> int:
+        """Rows visible in this snapshot (computed once, then cached)."""
+        if self._live is None:
+            self._live = self.size - sum(
+                1
+                for row, when in self._deleted_at.items()
+                if row < self.size and when <= self.version
+            )
+        return self._live
+
+    def __repr__(self) -> str:
+        return f"StoreSnapshot(version={self.version}, size={self.size})"
 
 
 class PointsView(Sequence):

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
@@ -59,6 +59,42 @@ def interior_position(area: Polygon) -> Point:
         ) from error
 
 
+def graph_nearest(
+    neighbor_table: Sequence[Sequence[int]],
+    points: Sequence[Point],
+    start: int,
+    x: float,
+    y: float,
+) -> int:
+    """The row whose Voronoi cell contains ``(x, y)``, by greedy descent.
+
+    Walks the Delaunay neighbour graph from ``start``, stepping to the
+    neighbour strictly closest to the target each round; over a Delaunay
+    triangulation the distance-to-target has no non-global local minima,
+    so the walk terminates exactly at the graph's nearest vertex.  Used
+    to correct a *live*-index seed into the *graph* nearest neighbour
+    when tombstones exist: the spatial index forgets deleted rows, but
+    Algorithm 1's seed must own the Voronoi cell of the query position
+    over the full graph point set (tombstones included), otherwise the
+    expansion may start in the wrong cell and miss results.  No hop cap
+    is needed — strict improvement bounds the walk by the vertex count.
+    """
+    current = start
+    p = points[current]
+    best = (p.x - x) ** 2 + (p.y - y) ** 2
+    improved = True
+    while improved:
+        improved = False
+        for neighbor in neighbor_table[current]:
+            q = points[neighbor]
+            d = (q.x - x) ** 2 + (q.y - y) ** 2
+            if d < best:
+                best = d
+                current = neighbor
+                improved = True
+    return current
+
+
 def voronoi_area_query(
     index: SpatialIndex,
     backend: DelaunayBackend,
@@ -69,6 +105,7 @@ def voronoi_area_query(
     seed_id: Optional[int] = None,
     contains: Callable[[QueryRegion, Point], bool] | None = None,
     store: Optional["PointStore"] = None,
+    deleted: Optional[Dict[int, int]] = None,
 ) -> QueryResult:
     """Run Algorithm 1.
 
@@ -109,6 +146,15 @@ def voronoi_area_query(
         refinement; ``segment_tests`` is the one counter whose value may
         differ, since which external point first reaches a shared
         neighbour is order-dependent.
+    deleted:
+        The store's tombstone map (:attr:`PointStore.deleted_rows`), or
+        ``None``/empty when nothing was ever deleted.  Tombstoned rows
+        stay in the Delaunay graph as *transit* vertices: the expansion
+        traverses through them (the paper's coverage argument holds over
+        the superset point set) but they are filtered from the result,
+        and the seed — which the live-only spatial index produced — is
+        first corrected to the graph nearest neighbour via
+        :func:`graph_nearest`.
 
     Returns
     -------
@@ -132,10 +178,9 @@ def voronoi_area_query(
     nodes_before = index.stats.node_accesses
 
     started = time.perf_counter()
+    position = seed_position
     if seed_id is None:
-        if seed_position is not None:
-            position = seed_position
-        else:
+        if position is None:
             from repro.geometry.region import interior_seed_position
 
             position = interior_seed_position(area)
@@ -144,6 +189,18 @@ def voronoi_area_query(
             stats.time_ms = (time.perf_counter() - started) * 1000.0
             return QueryResult(ids=[], stats=stats)
         seed_id = seed_entry[1]
+    if deleted:
+        # The seed came from the live-only spatial index (directly above,
+        # or from the engine's seed-reuse walk whose fallback is the same
+        # index lookup); with tombstones in the graph it may not own the
+        # Voronoi cell containing pA — correct it before expanding.
+        if position is None:
+            from repro.geometry.region import interior_seed_position
+
+            position = interior_seed_position(area)
+        seed_id = graph_nearest(
+            backend.neighbor_table(), points, seed_id, position.x, position.y
+        )
 
     contains_many = (
         getattr(area, "contains_many", None)
@@ -153,7 +210,7 @@ def voronoi_area_query(
     if contains_many is not None:
         return _expand_vectorized(
             index, backend, area, contains_many, store, points, seed_id,
-            nodes_before, started, stats,
+            nodes_before, started, stats, deleted,
         )
 
     candidate_queue: deque[int] = deque([seed_id])
@@ -172,12 +229,14 @@ def voronoi_area_query(
     redundant = 0
     segment_tests = 0
 
+    tombstoned = deleted if deleted else ()
     while candidate_queue:
         current = pop()
         current_point = points[current]
         validations += 1
         if refine(current_point):
-            results.append(current)
+            if current not in tombstoned:
+                results.append(current)
             for neighbor in neighbor_table[current]:
                 if not visited[neighbor]:
                     visited[neighbor] = 1
@@ -227,6 +286,7 @@ def _expand_vectorized(
     nodes_before: int,
     started: float,
     stats: QueryStats,
+    deleted: Optional[Dict[int, int]] = None,
 ) -> QueryResult:
     """Algorithm 1's expansion, refined one BFS *wave* at a time.
 
@@ -264,6 +324,8 @@ def _expand_vectorized(
     validations = 0
     redundant = 0
     segment_tests = 0
+    tombstoned = deleted if deleted else ()
+    dead = store.dead_mask if deleted else None
 
     while wave:
         validations += len(wave)
@@ -273,7 +335,8 @@ def _expand_vectorized(
             push = next_wave.append
             for current in wave:
                 if refine(points[current]):
-                    results.append(current)
+                    if current not in tombstoned:
+                        results.append(current)
                     for neighbor in neighbor_table[current]:
                         if not visited[neighbor]:
                             visited[neighbor] = True
@@ -300,7 +363,11 @@ def _expand_vectorized(
         inside = contains_many(xs[wave_array], ys[wave_array])
         internal = wave_array[inside]
         if internal.size:
-            result_arrays.append(internal)
+            if dead is None:
+                result_arrays.append(internal)
+            else:
+                # Tombstones expand (transit vertices) but never report.
+                result_arrays.append(internal[~dead[internal]])
             # One gather for every internal member's adjacency row:
             # repeat each row start over its length, offset by the
             # position within the concatenated output.

@@ -854,6 +854,7 @@ class BatchQueryEngine:
                 region,
                 seed_id=seed_id,
                 store=db.store if db.vectorized else None,
+                deleted=db.store.deleted_rows or None,
             )
             result.stats.index_node_accesses += seeding_nodes
             result.stats.time_ms += seeding_ms

@@ -3,7 +3,10 @@
 Format: a single numpy ``.npz`` archive holding
 
 * ``xy`` — an ``(n, 2)`` float64 array, row id = array row (so ids survive
-  the round-trip exactly), and
+  the round-trip exactly),
+* ``deleted`` — an int64 array of tombstoned row ids (present only when
+  the database has deletions; their coordinates stay in ``xy`` so that
+  row ids — and the Voronoi superset graph — survive exactly), and
 * ``config`` — a JSON-encoded scalar with the database configuration
   (index kind, backend kind, format version).
 
@@ -99,10 +102,17 @@ def save_database(path: str | os.PathLike, db: SpatialDatabase) -> str:
             "version": _FORMAT_VERSION,
             "index_kind": db._index_kind,
             "backend_kind": db._backend_kind,
-            "count": len(db),
+            "count": len(db.store),
         }
     )
-    np.savez_compressed(path, xy=xy, config=np.asarray(config))
+    payload = {"xy": xy, "config": np.asarray(config)}
+    deleted = db.store.deleted_rows
+    if deleted:
+        # Tombstoned rows keep their xy slot (ids are positional) and
+        # are re-deleted on load; deletion *versions* are not persisted
+        # — snapshots are an MVCC-session concept, not a disk one.
+        payload["deleted"] = np.asarray(sorted(deleted), dtype=np.int64)
+    np.savez_compressed(path, **payload)
     return _written_path(path)
 
 
@@ -111,7 +121,10 @@ def load_database(
 ) -> SpatialDatabase:
     """Restore a database written by :func:`save_database`.
 
-    Row ids are preserved exactly (row order is the id order).  The
+    Row ids are preserved exactly (row order is the id order), and
+    tombstoned rows are re-deleted after the bulk load — the live point
+    set, the id space, and the Voronoi superset graph all round-trip.
+    The
     persisted columns are handed to the
     :class:`~repro.core.store.PointStore` as arrays — ``repro serve
     --load`` skips per-point conversion entirely.  ``path`` may be the
@@ -122,6 +135,9 @@ def load_database(
     with np.load(_resolve_path(path), allow_pickle=False) as archive:
         xy = archive["xy"]
         config = json.loads(str(archive["config"]))
+        deleted = (
+            archive["deleted"].tolist() if "deleted" in archive else []
+        )
     if config.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported database file version {config.get('version')!r}"
@@ -138,6 +154,8 @@ def load_database(
         index_kind=config["index_kind"],
         backend_kind=config["backend_kind"],
     )
+    for row_id in deleted:  # replay tombstones; ids stay positional
+        db.delete(int(row_id))
     if prepare:
         db.prepare()
     return db

@@ -73,6 +73,17 @@ def _columnar_store(
     return database.store if database.vectorized else None
 
 
+def _tombstones(database: "SpatialDatabase"):
+    """The store's tombstone map, or ``None`` when nothing was deleted.
+
+    Threaded into the Voronoi algorithms so deleted rows act as transit
+    vertices (expanded through, filtered from results) — the spatial
+    index forgets them physically, but the Delaunay graph cannot remap
+    positional ids and keeps them forever.
+    """
+    return database.store.deleted_rows or None
+
+
 def resolve_method(database: "SpatialDatabase", spec: Query) -> str:
     """The concrete execution method for ``spec`` on ``database``.
 
@@ -191,6 +202,7 @@ def _execute_area(
         spec.region,
         seed_id=seed_id,
         store=_columnar_store(database),
+        deleted=_tombstones(database),
     )
 
 
@@ -216,6 +228,7 @@ def _execute_window(
             Polygon.from_rect(spec.rect),
             seed_id=seed_id,
             store=_columnar_store(database),
+            deleted=_tombstones(database),
         )
     stats = QueryStats(method="index")
     index = database.index
@@ -285,6 +298,7 @@ def _execute_knn(
                 k,
                 seed_id=seed_id,
                 store=_columnar_store(database),
+                deleted=_tombstones(database),
             )
         return _knn_voronoi_filtered(database, spec, k)
     return _knn_index(database, spec, k)
@@ -353,6 +367,7 @@ def _knn_voronoi_filtered(
         database.store.rows(),
         spec.point,
         store=_columnar_store(database),
+        deleted=_tombstones(database),
     ):
         stats.candidates += 1
         if predicate is None or predicate(point_of(row_id)):
@@ -458,6 +473,14 @@ def _stream_knn(
     — the method field governs *eager* execution; a best-first index
     descent has no incremental form in this codebase.  The yielded order
     (distance, ties by row id) matches both eager methods.
+
+    The generator body runs on the first ``next()`` — at the server this
+    is synchronous with stream admission — and captures an MVCC
+    :meth:`~repro.core.store.PointStore.snapshot` right there, so a
+    stream that stays suspended across later writes keeps yielding
+    exactly the admission-time version: rows inserted later never
+    appear, rows deleted later still do (see
+    :func:`repro.core.knn_query.incremental_nearest`).
     """
     if not len(database):
         return
@@ -467,12 +490,15 @@ def _stream_knn(
     predicate = spec.predicate
     point_of = database.point
     produced = 0
+    snapshot = database.store.snapshot()
     for row_id in incremental_nearest(
         database.index,
         database.backend,
         database.store.rows(),
         spec.point,
         store=_columnar_store(database),
+        deleted=_tombstones(database),
+        snapshot=snapshot,
     ):
         if predicate is not None and not predicate(point_of(row_id)):
             continue

@@ -17,6 +17,13 @@ against one shared :class:`~repro.core.database.SpatialDatabase`:
   chunk only on a ``next`` frame, and ``cancel`` (or the client
   disconnecting) closes the underlying lazy iterator so abandoned
   streams never finish ranking the database.
+* **Writes** (``insert``/``extend``/``delete`` frames) mutate the shared
+  database with snapshot isolation: each mutation serialises through
+  :meth:`~repro.server.coalescer.BatchCoalescer.apply_write` (pending
+  read batches flush first, against the pre-write version), open chunked
+  streams keep answering from their admission-time
+  :class:`~repro.core.store.StoreSnapshot`, and every query admitted
+  after the ``write`` acknowledgement sees the mutation.
 * **Introspection**: a ``stats`` request returns server counters,
   coalescer admission stats, and the engine's lifetime job-pool totals
   (:class:`~repro.engine.batch.EngineTotals`).
@@ -103,7 +110,8 @@ class QueryServer:
     database:
         The served database.  Built (and optionally
         :meth:`~repro.core.database.SpatialDatabase.prepare`-d) by the
-        caller; the server never mutates it.
+        caller; the server mutates it only on behalf of client write
+        frames.
     host, port:
         Listen address.  ``port=0`` picks a free port — read the bound
         address from :attr:`address` after :meth:`start`.
@@ -153,6 +161,7 @@ class QueryServer:
             "streams_completed": 0,
             "streams_cancelled": 0,
             "errors_sent": 0,
+            "writes_total": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -296,37 +305,30 @@ class QueryServer:
     async def _dispatch(self, connection: _Connection, frame: Dict) -> None:
         """Route one validated frame to its handler.
 
-        Batch queries are handled in their own task so the read loop
-        keeps consuming frames while the coalescer window is open —
-        that is what lets one connection *pipeline* requests (and what
-        makes the ``max_inflight`` admission cap reachable at all).
-        Stream frames are handled inline: they only await fast writes,
-        and their ordering guarantees (open, then ``next``/``cancel``)
-        come from being processed in arrival order.
+        Every frame is *admitted* inline, in arrival order: a batch
+        query joins the coalescer queue before the read loop touches the
+        next frame, and a write frame flushes-then-mutates before any
+        later read is admitted.  That inline admission is what makes the
+        version a request observes a pure function of wire order.  Only
+        the *delivery* of a batch result runs in a task (awaiting the
+        batch future), so one connection can still pipeline requests
+        while the coalescer window is open (and the ``max_inflight``
+        admission cap stays reachable).  Stream frames are handled
+        inline end-to-end: they only await fast writes, and their
+        ordering guarantees (open, then ``next``/``cancel``) come from
+        being processed in arrival order.
         """
         frame_type = frame["type"]
         if frame_type == "query":
-            if frame.get("stream"):
-                await self._on_query(connection, frame)
-            else:
-                task = asyncio.ensure_future(
-                    self._query_task(connection, frame)
-                )
-                connection.tasks.add(task)
-                task.add_done_callback(connection.tasks.discard)
+            await self._on_query(connection, frame)
+        elif frame_type in ("insert", "extend", "delete"):
+            await self._on_write(connection, frame)
         elif frame_type == "next":
             await self._on_next(connection, frame)
         elif frame_type == "cancel":
             await self._on_cancel(connection, frame)
         else:  # "stats" — the only remaining client frame type
             await self._on_stats(connection)
-
-    async def _query_task(self, connection: _Connection, frame: Dict) -> None:
-        """A pipelined batch query; write failures mean the client left."""
-        try:
-            await self._on_query(connection, frame)
-        except ConnectionError:
-            pass  # client vanished before its result could be written
 
     async def _on_query(self, connection: _Connection, frame: Dict) -> None:
         """Admit one query: coalesced batch result or chunked stream."""
@@ -360,7 +362,10 @@ class QueryServer:
             await self._open_stream(connection, request_id, spec, frame)
             return
         try:
-            record = await self.coalescer.submit(spec, client=connection)
+            # Synchronous admission: the spec is in the batch window
+            # before the read loop sees the next frame, so a write frame
+            # arriving later on *any* connection cannot reorder ahead.
+            future = self.coalescer.enqueue(spec, client=connection)
         except Exception as exc:
             connection.inflight.discard(request_id)
             # Admission-time rejections (degenerate regions, empty
@@ -373,22 +378,118 @@ class QueryServer:
             )
             await self._send_error(connection, request_id, code, str(exc))
             return
-        connection.inflight.discard(request_id)
-        response: Dict = {
-            "type": "result",
-            "id": request_id,
-            "stats": _stats_to_wire(record.stats),
-        }
-        if frame.get("packed"):
-            # Columnar wire edge: one base64 int64 array instead of one
-            # JSON number per row (see protocol.pack_ids) — the id
-            # payload's encode cost scales far below per-row JSON.
-            response["ids_packed"] = pack_ids(record.ids)
-        else:
-            response["ids"] = list(record.ids)
-        if frame.get("explain"):
-            response["explain"] = self._db.explain(spec).render()
-        await self._send(connection, response)
+        task = asyncio.ensure_future(
+            self._deliver_result(connection, request_id, spec, frame, future)
+        )
+        connection.tasks.add(task)
+        task.add_done_callback(connection.tasks.discard)
+
+    async def _deliver_result(
+        self,
+        connection: _Connection,
+        request_id: int,
+        spec,
+        frame: Dict,
+        future: "asyncio.Future",
+    ) -> None:
+        """Await an admitted batch query's record and write its result."""
+        try:
+            try:
+                record = await future
+            except Exception as exc:
+                connection.inflight.discard(request_id)
+                code = (
+                    "bad-spec"
+                    if isinstance(exc, (ValueError, ReproError))
+                    else "server-error"
+                )
+                await self._send_error(
+                    connection, request_id, code, str(exc)
+                )
+                return
+            connection.inflight.discard(request_id)
+            response: Dict = {
+                "type": "result",
+                "id": request_id,
+                "stats": _stats_to_wire(record.stats),
+            }
+            if frame.get("packed"):
+                # Columnar wire edge: one base64 int64 array instead of
+                # one JSON number per row (see protocol.pack_ids) — the
+                # id payload's encode cost scales far below per-row JSON.
+                response["ids_packed"] = pack_ids(record.ids)
+            else:
+                response["ids"] = list(record.ids)
+            if frame.get("explain"):
+                response["explain"] = self._db.explain(spec).render()
+            await self._send(connection, response)
+        except ConnectionError:
+            pass  # client vanished before its result could be written
+
+    async def _on_write(self, connection: _Connection, frame: Dict) -> None:
+        """Apply one mutation frame and acknowledge with a ``write`` frame.
+
+        The mutation goes through
+        :meth:`~repro.server.coalescer.BatchCoalescer.apply_write`, which
+        flushes pending reads first (they observe the pre-write version)
+        and then mutates synchronously on the event loop — so by the
+        time the next frame is read, every later query sees the new
+        version.  Open chunked streams are untouched: they hold a
+        :class:`~repro.core.store.StoreSnapshot` pinned at their own
+        admission.  Rejections (out-of-range rows, double deletes,
+        non-finite coordinates that slipped past frame validation) are
+        ``bad-request`` errors and leave the database bit-identical.
+        """
+        request_id = frame["id"]
+        if request_id in connection.inflight:
+            await self._send_error(
+                connection,
+                request_id,
+                "bad-request",
+                f"request id {request_id} is already in flight",
+            )
+            return
+        op = frame["type"]
+        db = self._db
+        try:
+            if op == "insert":
+                x, y = float(frame["x"]), float(frame["y"])
+                rows = [
+                    self.coalescer.apply_write(lambda: db.insert((x, y)))
+                ]
+            elif op == "extend":
+                pairs = [
+                    (float(x), float(y)) for x, y in frame["points"]
+                ]
+                rows = list(
+                    self.coalescer.apply_write(lambda: db.extend(pairs))
+                )
+            else:  # "delete"
+                row = int(frame["row"])
+                self.coalescer.apply_write(lambda: db.delete(row))
+                rows = [row]
+        except (IndexError, ValueError, ReproError) as exc:
+            await self._send_error(
+                connection, request_id, "bad-request", str(exc)
+            )
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            await self._send_error(
+                connection, request_id, "server-error", str(exc)
+            )
+            return
+        self.metrics["writes_total"] += 1
+        await self._send(
+            connection,
+            {
+                "type": "write",
+                "id": request_id,
+                "op": op,
+                "rows": rows,
+                "version": db.version,
+                "points": len(db),
+            },
+        )
 
     async def _open_stream(
         self,

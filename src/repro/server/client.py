@@ -21,6 +21,8 @@ locally (minus predicates, which have no wire form) works remotely::
         print(result.ids, result.stats["method"])
         for row_id in client.stream(KnnQuery((0.5, 0.5), None)):
             ...  # unbounded kNN, chunked server-side; break to cancel
+        ack = client.insert(0.25, 0.75)   # mutations: insert/extend/delete
+        client.delete(ack.rows[0])
 """
 
 from __future__ import annotations
@@ -81,6 +83,28 @@ class RemoteResult:
         return (
             f"RemoteResult({len(self.ids)} rows, "
             f"method={self.stats.get('method')!r})"
+        )
+
+
+class WriteAck:
+    """One ``write`` frame: the server's acknowledgement of a mutation."""
+
+    __slots__ = ("op", "rows", "version", "points")
+
+    def __init__(self, frame: Dict) -> None:
+        #: the acknowledged operation (``insert``/``extend``/``delete``)
+        self.op = frame["op"]
+        #: affected row ids (assigned ids for inserts, deleted id for delete)
+        self.rows = list(frame["rows"])
+        #: the database version after the mutation
+        self.version = int(frame["version"])
+        #: live points after the mutation (excludes tombstones)
+        self.points = int(frame["points"])
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAck(op={self.op!r}, rows={self.rows}, "
+            f"version={self.version}, points={self.points})"
         )
 
 
@@ -242,6 +266,65 @@ class QueryClient:
                 f"expected a chunk frame, got {first['type']!r}",
             )
         return RemoteStream(self, request_id, first)
+
+    def _write(self, frame: Dict) -> WriteAck:
+        """Send one mutation frame and read its ``write`` ack."""
+        self._send_frame(frame)
+        response = self._read_response(frame["id"])
+        if response["type"] != "write":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected a write frame, got {response['type']!r}",
+            )
+        return WriteAck(response)
+
+    def insert(self, x: float, y: float) -> WriteAck:
+        """Insert one point; the ack's ``rows`` holds its new row id.
+
+        The mutation is durable (server-side) once this returns: any
+        query sent afterwards — by this client or any other — observes
+        it.  Raises :class:`RemoteError` (``bad-frame``/``bad-request``)
+        on non-finite coordinates or duplicate points.
+        """
+        return self._write(
+            {
+                "type": "insert",
+                "id": self._allocate_id(),
+                "x": float(x),
+                "y": float(y),
+            }
+        )
+
+    def extend(self, points) -> WriteAck:
+        """Insert a batch of ``(x, y)`` pairs; ``rows`` holds their ids.
+
+        The batch is atomic: either every point is inserted (one index
+        bulk-load, incremental Delaunay maintenance) or — on any invalid
+        coordinate — none are and the server's version is unchanged.
+        """
+        return self._write(
+            {
+                "type": "extend",
+                "id": self._allocate_id(),
+                "points": [[float(x), float(y)] for x, y in points],
+            }
+        )
+
+    def delete(self, row_id: int) -> WriteAck:
+        """Tombstone one row by id.
+
+        Deleted rows vanish from every query admitted after the ack but
+        keep streaming from chunked streams opened before the delete
+        (snapshot isolation).  Unknown or already-deleted rows raise
+        :class:`RemoteError` with code ``bad-request``.
+        """
+        return self._write(
+            {
+                "type": "delete",
+                "id": self._allocate_id(),
+                "row": int(row_id),
+            }
+        )
 
     def stats(self) -> Dict:
         """The server's ``stats`` frame (server/coalescer/engine sections)."""

@@ -26,6 +26,15 @@ The coalescer is single-loop asyncio: submissions come from connection
 handler tasks, the flush runs synchronously on the event loop (the
 engine is not thread-safe, and a blocking flush simply lets the next
 window's arrivals queue up behind it — they form the next batch).
+
+**Writes** serialize against the same admission queue:
+:meth:`BatchCoalescer.apply_write` first flushes whatever reads are
+pending — they execute against the pre-write version, so a mutation can
+never poison a coalesced read batch or split it across versions — and
+then applies the mutation synchronously on the loop.  Reads admitted
+after the write land in a fresh batch and see the new version
+(read-your-writes for every connection, since admission order is
+arrival order).
 """
 
 from __future__ import annotations
@@ -63,6 +72,10 @@ class CoalescerStats:
     complete_flushes: int = 0
     #: flushes fired by the admission-window timer expiring
     window_flushes: int = 0
+    #: mutations applied through :meth:`BatchCoalescer.apply_write`
+    writes: int = 0
+    #: flushes forced by a write arriving while reads were pending
+    write_flushes: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -94,6 +107,8 @@ class CoalescerStats:
             "full_flushes": self.full_flushes,
             "complete_flushes": self.complete_flushes,
             "window_flushes": self.window_flushes,
+            "writes": self.writes,
+            "write_flushes": self.write_flushes,
         }
 
 
@@ -151,18 +166,20 @@ class BatchCoalescer:
         """Specs currently queued for the next flush."""
         return len(self._pending)
 
-    async def submit(
+    def enqueue(
         self, spec: Query, *, client: object = None
-    ) -> QueryRecord:
-        """Queue ``spec`` and wait for its batch to flush; returns its record.
+    ) -> "asyncio.Future[QueryRecord]":
+        """Admit ``spec`` *synchronously*; returns the future of its record.
 
-        ``client`` is an opaque identity tag (the server passes the
-        connection object) used only for the ``multi_client_batches``
-        counter — the observable proof that coalescing crossed
-        connection boundaries.  Invalid specs raise immediately
-        (:meth:`~repro.engine.batch.BatchQueryEngine.validate_spec`)
+        This is the admission point: the spec joins the current batch
+        window the moment this returns, so a caller that enqueues inline
+        (the server's connection read loop does) gets strict
+        arrival-order serialization against :meth:`apply_write` — a read
+        admitted before a write executes on the pre-write version, one
+        admitted after sees the mutation.  Invalid specs raise
+        immediately (:meth:`~repro.engine.batch.BatchQueryEngine.validate_spec`)
         without poisoning the shared batch; execution errors inside a
-        flush are propagated to every future of that batch.
+        flush land on every future of that batch.
         """
         self._db.engine.validate_spec(spec)
         loop = asyncio.get_running_loop()
@@ -180,7 +197,38 @@ class BatchCoalescer:
             self._timer = loop.call_later(
                 self.window_ms / 1000.0, self._window_flush
             )
-        return await future
+        return future
+
+    async def submit(
+        self, spec: Query, *, client: object = None
+    ) -> QueryRecord:
+        """Queue ``spec`` and wait for its batch to flush; returns its record.
+
+        ``client`` is an opaque identity tag (the server passes the
+        connection object) used only for the ``multi_client_batches``
+        counter — the observable proof that coalescing crossed
+        connection boundaries.  The awaiting convenience wrapper over
+        :meth:`enqueue`.
+        """
+        return await self.enqueue(spec, client=client)
+
+    def apply_write(self, mutate: Callable[[], object]) -> object:
+        """Serialize a mutation against the batch window and apply it.
+
+        Flushes any pending reads first — they were admitted before the
+        write, so they execute against the pre-write version as one
+        clean batch — then runs ``mutate()`` synchronously on the event
+        loop and returns its result.  Reads admitted afterwards start a
+        fresh batch over the new version.  A ``mutate`` that raises
+        leaves the queue state consistent (the flush has already
+        happened) and propagates to the caller.
+        """
+        if self._pending:
+            self.stats.write_flushes += 1
+            self._flush()
+        result = mutate()
+        self.stats.writes += 1
+        return result
 
     def _group_complete(self) -> bool:
         """Group commit: has every hinted client submitted already?

@@ -16,6 +16,9 @@ Client-to-server frames::
     {"type": "next",   "id": 7}
     {"type": "cancel", "id": 7}
     {"type": "stats"}
+    {"type": "insert", "id": 8, "x": 0.25, "y": 0.75}
+    {"type": "extend", "id": 9, "points": [[0.1, 0.2], [0.3, 0.4]]}
+    {"type": "delete", "id": 10, "row": 42}
 
 Server-to-client frames::
 
@@ -27,6 +30,25 @@ Server-to-client frames::
      "examined": 256, "cancelled": false}
     {"type": "error",  "id": 7, "code": "bad-spec", "message": "..."}
     {"type": "stats",  "server": {...}, "coalescer": {...}, "engine": {...}}
+    {"type": "write",  "id": 8, "op": "insert", "rows": [1200],
+     "version": 1201, "points": 1201}
+
+**Write frames.**  ``insert``/``extend``/``delete`` mutate the served
+database and are acknowledged by a ``write`` frame echoing the ``op``,
+the affected row ids (``rows``), and the post-write data ``version`` and
+live point count.  Coordinates must be *finite* JSON numbers — Python's
+permissive parser would otherwise admit ``NaN``/``Infinity`` literals —
+and an ``extend`` carries at most :data:`MAX_WRITE_POINTS` pairs
+(rejected with code ``bad-request``; a structurally malformed write is
+``bad-frame``, and either rejection provably leaves the store version
+and index untouched).  Writes apply synchronously at admission, in
+arrival order, serialized against the read coalescer's batch window:
+pending reads flush (and execute against the pre-write version) before
+the write lands, so coalesced read batches are never poisoned, and
+chunked streams admitted earlier keep their MVCC snapshot (see
+:meth:`repro.core.store.PointStore.snapshot`).  A write's ack can
+overtake the ``result`` of a still-executing pipelined read — correlate
+by ``id``, not by arrival order.
 
 ``id`` is a client-chosen non-negative integer correlating responses to
 requests; it must be unique among the connection's *in-flight* requests
@@ -67,6 +89,7 @@ type / wrong field shape), ``bad-spec`` (spec body that
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, Iterable, List, Optional
 
 from repro.query.serialize import spec_from_dict
@@ -86,9 +109,25 @@ MAX_LINE_BYTES = 1 << 20
 DEFAULT_CHUNK_SIZE = 256
 MAX_CHUNK_SIZE = 65_536
 
+#: Hard cap on coordinate pairs in one ``extend`` frame: keeps both the
+#: encoded ack and the synchronous apply bounded (larger loads batch
+#: client-side across frames).
+MAX_WRITE_POINTS = 65_536
+
 #: Frame type tags, by direction.
-CLIENT_FRAME_TYPES = ("query", "next", "cancel", "stats")
-SERVER_FRAME_TYPES = ("hello", "result", "chunk", "error", "stats")
+CLIENT_FRAME_TYPES = (
+    "query",
+    "next",
+    "cancel",
+    "stats",
+    "insert",
+    "extend",
+    "delete",
+)
+SERVER_FRAME_TYPES = ("hello", "result", "chunk", "error", "stats", "write")
+
+#: The mutation operations a ``write`` ack can echo.
+WRITE_OPS = ("insert", "extend", "delete")
 
 #: Stable error codes carried by ``error`` frames.
 ERROR_CODES = (
@@ -251,6 +290,85 @@ def _validate_hello(frame: Dict) -> None:
     )
 
 
+def _finite_number(value) -> bool:
+    """Whether ``value`` is a finite JSON number (bools excluded).
+
+    Python's ``json.loads`` accepts the non-standard ``NaN`` /
+    ``Infinity`` literals by default, so finiteness must be enforced
+    here — a non-finite coordinate would corrupt every distance and
+    containment computation downstream.
+    """
+    return isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ) and math.isfinite(value)
+
+
+def _validate_insert(frame: Dict) -> None:
+    _check_id(frame)
+    for key in ("x", "y"):
+        value = frame.get(key)
+        _require(
+            _finite_number(value),
+            f"{key!r} must be a finite number, got {value!r}",
+        )
+
+
+def _validate_extend(frame: Dict) -> None:
+    _check_id(frame)
+    points = frame.get("points")
+    _require(
+        isinstance(points, list) and len(points) >= 1,
+        "'points' must be a non-empty list of [x, y] pairs",
+    )
+    if len(points) > MAX_WRITE_POINTS:
+        # Well-formed but over the server's apply budget: a resource
+        # rejection (``bad-request``), not a malformed frame.
+        raise ProtocolError(
+            "bad-request",
+            f"'points' carries {len(points)} pairs, over the "
+            f"{MAX_WRITE_POINTS}-pair extend limit; split the load "
+            "across frames",
+        )
+    for pair in points:
+        _require(
+            isinstance(pair, (list, tuple))
+            and len(pair) == 2
+            and _finite_number(pair[0])
+            and _finite_number(pair[1]),
+            f"every extend point must be a finite [x, y] pair, got {pair!r}",
+        )
+
+
+def _validate_delete(frame: Dict) -> None:
+    _check_id(frame)
+    row = frame.get("row")
+    _require(
+        isinstance(row, int) and not isinstance(row, bool) and row >= 0,
+        f"'row' must be a non-negative integer row id, got {row!r}",
+    )
+
+
+def _validate_write(frame: Dict) -> None:
+    _check_id(frame)
+    _require(
+        frame.get("op") in WRITE_OPS,
+        f"'op' must be one of {WRITE_OPS}, got {frame.get('op')!r}",
+    )
+    rows = frame.get("rows")
+    _require(
+        isinstance(rows, list) and (not rows or set(map(type, rows)) == {int}),
+        "'rows' must be a list of integer row ids",
+    )
+    for key in ("version", "points"):
+        value = frame.get(key)
+        _require(
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and value >= 0,
+            f"{key!r} must be a non-negative integer, got {value!r}",
+        )
+
+
 def _validate_stats(frame: Dict) -> None:
     # The request form is bare {"type": "stats"}; the response form adds
     # the three payload objects.  Either all three are present or none.
@@ -272,10 +390,14 @@ _VALIDATORS = {
     "next": _check_id,
     "cancel": _check_id,
     "stats": _validate_stats,
+    "insert": _validate_insert,
+    "extend": _validate_extend,
+    "delete": _validate_delete,
     "hello": _validate_hello,
     "result": _validate_result,
     "chunk": _validate_chunk,
     "error": _validate_error,
+    "write": _validate_write,
 }
 
 

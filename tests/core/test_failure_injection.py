@@ -175,3 +175,84 @@ class TestExtremeScales:
         voronoi = db.area_query(area, method="voronoi")
         traditional = db.area_query(area, method="traditional")
         assert voronoi.ids == traditional.ids
+
+
+class TestWritePathFaults:
+    """Rejected mutations must leave the store and index bit-identical."""
+
+    def _snapshot_state(self, db):
+        return (
+            db.version,
+            len(db.store),
+            db.store.deleted_count,
+            db.store.xs.tobytes(),
+            db.store.ys.tobytes(),
+        )
+
+    def test_nan_insert_leaves_everything_untouched(self):
+        db = SpatialDatabase.from_points(
+            uniform_points(60, seed=71)
+        ).prepare()
+        before = self._snapshot_state(db)
+        for x, y in [
+            (float("nan"), 0.5),
+            (0.5, float("inf")),
+            (float("-inf"), float("nan")),
+        ]:
+            with pytest.raises(ValueError):
+                db.insert((x, y))
+        assert self._snapshot_state(db) == before
+        # The index answers exactly as before (no phantom entries).
+        assert db.k_nearest_neighbors(Point(0.5, 0.5), 5) == sorted(
+            range(len(db)),
+            key=lambda i: (
+                db.point(i).squared_distance_to(Point(0.5, 0.5)),
+                i,
+            ),
+        )[:5]
+
+    def test_extend_with_one_bad_row_is_atomic(self):
+        """A batch containing one non-finite coordinate inserts nothing:
+        no rows, no version bump, no index entries."""
+        db = SpatialDatabase.from_points(
+            uniform_points(60, seed=73)
+        ).prepare()
+        before = self._snapshot_state(db)
+        with pytest.raises(ValueError):
+            db.extend([(0.1, 0.2), (0.3, float("nan")), (0.5, 0.6)])
+        assert self._snapshot_state(db) == before
+        area = random_query_polygon(0.3, rng=random.Random(5))
+        assert (
+            db.area_query(area, "voronoi").ids
+            == db.area_query(area, "traditional").ids
+        )
+
+    def test_delete_out_of_range_and_double_delete(self):
+        db = SpatialDatabase.from_points(uniform_points(40, seed=77))
+        with pytest.raises(IndexError):
+            db.delete(len(db.store))
+        with pytest.raises(IndexError):
+            db.delete(-1)
+        db.delete(7)
+        before = self._snapshot_state(db)
+        with pytest.raises(ValueError):
+            db.delete(7)
+        assert self._snapshot_state(db) == before
+        assert db.store.is_deleted(7)
+        assert db.store.live_count == 39
+
+    def test_failed_write_does_not_invalidate_result_cache(self):
+        """The engine's version-stamped cache stays warm across rejected
+        writes (the version did not move)."""
+        db = SpatialDatabase.from_points(
+            uniform_points(80, seed=79)
+        ).prepare()
+        from repro.query.spec import WindowQuery
+
+        spec = WindowQuery((0.2, 0.2, 0.6, 0.6))
+        first = db.query_batch([spec])[0].ids()
+        with pytest.raises(ValueError):
+            db.insert((float("nan"), 0.1))
+        hits_before = db.engine.totals.as_dict()["cache_hits"]
+        assert db.query_batch([spec])[0].ids() == first
+        assert db.engine.totals.as_dict()["cache_hits"] > hits_before

@@ -49,6 +49,9 @@ _CONTEXT_KEYS = {
     "distinct",
     "limit",
     "n_vertices",
+    "reads",
+    "writes",
+    "write_fraction",
 }
 
 #: Metrics where *larger is worse* (times); everything else numeric is

@@ -19,9 +19,10 @@ lint:
 	python tools/lint.py src tests benchmarks examples tools
 
 ## fast benchmark smoke: columnar + batch-engine + composite + server +
-## mutable-serving suites with their speedup assertions (timing
-## collection disabled; the 2x / 1.5x / 1.3x throughput asserts and the
-## no-rebuild freshness assert still run).  Emits the machine-readable
+## mutable-serving + live-subscription suites with their speedup
+## assertions (timing collection disabled; the 2x / 1.5x / 1.3x
+## throughput asserts, the no-rebuild freshness assert, and the
+## dirty-tile pruning assert still run).  Emits the machine-readable
 ## per-PR record BENCH_pr.json (override the path with
 ## REPRO_BENCH_JSON); CI uploads it as a workflow artifact on every run
 ## and compares it against the previous run's artifact (see
@@ -30,7 +31,8 @@ bench-smoke:
 	$(PYTEST) benchmarks/bench_columnar.py benchmarks/bench_batch_engine.py \
 		benchmarks/bench_composite.py \
 		benchmarks/bench_server.py \
-		benchmarks/bench_mutable.py -q --benchmark-disable
+		benchmarks/bench_mutable.py \
+		benchmarks/bench_subscriptions.py -q --benchmark-disable
 
 ## columnar acceptance bench alone: vectorized vs scalar hot paths on
 ## the refinement-heavy trace (>= 2x asserted), ids byte-identical
@@ -52,7 +54,8 @@ bench:
 		benchmarks/bench_batch_engine.py \
 		benchmarks/bench_composite.py \
 		benchmarks/bench_server.py \
-		benchmarks/bench_mutable.py
+		benchmarks/bench_mutable.py \
+		benchmarks/bench_subscriptions.py
 
 ## one-shot demo of both methods + the batch engine
 demo:

@@ -1,0 +1,160 @@
+"""Live queries — thousands of standing subscriptions over the wire.
+
+Not a paper artefact: this bench gates the live-query subsystem
+(:mod:`repro.live`) end-to-end.  One client registers ~1.2k standing
+queries (small windows plus kNN around popular spots); a second client
+replays a moving-objects trace (random-waypoint with hot-spot drift,
+each move a delete + insert) while the first drains the server's pushed
+``notify`` deltas.  Recorded in ``BENCH_pr.json``:
+
+* **update→notify latency** (p50/p95/p99 ms): wall clock from just
+  before the write frame goes out until the subscriber has *read* the
+  resulting delta — the full path through admission, snapshot capture,
+  dirty-tile fan-out, delta evaluation, and the per-connection delivery
+  queue.
+* **notifications/sec** over the write phase, plus registration rate.
+
+The hard assert is the mechanism, not the timing: the registry's
+``evaluations`` counter must stay far below ``writes x active
+subscriptions`` (the dirty-tile inverted index prunes the fan-out), so a
+regression that silently re-evaluates every subscription per write fails
+the bench even on a fast machine.
+"""
+
+import time
+
+from benchmarks.conftest import record_benchmark
+from repro.core.database import SpatialDatabase
+from repro.query.spec import KnnQuery, WindowQuery
+from repro.server import QueryClient, ServerThread
+from repro.workloads.generators import moving_object_steps, uniform_points
+
+DATA_SIZE = 2_000
+WINDOW_SUBS = 1_100
+KNN_SUBS = 100
+OBJECTS = 40
+MOVES = 120
+#: evaluations / (writes x active subs) ceiling — the pruning guarantee
+MAX_EVALUATION_RATIO = 0.05
+
+
+def _percentile(values, fraction):
+    """The ``fraction`` percentile of ``values`` (nearest-rank)."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _register_subscriptions(client, rng):
+    """Register the standing-query population; returns (count, seconds)."""
+    import random
+
+    rand = random.Random(rng)
+    started = time.perf_counter()
+    for _ in range(WINDOW_SUBS):
+        x, y = rand.uniform(0.05, 0.9), rand.uniform(0.05, 0.9)
+        side = rand.uniform(0.02, 0.05)
+        client.subscribe(WindowQuery((x, y, x + side, y + side)))
+    for _ in range(KNN_SUBS):
+        client.subscribe(
+            KnnQuery(
+                (rand.uniform(0.2, 0.8), rand.uniform(0.2, 0.8)),
+                rand.randint(4, 12),
+            )
+        )
+    return WINDOW_SUBS + KNN_SUBS, time.perf_counter() - started
+
+
+def test_standing_subscription_push():
+    db = SpatialDatabase.from_points(
+        uniform_points(DATA_SIZE, seed=431), backend_kind="pure"
+    ).prepare()
+    objects = uniform_points(OBJECTS, seed=433)
+
+    with ServerThread(db, window_ms=2.0) as server:
+        with QueryClient(server.host, server.port) as subscriber, QueryClient(
+            server.host, server.port
+        ) as writer:
+            total_subs, register_s = _register_subscriptions(subscriber, 437)
+
+            # Stage the objects as live rows the moves can tombstone;
+            # the staging deltas are not part of the timed phase.
+            ack = writer.extend([(p.x, p.y) for p in objects])
+            object_rows = list(ack.rows)
+            while subscriber.notifications(timeout=0.2):
+                pass
+
+            version_times = {}
+            latencies_ms = []
+            notifications = 0
+            writes = 0
+            started = time.perf_counter()
+            for index, _, new in moving_object_steps(
+                objects, MOVES, seed=439
+            ):
+                sent = time.perf_counter()
+                gone = writer.delete(object_rows[index])
+                version_times[gone.version] = sent
+                sent = time.perf_counter()
+                landed = writer.insert(*new)
+                version_times[landed.version] = sent
+                object_rows[index] = landed.rows[0]
+                writes += 2
+                # Drain this step's deltas one at a time so each read
+                # timestamp is tight; the stream is dry once a short
+                # poll comes back empty.
+                timeout = 0.05
+                while True:
+                    notes = subscriber.notifications(
+                        timeout=timeout, max_count=1
+                    )
+                    if not notes:
+                        break
+                    read_at = time.perf_counter()
+                    timeout = 0.01
+                    for note in notes:
+                        notifications += 1
+                        latencies_ms.append(
+                            (read_at - version_times[note.version]) * 1000.0
+                        )
+            elapsed = time.perf_counter() - started
+            for note in subscriber.notifications(timeout=0.2):
+                notifications += 1
+                latencies_ms.append(
+                    (time.perf_counter() - version_times[note.version])
+                    * 1000.0
+                )
+
+            stats = subscriber.stats()
+
+    live = stats["subscriptions"]
+    assert live["active"] == total_subs
+    assert notifications > 0 and latencies_ms
+    # The mechanism gate: the dirty-tile index must prune the fan-out —
+    # evaluations per write stay a tiny fraction of the population.
+    ratio = live["evaluations"] / (live["writes"] * live["active"])
+    assert ratio < MAX_EVALUATION_RATIO, (
+        f"dirty-tile pruning broke: {live['evaluations']} evaluations over "
+        f"{live['writes']} writes x {live['active']} subscriptions "
+        f"(ratio {ratio:.4f} >= {MAX_EVALUATION_RATIO})"
+    )
+
+    record_benchmark(
+        "live_subscriptions",
+        data_size=DATA_SIZE,
+        subscriptions=total_subs,
+        windows=WINDOW_SUBS,
+        knn=KNN_SUBS,
+        objects=OBJECTS,
+        moves=MOVES,
+        writes=writes,
+        notifications=notifications,
+        notify_p50_ms=round(_percentile(latencies_ms, 0.50), 3),
+        notify_p95_ms=round(_percentile(latencies_ms, 0.95), 3),
+        notify_p99_ms=round(_percentile(latencies_ms, 0.99), 3),
+        notifications_per_s=round(notifications / elapsed, 1),
+        writes_per_s=round(writes / elapsed, 1),
+        register_per_s=round(total_subs / register_s, 1),
+        fanout_mean=round(live["fanout"] / live["writes"], 2),
+        prune_ratio=round(ratio, 5),
+    )

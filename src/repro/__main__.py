@@ -31,7 +31,17 @@ Commands
     Send write frames to a running ``serve`` instance: repeatable
     ``--insert X,Y`` and ``--delete ROW`` options (inserts apply first,
     then deletes), each acknowledged with its assigned row ids and the
-    post-write database version.
+    post-write database version.  ``--from-file OPS.ndjson`` bulk-applies
+    newline-delimited JSON operations (``{"op": "insert", "x": ..., "y":
+    ...}``, ``{"op": "extend", "points": [[x, y], ...]}``, ``{"op":
+    "delete", "row": ...}``) in file order before any flag-driven writes
+    — the shape a moving-objects trace serialises to.
+``subscribe``
+    Register standing queries against a running ``serve`` instance
+    (repeatable ``--window X1,Y1,X2,Y2`` and ``--knn X,Y,K``), print
+    each initial result, then stream the server's pushed ``notify``
+    deltas until ``--count`` notifications arrived or ``--duration``
+    seconds elapsed.
 ``snapshot``
     Persist a generated database to a ``.npz`` snapshot
     (:mod:`repro.io.persist`) for later ``serve --load``.
@@ -306,11 +316,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_mutation_file(path: str) -> list:
+    """Parse a ``--from-file`` NDJSON operations file.
+
+    Each non-blank line is one JSON object with an ``op`` key:
+    ``{"op": "insert", "x": ..., "y": ...}``, ``{"op": "extend",
+    "points": [[x, y], ...]}``, or ``{"op": "delete", "row": ...}``.
+    Malformed lines abort with a line-numbered error before anything is
+    sent — a bulk file applies entirely or not at all locally.
+    """
+    import json
+    import pathlib
+
+    operations = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            op = record["op"]
+            if op == "insert":
+                operations.append(
+                    ("insert", (float(record["x"]), float(record["y"])))
+                )
+            elif op == "extend":
+                operations.append(
+                    (
+                        "extend",
+                        [(float(x), float(y)) for x, y in record["points"]],
+                    )
+                )
+            elif op == "delete":
+                operations.append(("delete", int(record["row"])))
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"{path}:{number}: bad operation line: {exc}")
+    return operations
+
+
 def _cmd_mutate(args: argparse.Namespace) -> int:
     from repro.server import QueryClient
 
     host, port = _parse_address(args.remote)
     operations = []
+    if args.from_file:
+        operations.extend(_load_mutation_file(args.from_file))
     for value in args.insert or []:
         try:
             x_text, y_text = value.split(",")
@@ -320,7 +373,10 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
     for row in args.delete or []:
         operations.append(("delete", row))
     if not operations:
-        print("nothing to do: pass --insert X,Y and/or --delete ROW")
+        print(
+            "nothing to do: pass --insert X,Y, --delete ROW, "
+            "and/or --from-file OPS.ndjson"
+        )
         return 1
     with QueryClient(host, port) as client:
         print(
@@ -335,12 +391,83 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
                     f"  insert ({payload[0]:g}, {payload[1]:g}) -> "
                     f"row {ack.rows[0]} (version {ack.version})"
                 )
+            elif op == "extend":
+                ack = client.extend(payload)
+                print(
+                    f"  extend {len(payload)} points -> rows "
+                    f"{ack.rows[0]}..{ack.rows[-1]} (version {ack.version})"
+                )
             else:
                 ack = client.delete(payload)
                 print(
                     f"  delete row {payload} (version {ack.version})"
                 )
         print(f"{ack.points:,} live points after {len(operations)} writes")
+    return 0
+
+
+def _cmd_subscribe(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.query.spec import KnnQuery, WindowQuery
+    from repro.server import QueryClient
+
+    host, port = _parse_address(args.remote)
+    specs = []
+    for value in args.window or []:
+        try:
+            bounds = tuple(float(part) for part in value.split(","))
+            if len(bounds) != 4:
+                raise ValueError("expected 4 coordinates")
+            specs.append(WindowQuery(bounds))
+        except ValueError:
+            raise SystemExit(f"--window expects X1,Y1,X2,Y2, got {value!r}")
+    for value in args.knn or []:
+        try:
+            x_text, y_text, k_text = value.split(",")
+            specs.append(
+                KnnQuery((float(x_text), float(y_text)), int(k_text))
+            )
+        except ValueError:
+            raise SystemExit(f"--knn expects X,Y,K, got {value!r}")
+    if not specs:
+        print("nothing to do: pass --window X1,Y1,X2,Y2 and/or --knn X,Y,K")
+        return 1
+    with QueryClient(host, port) as client:
+        print(
+            f"Connected to {host}:{port} "
+            f"({client.hello['server']}, {client.hello['points']:,} points)"
+        )
+        subscriptions = {}
+        for spec in specs:
+            subscription = client.subscribe(spec)
+            subscriptions[subscription.id] = spec
+            print(
+                f"  #{subscription.id} {spec.describe()}: "
+                f"{len(subscription.ids)} rows at version "
+                f"{subscription.version}"
+            )
+        print(
+            f"streaming notifications (count <= {args.count}, "
+            f"duration <= {args.duration:g} s) ..."
+        )
+        received = 0
+        deadline = time_module.monotonic() + args.duration
+        while received < args.count:
+            remaining = deadline - time_module.monotonic()
+            if remaining <= 0:
+                break
+            batch = client.notifications(
+                timeout=min(remaining, 0.25),
+                max_count=args.count - received,
+            )
+            for note in batch:
+                received += 1
+                print(
+                    f"  #{note.subscription_id} v{note.version}: "
+                    f"+{note.added} -{note.removed}"
+                )
+        print(f"{received} notifications received")
     return 0
 
 
@@ -424,6 +551,7 @@ def _cmd_info() -> int:
         ("Specs   ", "query --spec-file specs.json"),
         ("Serve   ", "serve --points 20000"),
         ("Remote  ", "query --spec-file specs.json --remote 127.0.0.1:7711"),
+        ("Live    ", "subscribe --remote 127.0.0.1:7711 --knn 0.5,0.5,8"),
         ("Served  ", "experiments serve"),
     ]:
         print(f"  {artefact}  python -m repro {command}")
@@ -544,6 +672,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="ROW",
         help="tombstone one row id (repeatable)",
     )
+    mutate.add_argument(
+        "--from-file",
+        default=None,
+        metavar="OPS.ndjson",
+        help="bulk-apply newline-delimited JSON operations "
+        '({"op": "insert"|"extend"|"delete", ...}) in file order, '
+        "before any --insert/--delete flags",
+    )
+
+    subscribe = subparsers.add_parser(
+        "subscribe",
+        help="register standing queries and stream pushed deltas",
+    )
+    subscribe.add_argument(
+        "--remote",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running `python -m repro serve` instance",
+    )
+    subscribe.add_argument(
+        "--window",
+        action="append",
+        metavar="X1,Y1,X2,Y2",
+        help="subscribe to a window query (repeatable)",
+    )
+    subscribe.add_argument(
+        "--knn",
+        action="append",
+        metavar="X,Y,K",
+        help="subscribe to a k-nearest-neighbours query (repeatable)",
+    )
+    subscribe.add_argument(
+        "--count",
+        type=int,
+        default=10,
+        help="stop after this many notifications (default 10)",
+    )
+    subscribe.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="stop after this many seconds (default 30)",
+    )
 
     snapshot = subparsers.add_parser(
         "snapshot", help="persist a generated database for serve --load"
@@ -589,6 +760,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "mutate":
         return _cmd_mutate(args)
+    if args.command == "subscribe":
+        return _cmd_subscribe(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
     if args.command == "figures":

@@ -1,0 +1,46 @@
+"""Live queries: standing subscriptions with incremental delta push.
+
+The continuous-spatial-query layer over the mutable serving stack
+(SINA/SCUBA-style incremental evaluation): a client *registers* a query
+once and the server pushes ``added``/``removed`` row-id deltas as writes
+land, instead of the client re-polling the full result.
+
+``repro.live.tiles``
+    :class:`TileGrid` — the fixed-resolution tiling whose cells key the
+    inverted index.  Same clamped-cell math as the grid spatial index,
+    so points outside the bounds still land in border tiles.
+``repro.live.registry``
+    :class:`SubscriptionRegistry` — standing specs (region queries and
+    kNN-of-focal-point), a dirty-tile inverted index mapping tiles to
+    the subscriptions whose result a write there could change, and the
+    per-write fan-out that turns one mutation into per-subscription
+    deltas.  :class:`RegistryStats` carries the mechanism counters
+    (evaluations ≪ writes × subscriptions is the pruning proof).
+``repro.live.delta``
+    The incremental evaluators: region membership updates from the
+    write's coordinates alone; kNN k-sets repaired in place (an insert
+    inside the kth radius displaces the kth member, a deleted member
+    triggers one :func:`~repro.core.knn_query.incremental_nearest`
+    refill) — never a full re-execution.
+
+The server wires this into the write path (see
+:mod:`repro.server.app`); ``docs/SERVER.md`` documents the
+``subscribe``/``unsubscribe``/``notify`` wire frames and the delivery
+semantics.
+"""
+
+from repro.live.delta import Delta
+from repro.live.registry import (
+    RegistryStats,
+    Subscription,
+    SubscriptionRegistry,
+)
+from repro.live.tiles import TileGrid
+
+__all__ = [
+    "Delta",
+    "RegistryStats",
+    "Subscription",
+    "SubscriptionRegistry",
+    "TileGrid",
+]

@@ -21,7 +21,14 @@ query stack (:mod:`repro.query`) and batch engine (:mod:`repro.engine`):
     by tests, benchmarks, and the experiment workload.
 ``repro.server.client``
     :class:`QueryClient`, a small blocking client for tests, benchmarks,
-    and the ``python -m repro query --remote`` CLI path.
+    and the ``python -m repro query --remote`` CLI path — including the
+    live-query surface (:meth:`~repro.server.client.QueryClient.subscribe`
+    / :meth:`~repro.server.client.QueryClient.notifications`).
+
+The server also hosts the **live query** subsystem (:mod:`repro.live`):
+clients register standing subscriptions over the same socket and the
+write path pushes incremental ``notify`` deltas to every subscription a
+write's dirty tiles touch.
 
 Start a server with ``python -m repro serve`` (``--load`` serves a
 persisted snapshot); see ``docs/SERVER.md`` for the protocol spec and
@@ -29,7 +36,13 @@ coalescing semantics.
 """
 
 from repro.server.app import QueryServer, ServerThread
-from repro.server.client import QueryClient, RemoteError, RemoteResult
+from repro.server.client import (
+    Notification,
+    QueryClient,
+    RemoteError,
+    RemoteResult,
+    RemoteSubscription,
+)
 from repro.server.coalescer import BatchCoalescer, CoalescerStats
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -44,6 +57,8 @@ __all__ = [
     "QueryClient",
     "RemoteResult",
     "RemoteError",
+    "RemoteSubscription",
+    "Notification",
     "BatchCoalescer",
     "CoalescerStats",
     "ProtocolError",

@@ -24,9 +24,22 @@ against one shared :class:`~repro.core.database.SpatialDatabase`:
   streams keep answering from their admission-time
   :class:`~repro.core.store.StoreSnapshot`, and every query admitted
   after the ``write`` acknowledgement sees the mutation.
+* **Live queries** (``subscribe``/``unsubscribe`` frames) register
+  standing queries with the :class:`~repro.live.registry.SubscriptionRegistry`
+  and push ``notify`` frames with incremental ``added``/``removed``
+  deltas after every write.  Fan-out happens synchronously on the write
+  path (the registry's dirty-tile index evaluates only affected
+  subscriptions), but *delivery* goes through a per-connection queue
+  drained by its own task — one slow subscriber backlogs only its own
+  queue, never the write path or other subscribers.  Within a
+  subscription, frames are delivered in version order: the
+  ``subscribed`` ack, every ``notify``, and the ``unsubscribed`` ack all
+  ride the same queue.  Disconnect tears every subscription of the
+  connection down and frees its queue.
 * **Introspection**: a ``stats`` request returns server counters,
-  coalescer admission stats, and the engine's lifetime job-pool totals
-  (:class:`~repro.engine.batch.EngineTotals`).
+  coalescer admission stats, the engine's lifetime job-pool totals
+  (:class:`~repro.engine.batch.EngineTotals`), and — when live queries
+  are in play — the subscription registry's mechanism counters.
 
 Per-connection limits keep one client from starving the rest: at most
 ``max_inflight`` outstanding requests (pending batch queries plus open
@@ -46,6 +59,7 @@ import threading
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
 from repro.core.exceptions import ReproError
+from repro.live.registry import Subscription, SubscriptionRegistry
 from repro.server.coalescer import BatchCoalescer
 from repro.server.protocol import (
     DEFAULT_CHUNK_SIZE,
@@ -88,7 +102,16 @@ class _Stream:
 class _Connection:
     """Per-connection bookkeeping: writer, in-flight ids, open streams."""
 
-    __slots__ = ("writer", "lock", "inflight", "streams", "tasks")
+    __slots__ = (
+        "writer",
+        "lock",
+        "inflight",
+        "streams",
+        "tasks",
+        "subscriptions",
+        "queue",
+        "notifier",
+    )
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
@@ -100,6 +123,13 @@ class _Connection:
         self.streams: Dict[int, _Stream] = {}
         #: in-flight batch-query tasks (strong refs; they self-discard)
         self.tasks: Set[asyncio.Task] = set()
+        #: standing subscriptions by their client-chosen request id
+        self.subscriptions: Dict[int, Subscription] = {}
+        #: delivery queue for subscribed/notify/unsubscribed frames
+        #: (created lazily on the first subscribe)
+        self.queue: Optional[asyncio.Queue] = None
+        #: the task draining :attr:`queue` into the socket
+        self.notifier: Optional[asyncio.Task] = None
 
 
 class QueryServer:
@@ -124,6 +154,11 @@ class QueryServer:
     max_inflight:
         Per-connection cap on outstanding requests; beyond it the
         server answers ``too-many-requests`` errors.
+    max_subscriptions:
+        Per-connection cap on standing subscriptions (a separate budget
+        from ``max_inflight`` — subscriptions are long-lived by design,
+        and a dashboard holding thousands must not starve its own
+        reads).
     """
 
     def __init__(
@@ -136,12 +171,19 @@ class QueryServer:
         max_batch: int = 64,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_inflight: int = 32,
+        max_subscriptions: int = 10_000,
     ) -> None:
         self._db = database
         self._host = host
         self._port = port
         self.chunk_size = int(chunk_size)
         self.max_inflight = int(max_inflight)
+        self.max_subscriptions = int(max_subscriptions)
+        #: the live-query registry: standing specs + dirty-tile index
+        self.registry = SubscriptionRegistry(database)
+        #: routes one registry subscription back to its wire identity:
+        #: sid -> (connection, client request id, packed transport?)
+        self._routes: Dict[int, tuple] = {}
         #: the cross-client admission queue; the ready hint makes the
         #: window a fallback — the queue group-commits as soon as every
         #: open connection has a request pending
@@ -162,6 +204,9 @@ class QueryServer:
             "streams_cancelled": 0,
             "errors_sent": 0,
             "writes_total": 0,
+            "subscriptions_opened": 0,
+            "subscriptions_closed": 0,
+            "notifications_sent": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -182,6 +227,11 @@ class QueryServer:
     def active_streams(self) -> int:
         """Streams currently open across all connections."""
         return sum(len(c.streams) for c in self._connections)
+
+    @property
+    def active_subscriptions(self) -> int:
+        """Standing subscriptions currently registered."""
+        return self.registry.active
 
     async def start(self) -> tuple:
         """Bind and start accepting; returns the bound ``(host, port)``."""
@@ -273,12 +323,26 @@ class QueryServer:
         (``QueryResult.chunks`` closes its source stream), so a client
         that vanishes mid-stream abandons the remaining work instead of
         leaking a half-consumed iterator.
+
+        Standing subscriptions die with their connection: every one is
+        unregistered (freeing its tile-index entries), its wire route is
+        dropped, and the delivery queue plus its drain task are
+        released — a disconnected subscriber costs the registry nothing.
         """
         for stream in list(connection.streams.values()):
             stream.close()
             self.metrics["streams_cancelled"] += 1
         connection.streams.clear()
         connection.inflight.clear()
+        for subscription in connection.subscriptions.values():
+            self.registry.unregister(subscription)
+            self._routes.pop(subscription.sid, None)
+            self.metrics["subscriptions_closed"] += 1
+        connection.subscriptions.clear()
+        if connection.notifier is not None:
+            connection.notifier.cancel()
+            connection.notifier = None
+        connection.queue = None
 
     async def _send(self, connection: _Connection, frame: Dict) -> None:
         """Encode and write one frame (serialised per connection)."""
@@ -327,13 +391,20 @@ class QueryServer:
             await self._on_next(connection, frame)
         elif frame_type == "cancel":
             await self._on_cancel(connection, frame)
+        elif frame_type == "subscribe":
+            await self._on_subscribe(connection, frame)
+        elif frame_type == "unsubscribe":
+            await self._on_unsubscribe(connection, frame)
         else:  # "stats" — the only remaining client frame type
             await self._on_stats(connection)
 
     async def _on_query(self, connection: _Connection, frame: Dict) -> None:
         """Admit one query: coalesced batch result or chunked stream."""
         request_id = frame["id"]
-        if request_id in connection.inflight:
+        if (
+            request_id in connection.inflight
+            or request_id in connection.subscriptions
+        ):
             await self._send_error(
                 connection,
                 request_id,
@@ -441,7 +512,10 @@ class QueryServer:
         ``bad-request`` errors and leave the database bit-identical.
         """
         request_id = frame["id"]
-        if request_id in connection.inflight:
+        if (
+            request_id in connection.inflight
+            or request_id in connection.subscriptions
+        ):
             await self._send_error(
                 connection,
                 request_id,
@@ -451,9 +525,13 @@ class QueryServer:
             return
         op = frame["type"]
         db = self._db
+        # O(1) pre-write snapshot: the delta evaluators' guard horizon
+        # (only needed when someone is actually subscribed).
+        pre = db.store.snapshot() if self.registry.active else None
         try:
             if op == "insert":
                 x, y = float(frame["x"]), float(frame["y"])
+                coords = [(x, y)]
                 rows = [
                     self.coalescer.apply_write(lambda: db.insert((x, y)))
                 ]
@@ -461,6 +539,7 @@ class QueryServer:
                 pairs = [
                     (float(x), float(y)) for x, y in frame["points"]
                 ]
+                coords = pairs
                 rows = list(
                     self.coalescer.apply_write(lambda: db.extend(pairs))
                 )
@@ -468,6 +547,7 @@ class QueryServer:
                 row = int(frame["row"])
                 self.coalescer.apply_write(lambda: db.delete(row))
                 rows = [row]
+                coords = [db.store.coords(row)]
         except (IndexError, ValueError, ReproError) as exc:
             await self._send_error(
                 connection, request_id, "bad-request", str(exc)
@@ -479,6 +559,8 @@ class QueryServer:
             )
             return
         self.metrics["writes_total"] += 1
+        if pre is not None:
+            self._fan_out(op, rows, coords, pre)
         await self._send(
             connection,
             {
@@ -488,6 +570,165 @@ class QueryServer:
                 "rows": rows,
                 "version": db.version,
                 "points": len(db),
+            },
+        )
+
+    def _fan_out(self, op, rows, coords, pre) -> None:
+        """Push one applied write's deltas into the delivery queues.
+
+        Runs synchronously right after the mutation (still inside the
+        write frame's dispatch, so admission order equals version
+        order), but only *enqueues*: actual socket writes happen in each
+        connection's drain task, so a subscriber that stopped reading
+        backlogs its own queue and nothing else.  The coalescer's
+        subscription counters are refreshed here — the write path is
+        the one place that knows both sides.
+        """
+        version = self._db.version
+        events = self.registry.apply_write(op, rows, coords, pre=pre)
+        stats = self.coalescer.stats
+        registry_stats = self.registry.stats
+        stats.subscriptions = self.registry.active
+        stats.notifications = registry_stats.notifications
+        stats.subscription_fanout = registry_stats.fanout
+        for subscription, delta in events:
+            route = self._routes.get(subscription.sid)
+            if route is None:  # pragma: no cover - unregistered race
+                continue
+            owner, request_id, packed = route
+            notify: Dict = {
+                "type": "notify",
+                "id": request_id,
+                "version": version,
+            }
+            if packed:
+                notify["added_packed"] = pack_ids(delta.added)
+                notify["removed_packed"] = pack_ids(delta.removed)
+            else:
+                notify["added"] = delta.added
+                notify["removed"] = delta.removed
+            self._enqueue_frame(owner, notify)
+
+    def _enqueue_frame(self, connection: _Connection, frame: Dict) -> None:
+        """Queue one subscription frame for asynchronous delivery.
+
+        The queue (and its drain task) is created on first use and
+        lives until teardown; ``put_nowait`` on the unbounded queue
+        keeps the write path non-blocking by construction.
+        """
+        if connection.queue is None:
+            connection.queue = asyncio.Queue()
+            connection.notifier = asyncio.ensure_future(
+                self._drain_queue(connection)
+            )
+        connection.queue.put_nowait(frame)
+
+    async def _drain_queue(self, connection: _Connection) -> None:
+        """Deliver queued subscription frames in order, until torn down."""
+        try:
+            while True:
+                frame = await connection.queue.get()
+                await self._send(connection, frame)
+                if frame["type"] == "notify":
+                    self.metrics["notifications_sent"] += 1
+        except ConnectionError:  # subscriber vanished; teardown follows
+            pass
+
+    async def _on_subscribe(
+        self, connection: _Connection, frame: Dict
+    ) -> None:
+        """Register one standing query and ack with its initial result.
+
+        Registration plus the initial evaluation run synchronously on
+        the event loop, so the ``subscribed`` frame's ids and version
+        are atomic with respect to writes: every later write is either
+        fully reflected in the initial ids or delivered as a ``notify``
+        — never both, never neither.
+        """
+        request_id = frame["id"]
+        if (
+            request_id in connection.inflight
+            or request_id in connection.subscriptions
+        ):
+            await self._send_error(
+                connection,
+                request_id,
+                "bad-request",
+                f"request id {request_id} is already in flight",
+            )
+            return
+        if len(connection.subscriptions) >= self.max_subscriptions:
+            await self._send_error(
+                connection,
+                request_id,
+                "too-many-requests",
+                f"connection exceeds {self.max_subscriptions} "
+                "standing subscriptions",
+            )
+            return
+        try:
+            spec = parse_query_spec(frame)
+        except ProtocolError as exc:
+            await self._send_error(
+                connection, request_id, exc.code, exc.message
+            )
+            return
+        self.metrics["requests_total"] += 1
+        try:
+            subscription, ids = self.registry.register(
+                spec, owner=connection
+            )
+        except (ValueError, ReproError) as exc:
+            await self._send_error(
+                connection, request_id, "bad-spec", str(exc)
+            )
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            await self._send_error(
+                connection, request_id, "server-error", str(exc)
+            )
+            return
+        packed = bool(frame.get("packed"))
+        connection.subscriptions[request_id] = subscription
+        self._routes[subscription.sid] = (connection, request_id, packed)
+        self.metrics["subscriptions_opened"] += 1
+        ack: Dict = {
+            "type": "subscribed",
+            "id": request_id,
+            "version": self._db.version,
+        }
+        if packed:
+            ack["ids_packed"] = pack_ids(ids)
+        else:
+            ack["ids"] = ids
+        # Through the delivery queue, not a direct send: the ack must
+        # precede every notify for this id, and the queue is the one
+        # total order the subscription's frames share.
+        self._enqueue_frame(connection, ack)
+
+    async def _on_unsubscribe(
+        self, connection: _Connection, frame: Dict
+    ) -> None:
+        """Tear one subscription down; ack *after* its queued notifies."""
+        request_id = frame["id"]
+        subscription = connection.subscriptions.pop(request_id, None)
+        if subscription is None:
+            await self._send_error(
+                connection,
+                request_id,
+                "bad-request",
+                f"no subscription with id {request_id}",
+            )
+            return
+        self.registry.unregister(subscription)
+        self._routes.pop(subscription.sid, None)
+        self.metrics["subscriptions_closed"] += 1
+        self._enqueue_frame(
+            connection,
+            {
+                "type": "unsubscribed",
+                "id": request_id,
+                "notifications": subscription.notifications,
             },
         )
 
@@ -606,10 +847,12 @@ class QueryServer:
         )
 
     async def _on_stats(self, connection: _Connection) -> None:
-        """Answer a ``stats`` request with all three counter sections."""
+        """Answer a ``stats`` request with every counter section."""
         server = dict(self.metrics)
         server["connections"] = self.active_connections
         server["streams_open"] = self.active_streams
+        subscriptions = self.registry.stats.as_dict()
+        subscriptions["active"] = self.registry.active
         await self._send(
             connection,
             {
@@ -617,6 +860,7 @@ class QueryServer:
                 "server": server,
                 "coalescer": self.coalescer.stats.as_dict(),
                 "engine": self._db.engine.totals.as_dict(),
+                "subscriptions": subscriptions,
             },
         )
 

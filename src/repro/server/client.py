@@ -23,12 +23,27 @@ locally (minus predicates, which have no wire form) works remotely::
             ...  # unbounded kNN, chunked server-side; break to cancel
         ack = client.insert(0.25, 0.75)   # mutations: insert/extend/delete
         client.delete(ack.rows[0])
+        sub = client.subscribe(WindowQuery((0.0, 0.0, 0.5, 0.5)))
+        ...                               # another client writes...
+        for note in client.notifications(timeout=1.0):
+            print(note.subscription_id, note.added, note.removed)
+        sub.unsubscribe()
+
+Live queries ride the same socket: :meth:`QueryClient.subscribe`
+registers a standing query, the server pushes ``notify`` frames as
+writes change its result, and :meth:`QueryClient.notifications` drains
+them (they are also buffered transparently whenever one arrives while a
+normal response is being awaited — a pushed frame never corrupts a
+request/response exchange).
 """
 
 from __future__ import annotations
 
+import select
 import socket
-from typing import Dict, Iterator, List, Optional
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.query.serialize import spec_to_dict
 from repro.query.spec import Query
@@ -38,6 +53,7 @@ from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     decode_frame,
+    delta_ids,
     encode_frame,
     result_ids,
 )
@@ -108,6 +124,62 @@ class WriteAck:
         )
 
 
+class Notification:
+    """One server-pushed ``notify`` frame: a subscription's delta."""
+
+    __slots__ = ("subscription_id", "version", "added", "removed")
+
+    def __init__(self, frame: Dict) -> None:
+        #: the client-chosen id of the subscription this delta belongs to
+        self.subscription_id = frame["id"]
+        #: the post-write data version that produced the delta
+        self.version = int(frame["version"])
+        #: row ids that entered the result
+        self.added = delta_ids(frame, "added")
+        #: row ids that left the result
+        self.removed = delta_ids(frame, "removed")
+
+    def __repr__(self) -> str:
+        return (
+            f"Notification(subscription={self.subscription_id}, "
+            f"version={self.version}, +{len(self.added)}/"
+            f"-{len(self.removed)})"
+        )
+
+
+class RemoteSubscription:
+    """One registered standing query: its id, initial result, version.
+
+    Produced by :meth:`QueryClient.subscribe`.  ``ids`` is the full
+    result at registration time (``version``); apply the deltas of
+    every :class:`Notification` with this ``id`` — in arrival order —
+    to keep an exact live mirror.
+    """
+
+    __slots__ = ("_client", "id", "ids", "version")
+
+    def __init__(
+        self, client: "QueryClient", subscription_id: int, frame: Dict
+    ) -> None:
+        self._client = client
+        #: the client-chosen subscription id (notifications carry it)
+        self.id = subscription_id
+        #: the initial result row ids
+        self.ids = delta_ids(frame, "ids")
+        #: the data version the initial result reflects
+        self.version = int(frame["version"])
+
+    def unsubscribe(self) -> int:
+        """Tear the subscription down; returns its lifetime notify count."""
+        return self._client.unsubscribe(self.id)
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteSubscription(id={self.id}, {len(self.ids)} rows, "
+            f"version={self.version})"
+        )
+
+
 class QueryClient:
     """Blocking NDJSON client: connect, query, stream, stats, close.
 
@@ -125,11 +197,18 @@ class QueryClient:
     ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(timeout)
-        self._rfile = self._sock.makefile("rb")
+        # Client-side line buffer (instead of socket.makefile): keeping
+        # the read-ahead bytes in our own buffer is what lets
+        # notifications() poll with select() without ever losing a
+        # frame the kernel already handed us.
+        self._rbuf = bytearray()
         self._next_id = 0
         # cancels sent without waiting for their ack (abandoned streams);
         # _read_response consumes the acks in passing
         self._unacked_cancels: set = set()
+        # server-pushed notify frames read while waiting for another
+        # response; drained by notifications()
+        self._notifications: Deque[Notification] = deque()
         #: the server's ``hello`` frame (protocol checked on connect)
         self.hello = self._read_frame()
         if self.hello.get("type") != "hello":
@@ -150,9 +229,46 @@ class QueryClient:
     def _send_frame(self, frame: Dict) -> None:
         self._sock.sendall(encode_frame(frame))
 
+    def _readline(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """One NDJSON line from the buffer/socket; None on poll timeout.
+
+        ``timeout=None`` blocks (bounded by the socket timeout, exactly
+        like the old ``makefile`` reader); a finite ``timeout`` polls
+        with ``select`` and returns ``None`` when no complete line
+        arrived in time — with any partial line left intact in the
+        buffer for the next read.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + max(0.0, timeout)
+        )
+        while True:
+            index = self._rbuf.find(b"\n")
+            if index >= 0:
+                line = bytes(self._rbuf[: index + 1])
+                del self._rbuf[: index + 1]
+                return line
+            if len(self._rbuf) > MAX_LINE_BYTES:
+                raise ProtocolError(
+                    "bad-frame",
+                    f"line exceeds the {MAX_LINE_BYTES}-byte limit",
+                )
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                readable, _, _ = select.select(
+                    [self._sock], [], [], remaining
+                )
+                if not readable:
+                    return None
+            chunk = self._sock.recv(65_536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._rbuf += chunk
+
     def _read_frame(self) -> Dict:
-        line = self._rfile.readline(MAX_LINE_BYTES + 1)
-        if not line:
+        line = self._readline()
+        if not line:  # pragma: no cover - _readline raises instead
             raise ConnectionError("server closed the connection")
         return decode_frame(line)
 
@@ -162,10 +278,16 @@ class QueryClient:
         Acks for lazily-cancelled streams (:meth:`RemoteStream.abandon`)
         are consumed and skipped here — the server answers frames in
         order, so such an ack can only sit *between* real responses.
+        Server-pushed ``notify`` frames can arrive at any point; they
+        are buffered for :meth:`notifications` and never consume a
+        response slot.
         """
         while True:
             frame = self._read_frame()
             frame_id = frame.get("id")
+            if frame["type"] == "notify":
+                self._notifications.append(Notification(frame))
+                continue
             if (
                 frame_id in self._unacked_cancels
                 and frame["type"] == "chunk"
@@ -337,12 +459,93 @@ class QueryClient:
             )
         return frame
 
+    def subscribe(self, spec: Query) -> RemoteSubscription:
+        """Register ``spec`` as a standing query; returns its handle.
+
+        The returned :class:`RemoteSubscription` carries the full result
+        at registration time and the data version it reflects.  Every
+        later write that changes the result produces a
+        :class:`Notification` (drain them with :meth:`notifications`)
+        whose ``added``/``removed`` deltas, applied in arrival order,
+        keep an exact mirror.  Subscribable specs are the leaf region
+        kinds and bounded kNN — composites, predicates, and limits raise
+        :class:`RemoteError` with code ``bad-spec``.
+        """
+        request_id = self._allocate_id()
+        self._send_frame(
+            {
+                "type": "subscribe",
+                "id": request_id,
+                "spec": spec_to_dict(spec),
+                "packed": True,
+            }
+        )
+        response = self._read_response(request_id)
+        if response["type"] != "subscribed":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected a subscribed frame, got {response['type']!r}",
+            )
+        return RemoteSubscription(self, request_id, response)
+
+    def unsubscribe(self, subscription) -> int:
+        """Tear down a subscription (handle or id); returns its notify count.
+
+        Notifications already pushed for it may still be buffered (or in
+        flight until the ``unsubscribed`` ack, which the server orders
+        *after* them) — they simply describe versions from before the
+        teardown.
+        """
+        subscription_id = getattr(subscription, "id", subscription)
+        self._send_frame(
+            {"type": "unsubscribe", "id": int(subscription_id)}
+        )
+        response = self._read_response(subscription_id)
+        if response["type"] != "unsubscribed":
+            raise ProtocolError(
+                "bad-frame",
+                f"expected an unsubscribed frame, got {response['type']!r}",
+            )
+        return int(response["notifications"])
+
+    def notifications(
+        self, *, timeout: float = 0.0, max_count: Optional[int] = None
+    ) -> List[Notification]:
+        """Drain pushed :class:`Notification` frames (oldest first).
+
+        Returns everything already buffered, then polls the socket for
+        up to ``timeout`` seconds for more (``0.0`` returns immediately
+        — pure drain).  ``max_count`` caps the returned list; surplus
+        stays buffered for the next call.  Only ``notify`` frames are
+        expected between requests, so anything else read here raises.
+        """
+        drained: List[Notification] = []
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            while self._notifications:
+                drained.append(self._notifications.popleft())
+                if max_count is not None and len(drained) >= max_count:
+                    return drained
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 and drained:
+                return drained
+            line = self._readline(timeout=max(0.0, remaining))
+            if line is None:
+                return drained
+            frame = decode_frame(line)
+            if frame["type"] == "notify":
+                self._notifications.append(Notification(frame))
+            elif frame["type"] == "error":
+                raise RemoteError(frame["code"], frame["message"])
+            else:
+                raise ProtocolError(
+                    "bad-frame",
+                    "unexpected frame between requests: "
+                    f"{frame['type']!r}",
+                )
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        try:
-            self._rfile.close()
-        except OSError:  # pragma: no cover - best-effort teardown
-            pass
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - best-effort teardown

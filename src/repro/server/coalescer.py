@@ -76,6 +76,15 @@ class CoalescerStats:
     writes: int = 0
     #: flushes forced by a write arriving while reads were pending
     write_flushes: int = 0
+    #: standing subscriptions active after the most recent write
+    #: fan-out (mirrored from the live-query registry by the server)
+    subscriptions: int = 0
+    #: notify deltas produced across all writes (delivered frames)
+    notifications: int = 0
+    #: dirty-tile fanout: subscriptions evaluated, summed over writes
+    #: (``subscription_fanout / writes`` is the per-write mean — the
+    #: observable proof the inverted index prunes)
+    subscription_fanout: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -109,6 +118,9 @@ class CoalescerStats:
             "window_flushes": self.window_flushes,
             "writes": self.writes,
             "write_flushes": self.write_flushes,
+            "subscriptions": self.subscriptions,
+            "notifications": self.notifications,
+            "subscription_fanout": self.subscription_fanout,
         }
 
 

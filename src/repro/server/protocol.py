@@ -19,6 +19,8 @@ Client-to-server frames::
     {"type": "insert", "id": 8, "x": 0.25, "y": 0.75}
     {"type": "extend", "id": 9, "points": [[0.1, 0.2], [0.3, 0.4]]}
     {"type": "delete", "id": 10, "row": 42}
+    {"type": "subscribe", "id": 11, "spec": {...}, "packed": true}
+    {"type": "unsubscribe", "id": 11}
 
 Server-to-client frames::
 
@@ -32,6 +34,31 @@ Server-to-client frames::
     {"type": "stats",  "server": {...}, "coalescer": {...}, "engine": {...}}
     {"type": "write",  "id": 8, "op": "insert", "rows": [1200],
      "version": 1201, "points": 1201}
+    {"type": "subscribed",   "id": 11, "version": 1201, "ids": [...]}
+    {"type": "notify", "id": 11, "version": 1202, "added": [1201],
+     "removed": [42]}
+    {"type": "unsubscribed", "id": 11, "notifications": 3}
+
+**Subscription frames (live queries).**  ``subscribe`` registers its
+``spec`` as a *standing query* (see :mod:`repro.live`): the server
+answers with a ``subscribed`` frame carrying the initial result ids and
+the data version they reflect, and from then on *pushes* a ``notify``
+frame — without any request — whenever a write changes that result.
+``notify`` carries the exact ``added``/``removed`` row-id deltas and the
+post-write ``version`` that produced them; per subscription, versions
+are strictly increasing and frames arrive in version order (delivery is
+at-least-once per version: a delta is never skipped, re-reads after a
+reconnect re-subscribe from scratch).  ``added``/``removed`` (and the
+``subscribed`` frame's ``ids``) use the packed id transport when the
+``subscribe`` frame set ``"packed": true`` — the fields then travel as
+``added_packed``/``removed_packed``/``ids_packed``.  The subscription
+holds its ``id`` until ``unsubscribe``, acknowledged by an
+``unsubscribed`` frame (with the subscription's lifetime notify count)
+that is ordered *after* every notify for that id.  Subscribable specs
+are leaf region kinds and bounded kNN; composites, predicates, limits,
+projections, and unbounded kNN answer ``bad-spec``.  All subscription
+frames are additive — clients that never subscribe see a byte-identical
+protocol, so the version stays 1.
 
 **Write frames.**  ``insert``/``extend``/``delete`` mutate the served
 database and are acknowledged by a ``write`` frame echoing the ``op``,
@@ -123,8 +150,20 @@ CLIENT_FRAME_TYPES = (
     "insert",
     "extend",
     "delete",
+    "subscribe",
+    "unsubscribe",
 )
-SERVER_FRAME_TYPES = ("hello", "result", "chunk", "error", "stats", "write")
+SERVER_FRAME_TYPES = (
+    "hello",
+    "result",
+    "chunk",
+    "error",
+    "stats",
+    "write",
+    "subscribed",
+    "notify",
+    "unsubscribed",
+)
 
 #: The mutation operations a ``write`` ack can echo.
 WRITE_OPS = ("insert", "extend", "delete")
@@ -371,7 +410,9 @@ def _validate_write(frame: Dict) -> None:
 
 def _validate_stats(frame: Dict) -> None:
     # The request form is bare {"type": "stats"}; the response form adds
-    # the three payload objects.  Either all three are present or none.
+    # the three payload objects.  Either all three are present or none;
+    # the 'subscriptions' section rides along additively (servers
+    # without live queries simply omit it).
     sections = [key for key in ("server", "coalescer", "engine") if key in frame]
     if sections:
         _require(
@@ -383,6 +424,85 @@ def _validate_stats(frame: Dict) -> None:
                 isinstance(frame[key], dict),
                 f"{key!r} must be an object",
             )
+    if "subscriptions" in frame:
+        _require(
+            len(sections) == 3,
+            "'subscriptions' only rides on a full stats response",
+        )
+        _require(
+            isinstance(frame["subscriptions"], dict),
+            "'subscriptions' must be an object",
+        )
+
+
+def _check_version(frame: Dict) -> None:
+    """Validate the data ``version`` field (non-negative int)."""
+    version = frame.get("version")
+    _require(
+        isinstance(version, int)
+        and not isinstance(version, bool)
+        and version >= 0,
+        f"'version' must be a non-negative integer, got {version!r}",
+    )
+
+
+def _check_id_transport(frame: Dict, key: str) -> None:
+    """Validate a row-id field in either transport: ``key``/``key_packed``."""
+    packed = frame.get(f"{key}_packed")
+    if packed is not None:
+        _require(
+            key not in frame,
+            f"a frame carries {key!r} or '{key}_packed', not both",
+        )
+        _require(
+            isinstance(packed, str),
+            f"'{key}_packed' must be a base64 string",
+        )
+        return
+    ids = frame.get(key)
+    _require(isinstance(ids, list), f"{key!r} must be a list")
+    _require(
+        not ids or set(map(type, ids)) == {int},
+        f"{key!r} ids must all be integers",
+    )
+
+
+def _validate_subscribe(frame: Dict) -> None:
+    _check_id(frame)
+    _require(
+        isinstance(frame.get("spec"), dict),
+        "'spec' must be a JSON object (see repro.query.serialize)",
+    )
+    if "packed" in frame:
+        _require(
+            isinstance(frame["packed"], bool),
+            f"'packed' must be a boolean, got {frame['packed']!r}",
+        )
+
+
+def _validate_subscribed(frame: Dict) -> None:
+    _check_id(frame)
+    _check_version(frame)
+    _check_id_transport(frame, "ids")
+
+
+def _validate_notify(frame: Dict) -> None:
+    _check_id(frame)
+    _check_version(frame)
+    _check_id_transport(frame, "added")
+    _check_id_transport(frame, "removed")
+
+
+def _validate_unsubscribed(frame: Dict) -> None:
+    _check_id(frame)
+    notifications = frame.get("notifications")
+    _require(
+        isinstance(notifications, int)
+        and not isinstance(notifications, bool)
+        and notifications >= 0,
+        "'notifications' must be a non-negative integer, "
+        f"got {notifications!r}",
+    )
 
 
 _VALIDATORS = {
@@ -398,6 +518,11 @@ _VALIDATORS = {
     "chunk": _validate_chunk,
     "error": _validate_error,
     "write": _validate_write,
+    "subscribe": _validate_subscribe,
+    "unsubscribe": _check_id,
+    "subscribed": _validate_subscribed,
+    "notify": _validate_notify,
+    "unsubscribed": _validate_unsubscribed,
 }
 
 
@@ -551,6 +676,19 @@ def result_ids(frame: Dict) -> List[int]:
     if packed is not None:
         return unpack_ids(packed)
     return frame["ids"]
+
+
+def delta_ids(frame: Dict, key: str) -> List[int]:
+    """A notify/subscribed frame's id field, in either transport.
+
+    ``key`` is the plain field name (``"ids"``, ``"added"``,
+    ``"removed"``); the packed variant ``{key}_packed`` is unpacked when
+    present.  The subscription-frame sibling of :func:`result_ids`.
+    """
+    packed = frame.get(f"{key}_packed")
+    if packed is not None:
+        return unpack_ids(packed)
+    return frame[key]
 
 
 def rows_to_wire(rows: Iterable) -> List:

@@ -2,7 +2,9 @@
 
 * :mod:`repro.workloads.generators` — seeded synthetic point datasets
   (uniform, the paper's workload; clustered and grid variants for
-  robustness testing).
+  robustness testing) and the moving-objects update workload
+  (random-waypoint motion with hot-spot drift) feeding the live-query
+  benchmarks.
 * :mod:`repro.workloads.queries` — query-area workloads (the paper's random
   10-vertex polygons at a given query size, plus convex/rectangle variants
   for the ablation).
@@ -14,6 +16,7 @@
 from repro.workloads.generators import (
     clustered_points,
     grid_points,
+    moving_object_steps,
     uniform_points,
 )
 from repro.workloads.queries import QueryWorkload, make_query_areas
@@ -29,6 +32,7 @@ __all__ = [
     "uniform_points",
     "clustered_points",
     "grid_points",
+    "moving_object_steps",
     "QueryWorkload",
     "make_query_areas",
     "ExperimentConfig",

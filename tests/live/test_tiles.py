@@ -1,0 +1,88 @@
+"""Unit tests for the dirty-tile grid's covering property.
+
+The inverted index is only correct if the grid never *under*-covers: a
+point inside a region must always map to a tile the region registered
+under, or a write there would silently skip affected subscriptions.
+Over-coverage merely costs fanout, so these tests assert containment,
+not tightness.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.live.tiles import TileGrid
+
+
+class TestTileOf:
+    def test_corners_and_center(self):
+        grid = TileGrid(resolution=8)
+        assert grid.tile_of(0.0, 0.0) == (0, 0)
+        assert grid.tile_of(1.0, 1.0) == (7, 7)
+        assert grid.tile_of(0.5, 0.5) == (4, 4)
+
+    def test_out_of_bounds_clamps_to_border(self):
+        grid = TileGrid(resolution=8)
+        assert grid.tile_of(-3.0, 0.5) == (0, 4)
+        assert grid.tile_of(0.5, 99.0) == (4, 7)
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            TileGrid(resolution=0)
+
+
+class TestRectCovering:
+    def test_random_rects_cover_their_points(self):
+        rng = random.Random(7)
+        grid = TileGrid(resolution=64)
+        for _ in range(200):
+            x = rng.uniform(0.0, 0.95)
+            y = rng.uniform(0.0, 0.95)
+            rect = Rect(
+                x, y, x + rng.uniform(0.001, 0.3), y + rng.uniform(0.001, 0.3)
+            )
+            tiles = grid.tiles_for_rect(rect)
+            for _ in range(20):
+                px = rng.uniform(rect.min_x, rect.max_x)
+                py = rng.uniform(rect.min_y, rect.max_y)
+                assert grid.tile_of(px, py) in tiles
+
+    def test_degenerate_rect_is_one_tile(self):
+        grid = TileGrid(resolution=16)
+        assert grid.tiles_for_rect(Rect(0.3, 0.3, 0.3, 0.3)) == frozenset(
+            {grid.tile_of(0.3, 0.3)}
+        )
+
+
+class TestCircleCovering:
+    def test_random_circles_cover_their_points(self):
+        rng = random.Random(11)
+        grid = TileGrid(resolution=64)
+        for _ in range(200):
+            cx, cy = rng.random(), rng.random()
+            radius = rng.uniform(0.0005, 0.2)
+            tiles = grid.tiles_for_circle(cx, cy, radius * radius)
+            for _ in range(20):
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                r = radius * math.sqrt(rng.random())
+                px = min(max(cx + r * math.cos(angle), 0.0), 1.0)
+                py = min(max(cy + r * math.sin(angle), 0.0), 1.0)
+                assert grid.tile_of(px, py) in tiles
+
+    def test_boundary_points_covered_despite_sqrt_rounding(self):
+        grid = TileGrid(resolution=64)
+        # A squared radius whose sqrt rounds down would miss the exact
+        # boundary point without the covering inflation.
+        radius_sq = 0.1 * 0.1
+        tiles = grid.tiles_for_circle(0.5, 0.5, radius_sq)
+        boundary = 0.5 + math.sqrt(radius_sq)
+        assert grid.tile_of(boundary, 0.5) in tiles
+
+    def test_invalid_radius_rejected(self):
+        grid = TileGrid()
+        with pytest.raises(ValueError):
+            grid.tiles_for_circle(0.5, 0.5, -1.0)
+        with pytest.raises(ValueError):
+            grid.tiles_for_circle(0.5, 0.5, float("nan"))

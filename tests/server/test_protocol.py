@@ -434,3 +434,118 @@ class TestPackedIdTransport:
                     assert ("ids_packed" in response) is packed
                     assert ("ids" in response) is not packed
                     assert result_ids(response) == expected
+
+
+class TestSubscriptionFrames:
+    """Round trips and schema rejection for the live-query frames."""
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            {
+                "type": "subscribe",
+                "id": 3,
+                "spec": spec_to_dict(WindowQuery((0, 0, 1, 1))),
+            },
+            {
+                "type": "subscribe",
+                "id": 4,
+                "spec": spec_to_dict(KnnQuery((0.5, 0.5), 7)),
+                "packed": True,
+            },
+            {"type": "unsubscribe", "id": 3},
+            {"type": "subscribed", "id": 3, "version": 9, "ids": [1, 2]},
+            {
+                "type": "notify",
+                "id": 3,
+                "version": 10,
+                "added": [5],
+                "removed": [],
+            },
+            {"type": "unsubscribed", "id": 3, "notifications": 12},
+        ],
+        ids=[
+            "subscribe",
+            "subscribe-packed",
+            "unsubscribe",
+            "subscribed",
+            "notify",
+            "unsubscribed",
+        ],
+    )
+    def test_round_trips(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_packed_subscription_frames_round_trip(self):
+        from repro.server.protocol import delta_ids, pack_ids
+
+        notify = {
+            "type": "notify",
+            "id": 1,
+            "version": 2,
+            "added_packed": pack_ids([7, 9]),
+            "removed_packed": pack_ids([]),
+        }
+        decoded = decode_frame(encode_frame(notify))
+        assert delta_ids(decoded, "added") == [7, 9]
+        assert delta_ids(decoded, "removed") == []
+        subscribed = {
+            "type": "subscribed",
+            "id": 1,
+            "version": 1,
+            "ids_packed": pack_ids([3, 1, 4]),
+        }
+        decoded = decode_frame(encode_frame(subscribed))
+        assert delta_ids(decoded, "ids") == [3, 1, 4]
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            {"type": "subscribe", "id": 1},
+            {"type": "subscribe", "spec": {"kind": "window"}},
+            {"type": "subscribe", "id": 1, "spec": [], "packed": True},
+            {"type": "subscribe", "id": 1, "spec": {}, "packed": "yes"},
+            {"type": "unsubscribe"},
+            {"type": "subscribed", "id": 1, "ids": [1]},
+            {"type": "subscribed", "id": 1, "version": 1},
+            {
+                "type": "subscribed",
+                "id": 1,
+                "version": 1,
+                "ids": [1],
+                "ids_packed": "AA==",
+            },
+            {"type": "notify", "id": 1, "version": 2, "added": [1]},
+            {
+                "type": "notify",
+                "id": 1,
+                "version": 2,
+                "added": [1],
+                "removed": "nope",
+            },
+            {"type": "notify", "id": 1, "added": [1], "removed": []},
+            {"type": "unsubscribed", "id": 1},
+            {"type": "unsubscribed", "id": 1, "notifications": -3},
+        ],
+        ids=[
+            "subscribe-no-spec",
+            "subscribe-no-id",
+            "subscribe-spec-not-dict",
+            "subscribe-packed-not-bool",
+            "unsubscribe-no-id",
+            "subscribed-no-version",
+            "subscribed-no-ids",
+            "subscribed-both-transports",
+            "notify-no-removed",
+            "notify-removed-not-list",
+            "notify-no-version",
+            "unsubscribed-no-count",
+            "unsubscribed-negative-count",
+        ],
+    )
+    def test_schema_violations_rejected(self, frame):
+        import json
+
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(json.dumps(frame).encode() + b"\n")
+        assert excinfo.value.code == "bad-frame"

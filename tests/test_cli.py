@@ -234,3 +234,110 @@ class TestServerCLI:
                     "not-an-address",
                 ]
             )
+
+
+class TestLiveCLI:
+    def test_mutate_from_file_applies_ops_in_order(self, tmp_path, capsys):
+        import json
+
+        from repro.core.database import SpatialDatabase
+        from repro.server import ServerThread
+        from repro.workloads.generators import uniform_points
+
+        db = SpatialDatabase.from_points(
+            uniform_points(120, seed=3), backend_kind="pure"
+        ).prepare()
+        ops = tmp_path / "ops.ndjson"
+        ops.write_text(
+            "\n".join(
+                [
+                    json.dumps({"op": "insert", "x": 0.31, "y": 0.62}),
+                    json.dumps(
+                        {"op": "extend", "points": [[0.1, 0.1], [0.9, 0.9]]}
+                    ),
+                    json.dumps({"op": "delete", "row": 0}),
+                ]
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        with ServerThread(db) as server:
+            code = main(
+                [
+                    "mutate",
+                    "--remote",
+                    f"{server.host}:{server.port}",
+                    "--from-file",
+                    str(ops),
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row 120" in out  # insert got the next row id
+        assert "extend 2 points" in out
+        assert "delete row 0" in out
+        assert "122 live points" in out
+        assert len(db.store) == 123 and db.store.deleted_count == 1
+
+    def test_mutate_from_file_rejects_bad_lines(self, tmp_path):
+        ops = tmp_path / "ops.ndjson"
+        ops.write_text('{"op": "warp"}\n', encoding="utf-8")
+        with pytest.raises(SystemExit, match="ops.ndjson:1"):
+            main(["mutate", "--remote", "127.0.0.1:1", "--from-file", str(ops)])
+
+    def test_subscribe_streams_notifications(self, capsys):
+        import threading
+        import time
+
+        from repro.core.database import SpatialDatabase
+        from repro.server import QueryClient, ServerThread
+        from repro.workloads.generators import uniform_points
+
+        db = SpatialDatabase.from_points(
+            uniform_points(150, seed=5), backend_kind="pure"
+        ).prepare()
+        with ServerThread(db) as server:
+
+            def write_soon():
+                time.sleep(0.3)
+                with QueryClient(server.host, server.port) as writer:
+                    writer.insert(0.5, 0.5)
+
+            thread = threading.Thread(target=write_soon)
+            thread.start()
+            code = main(
+                [
+                    "subscribe",
+                    "--remote",
+                    f"{server.host}:{server.port}",
+                    "--window",
+                    "0.4,0.4,0.6,0.6",
+                    "--knn",
+                    "0.5,0.5,3",
+                    "--count",
+                    "2",
+                    "--duration",
+                    "10",
+                ]
+            )
+            thread.join()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows at version" in out
+        assert "2 notifications received" in out
+
+    def test_subscribe_without_specs_is_an_error(self, capsys):
+        assert main(["subscribe", "--remote", "127.0.0.1:1"]) == 1
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_subscribe_bad_window_rejected(self):
+        with pytest.raises(SystemExit, match="X1,Y1,X2,Y2"):
+            main(
+                [
+                    "subscribe",
+                    "--remote",
+                    "127.0.0.1:1",
+                    "--window",
+                    "0.1,0.2",
+                ]
+            )

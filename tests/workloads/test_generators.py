@@ -99,3 +99,76 @@ class TestGrid:
     def test_validation(self):
         with pytest.raises(ValueError):
             grid_points(0)
+
+
+class TestMovingObjects:
+    def _positions(self, n=15, seed=3):
+        return uniform_points(n, seed=seed)
+
+    def test_step_count_and_shape(self):
+        from repro.workloads.generators import moving_object_steps
+
+        positions = self._positions()
+        steps = list(moving_object_steps(positions, 40, seed=7))
+        assert len(steps) == 40
+        for index, old, new in steps:
+            assert 0 <= index < len(positions)
+            assert old != new
+
+    def test_deterministic_in_seed(self):
+        from repro.workloads.generators import moving_object_steps
+
+        positions = self._positions()
+        assert list(moving_object_steps(positions, 30, seed=9)) == list(
+            moving_object_steps(positions, 30, seed=9)
+        )
+        assert list(moving_object_steps(positions, 30, seed=9)) != list(
+            moving_object_steps(positions, 30, seed=10)
+        )
+
+    def test_moves_stay_inside_space_and_chain(self):
+        from repro.geometry.point import Point
+        from repro.workloads.generators import moving_object_steps
+
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        positions = self._positions()
+        current = {i: (p.x, p.y) for i, p in enumerate(positions)}
+        for index, old, new in moving_object_steps(positions, 200, seed=11):
+            # Each step departs from the object's current position...
+            assert current[index] == old
+            current[index] = new
+            # ...and lands inside the space.
+            assert space.contains_point(Point(*new))
+
+    def test_step_length_bounded_by_speed(self):
+        import math
+
+        from repro.workloads.generators import moving_object_steps
+
+        speed = 0.03
+        for _, old, new in moving_object_steps(
+            self._positions(), 100, seed=13, speed=speed
+        ):
+            assert math.hypot(new[0] - old[0], new[1] - old[1]) <= speed * 1.001
+
+    def test_input_not_mutated(self):
+        from repro.workloads.generators import moving_object_steps
+
+        positions = self._positions()
+        snapshot = list(positions)
+        list(moving_object_steps(positions, 50, seed=17))
+        assert positions == snapshot
+
+    def test_validation(self):
+        from repro.workloads.generators import moving_object_steps
+
+        positions = self._positions()
+        with pytest.raises(ValueError):
+            list(moving_object_steps(positions, -1))
+        with pytest.raises(ValueError):
+            list(moving_object_steps([], 5))
+        with pytest.raises(ValueError):
+            list(moving_object_steps(positions, 5, speed=0.0))
+        with pytest.raises(ValueError):
+            list(moving_object_steps(positions, 5, hotspot_fraction=1.5))
+        assert list(moving_object_steps([], 0)) == []

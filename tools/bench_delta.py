@@ -52,6 +52,13 @@ _CONTEXT_KEYS = {
     "reads",
     "writes",
     "write_fraction",
+    "subscriptions",
+    "windows",
+    "knn",
+    "objects",
+    "moves",
+    "fanout_mean",
+    "prune_ratio",
 }
 
 #: Metrics where *larger is worse* (times); everything else numeric is

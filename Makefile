@@ -9,30 +9,39 @@ PYTEST := PYTHONPATH=src python -m pytest
 test:
 	$(PYTEST) -x -q
 
-## documentation gate: fails on any public item without a docstring
+## documentation gate: fails on any public item without a docstring,
+## any dead relative link/anchor in README.md + docs/*.md, or any
+## fenced CLI example naming a subcommand/experiment target that the
+## CLI does not actually register (tools/docs_check.py)
 docs-check:
 	$(PYTEST) tests/test_api_documentation.py -q
+	python tools/docs_check.py
 
 ## lint gate: ruff when installed, else the bundled fallback linter
-## (tools/lint.py — syntax, unused imports, whitespace hygiene)
+## (tools/lint.py — syntax, unused imports, whitespace hygiene); either
+## way the serving layers (src/repro/server, src/repro/live) also pass
+## the static doc-coverage check (module + public def/class docstrings)
 lint:
 	python tools/lint.py src tests benchmarks examples tools
 
 ## fast benchmark smoke: columnar + batch-engine + composite + server +
-## mutable-serving + live-subscription suites with their speedup
-## assertions (timing collection disabled; the 2x / 1.5x / 1.3x
-## throughput asserts, the no-rebuild freshness assert, and the
-## dirty-tile pruning assert still run).  Emits the machine-readable
-## per-PR record BENCH_pr.json (override the path with
-## REPRO_BENCH_JSON); CI uploads it as a workflow artifact on every run
-## and compares it against the previous run's artifact (see
-## tools/bench_delta.py).
+## mutable-serving + live-subscription + tail-latency + overload suites
+## with their speedup assertions (timing collection disabled; the
+## 2x / 1.5x / 1.3x throughput asserts, the no-rebuild freshness
+## assert, the dirty-tile pruning assert, and the bounded-admitted-p99
+## overload assert still run).  Emits the machine-readable per-PR
+## record BENCH_pr.json (override the path with REPRO_BENCH_JSON); CI
+## uploads it as a workflow artifact on every run and compares it
+## against the previous run's artifact, failing on >10% regressions of
+## the stable benchmark set (see tools/bench_delta.py).
 bench-smoke:
 	$(PYTEST) benchmarks/bench_columnar.py benchmarks/bench_batch_engine.py \
 		benchmarks/bench_composite.py \
 		benchmarks/bench_server.py \
 		benchmarks/bench_mutable.py \
-		benchmarks/bench_subscriptions.py -q --benchmark-disable
+		benchmarks/bench_subscriptions.py \
+		benchmarks/bench_tail_latency.py \
+		benchmarks/bench_overload.py -q --benchmark-disable
 
 ## columnar acceptance bench alone: vectorized vs scalar hot paths on
 ## the refinement-heavy trace (>= 2x asserted), ids byte-identical
@@ -55,7 +64,9 @@ bench:
 		benchmarks/bench_composite.py \
 		benchmarks/bench_server.py \
 		benchmarks/bench_mutable.py \
-		benchmarks/bench_subscriptions.py
+		benchmarks/bench_subscriptions.py \
+		benchmarks/bench_tail_latency.py \
+		benchmarks/bench_overload.py
 
 ## one-shot demo of both methods + the batch engine
 demo:

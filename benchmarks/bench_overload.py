@@ -1,0 +1,87 @@
+"""Overload shedding — bounded admitted tail at 2x sustained capacity.
+
+Not a paper artefact: this bench proves the backpressure design does
+what load shedding exists for.  Phase 1 calibrates the host's real
+sustainable throughput with closed-loop clients on an all-distinct
+window trace (a repeated trace would calibrate the LRU result cache
+and overstate capacity several-fold); phase 2 offers **twice** that
+rate open-loop against a server with a small admission queue.
+
+The acceptance property is the shape, not a speed number: a healthy
+fraction of the offered load is shed with ``overloaded`` + retry hint,
+while the p99 of the *admitted* requests stays under a
+duration-independent bound (``max_queue`` service times, plus slack
+for scheduling noise).  Without the bounded queue that p99 would grow
+linearly with the drive's duration — the failure mode this gate
+prevents from regressing back in.
+
+Recorded as ``overload_shedding`` in ``BENCH_pr.json``.
+"""
+
+from benchmarks.conftest import get_database, record_benchmark
+from repro.workloads.experiments import (
+    ExperimentConfig,
+    run_overload_experiment,
+)
+
+DATA_SIZE = 20_000
+MAX_QUEUE = 32
+MAX_BATCH = 8
+DURATION_S = 1.5
+OVERLOAD_FACTOR = 2.0
+#: scheduling-noise headroom on the queueing-theory bound; the drive
+#: runs ~17 Python threads against one event loop, so individual
+#: round-trips can stall several service times beyond the queue wait
+BOUND_SLACK = 8.0
+#: best-of attempts — open-loop socket drives are the noisiest path in
+#: the suite, and one bad scheduler hiccup should not fail the gate
+ATTEMPTS = 2
+
+
+def test_overload_sheds_but_bounds_admitted_tail():
+    """At 2x capacity: shed rate rises, admitted p99 stays bounded."""
+    db = get_database(DATA_SIZE)
+    result = None
+    for attempt in range(ATTEMPTS):
+        result = run_overload_experiment(
+            ExperimentConfig(),
+            max_queue=MAX_QUEUE,
+            max_batch=MAX_BATCH,
+            duration_s=DURATION_S,
+            overload_factor=OVERLOAD_FACTOR,
+            bound_slack=BOUND_SLACK,
+            database=db,
+        )
+        if (
+            result.shed > 0
+            and result.admitted_p99_ms <= result.p99_bound_ms
+        ):
+            break
+    coalescer = result.stats_frame["coalescer"]
+    record_benchmark(
+        "overload_shedding",
+        capacity_rps=round(result.capacity_rps, 1),
+        offered_rps=round(result.offered_rps, 1),
+        admitted=result.admitted,
+        shed=result.shed,
+        shed_rate=round(result.shed_rate, 3),
+        admitted_p99_ms=round(result.admitted_p99_ms, 3),
+        p99_bound_ms=round(result.p99_bound_ms, 3),
+        queue_peak=coalescer["queue_peak"],
+        max_queue=MAX_QUEUE,
+        duration_s=DURATION_S,
+        data_size=DATA_SIZE,
+    )
+    # The server genuinely refused work rather than queueing forever...
+    assert result.shed > 0, "2x capacity never overflowed the queue"
+    assert result.admitted > 0, "nothing was admitted at all"
+    assert coalescer["shed_requests"] == result.shed
+    # ...and what it did admit kept its duration-independent tail bound.
+    assert result.admitted_p99_ms <= result.p99_bound_ms, (
+        f"admitted p99 {result.admitted_p99_ms:.1f} ms exceeds the "
+        f"{result.p99_bound_ms:.1f} ms bound "
+        f"({MAX_QUEUE} service times x {BOUND_SLACK:g} slack)"
+    )
+    # The queue really hit its bound (the shed path was exercised at
+    # the boundary, not from some larger transient).
+    assert coalescer["queue_peak"] == MAX_QUEUE

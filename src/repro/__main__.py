@@ -293,13 +293,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             window_ms=args.window_ms,
             max_batch=args.max_batch,
+            max_queue=args.max_queue,
             chunk_size=args.chunk_size,
         )
         host, port = await server.start()
         print(
             f"Serving {len(db):,} points on {host}:{port} "
             f"(coalescing window {args.window_ms:g} ms, "
-            f"max batch {args.max_batch}, chunk size {args.chunk_size})"
+            f"max batch {args.max_batch}, "
+            f"max queue {server.coalescer.max_queue}, "
+            f"chunk size {args.chunk_size})"
         )
         print("Press Ctrl-C to stop.")
         try:
@@ -641,6 +644,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=64,
         help="queued specs that force an immediate flush",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="admission-queue bound before arrivals are shed with "
+        "'overloaded' errors (default: 8x max batch)",
     )
     serve.add_argument(
         "--chunk-size",

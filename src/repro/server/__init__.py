@@ -43,7 +43,12 @@ from repro.server.client import (
     RemoteResult,
     RemoteSubscription,
 )
-from repro.server.coalescer import BatchCoalescer, CoalescerStats
+from repro.server.coalescer import (
+    BatchCoalescer,
+    CoalescerOverloaded,
+    CoalescerStats,
+)
+from repro.server.metrics import LatencyHistogram, LatencyPanel
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -60,7 +65,10 @@ __all__ = [
     "RemoteSubscription",
     "Notification",
     "BatchCoalescer",
+    "CoalescerOverloaded",
     "CoalescerStats",
+    "LatencyHistogram",
+    "LatencyPanel",
     "ProtocolError",
     "PROTOCOL_VERSION",
     "encode_frame",

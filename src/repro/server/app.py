@@ -56,11 +56,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
 from repro.core.exceptions import ReproError
 from repro.live.registry import Subscription, SubscriptionRegistry
-from repro.server.coalescer import BatchCoalescer
+from repro.server.coalescer import BatchCoalescer, CoalescerOverloaded
+from repro.server.metrics import LatencyPanel
 from repro.server.protocol import (
     DEFAULT_CHUNK_SIZE,
     MAX_LINE_BYTES,
@@ -81,7 +83,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 class _Stream:
     """Server-side state of one open chunked stream."""
 
-    __slots__ = ("request_id", "chunks", "seq", "examined", "closed")
+    __slots__ = (
+        "request_id",
+        "chunks",
+        "seq",
+        "examined",
+        "closed",
+        "opened",
+    )
 
     def __init__(self, request_id: int, chunks: Iterator[List]) -> None:
         self.request_id = request_id
@@ -91,6 +100,8 @@ class _Stream:
         #: candidates examined so far (counting-predicate observable)
         self.examined = 0
         self.closed = False
+        #: server-wide open-order stamp (oldest-first shed victim pick)
+        self.opened = 0
 
     def close(self) -> None:
         """Tear down the underlying iterator (idempotent)."""
@@ -154,6 +165,14 @@ class QueryServer:
     max_inflight:
         Per-connection cap on outstanding requests; beyond it the
         server answers ``too-many-requests`` errors.
+    max_queue:
+        Server-wide bound on the coalescer's admission queue (see
+        :class:`~repro.server.coalescer.BatchCoalescer`).  An arrival
+        finding the queue full is shed with an ``overloaded`` error
+        carrying a ``retry_after_ms`` backoff hint; under sustained
+        overload the server additionally sheds the oldest open chunked
+        stream to release its pinned snapshot.  ``None`` keeps the
+        coalescer default (``8 * max_batch``).
     max_subscriptions:
         Per-connection cap on standing subscriptions (a separate budget
         from ``max_inflight`` — subscriptions are long-lived by design,
@@ -171,6 +190,7 @@ class QueryServer:
         max_batch: int = 64,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_inflight: int = 32,
+        max_queue: Optional[int] = None,
         max_subscriptions: int = 10_000,
     ) -> None:
         self._db = database
@@ -191,8 +211,13 @@ class QueryServer:
             database,
             window_ms=window_ms,
             max_batch=max_batch,
+            max_queue=max_queue,
             ready_hint=lambda: self.active_connections,
         )
+        #: per-query-kind service-latency histograms (stats ``latency``)
+        self.latency = LatencyPanel()
+        #: monotonic stamp source for stream open order (shed policy)
+        self._stream_clock = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         #: lifetime server counters (the ``server`` stats section)
@@ -207,6 +232,8 @@ class QueryServer:
             "subscriptions_opened": 0,
             "subscriptions_closed": 0,
             "notifications_sent": 0,
+            "queries_shed": 0,
+            "streams_shed": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -357,11 +384,16 @@ class QueryServer:
         request_id: Optional[int],
         code: str,
         message: str,
+        *,
+        retry_after_ms: Optional[int] = None,
     ) -> None:
         """Write an ``error`` frame and count it."""
         self.metrics["errors_sent"] += 1
         await self._send(
-            connection, error_frame(request_id, code, message)
+            connection,
+            error_frame(
+                request_id, code, message, retry_after_ms=retry_after_ms
+            ),
         )
 
     # -- frame dispatch ----------------------------------------------------
@@ -432,11 +464,29 @@ class QueryServer:
         if frame.get("stream"):
             await self._open_stream(connection, request_id, spec, frame)
             return
+        admitted_at = perf_counter()
         try:
             # Synchronous admission: the spec is in the batch window
             # before the read loop sees the next frame, so a write frame
             # arriving later on *any* connection cannot reorder ahead.
             future = self.coalescer.enqueue(spec, client=connection)
+        except CoalescerOverloaded as exc:
+            # Load shed: the bounded admission queue is full.  The
+            # arrival is refused with a backoff hint, and sustained
+            # overload also evicts the oldest open stream — the one
+            # resource class that pins memory (a snapshot) while
+            # contributing nothing to draining the queue.
+            connection.inflight.discard(request_id)
+            self.metrics["queries_shed"] += 1
+            await self._shed_oldest_stream(exc.retry_after_ms)
+            await self._send_error(
+                connection,
+                request_id,
+                "overloaded",
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+            return
         except Exception as exc:
             connection.inflight.discard(request_id)
             # Admission-time rejections (degenerate regions, empty
@@ -450,10 +500,47 @@ class QueryServer:
             await self._send_error(connection, request_id, code, str(exc))
             return
         task = asyncio.ensure_future(
-            self._deliver_result(connection, request_id, spec, frame, future)
+            self._deliver_result(
+                connection, request_id, spec, frame, future, admitted_at
+            )
         )
         connection.tasks.add(task)
         task.add_done_callback(connection.tasks.discard)
+
+    async def _shed_oldest_stream(self, retry_after_ms: int) -> None:
+        """Overload shed policy: evict the oldest open chunked stream.
+
+        Open streams pin MVCC snapshots for as long as the client cares
+        to paginate — under overload that is memory held against the
+        very capacity the queue is waiting for.  The oldest stream (the
+        one whose snapshot horizon is furthest behind, pinning the most
+        superseded state) is torn down and its owner notified with an
+        ``overloaded`` error so it can re-issue the query after the
+        backoff.  No-op when no stream is open.
+        """
+        victim_connection: Optional[_Connection] = None
+        victim: Optional[_Stream] = None
+        for candidate in self._connections:
+            for stream in candidate.streams.values():
+                if victim is None or stream.opened < victim.opened:
+                    victim_connection = candidate
+                    victim = stream
+        if victim is None or victim_connection is None:
+            return
+        victim_connection.streams.pop(victim.request_id, None)
+        victim_connection.inflight.discard(victim.request_id)
+        victim.close()
+        self.metrics["streams_shed"] += 1
+        try:
+            await self._send_error(
+                victim_connection,
+                victim.request_id,
+                "overloaded",
+                "stream shed under overload; re-issue after backoff",
+                retry_after_ms=retry_after_ms,
+            )
+        except ConnectionError:  # pragma: no cover - victim vanished
+            pass
 
     async def _deliver_result(
         self,
@@ -462,8 +549,15 @@ class QueryServer:
         spec,
         frame: Dict,
         future: "asyncio.Future",
+        admitted_at: float,
     ) -> None:
-        """Await an admitted batch query's record and write its result."""
+        """Await an admitted batch query's record and write its result.
+
+        On success the admission-to-response wall time lands in the
+        per-kind latency histogram — the server-side component of what
+        the client experiences, including queue wait, batch execution,
+        and response serialisation.
+        """
         try:
             try:
                 record = await future
@@ -494,6 +588,9 @@ class QueryServer:
             if frame.get("explain"):
                 response["explain"] = self._db.explain(spec).render()
             await self._send(connection, response)
+            self.latency.record_ms(
+                spec.kind, (perf_counter() - admitted_at) * 1000.0
+            )
         except ConnectionError:
             pass  # client vanished before its result could be written
 
@@ -511,6 +608,7 @@ class QueryServer:
         non-finite coordinates that slipped past frame validation) are
         ``bad-request`` errors and leave the database bit-identical.
         """
+        received_at = perf_counter()
         request_id = frame["id"]
         if (
             request_id in connection.inflight
@@ -571,6 +669,9 @@ class QueryServer:
                 "version": db.version,
                 "points": len(db),
             },
+        )
+        self.latency.record_ms(
+            "write", (perf_counter() - received_at) * 1000.0
         )
 
     def _fan_out(self, op, rows, coords, pre) -> None:
@@ -739,9 +840,16 @@ class QueryServer:
         spec,
         frame: Dict,
     ) -> None:
-        """Start a chunked stream and push its first chunk."""
+        """Start a chunked stream and push its first chunk.
+
+        Time-to-first-chunk lands in the latency panel under the
+        ``stream`` kind — the tail metric a paginating client feels.
+        """
+        opened_at = perf_counter()
         size = frame.get("chunk_size", self.chunk_size)
         stream = _Stream(request_id, chunks=None)  # type: ignore[arg-type]
+        self._stream_clock += 1
+        stream.opened = self._stream_clock
 
         def count(_point) -> bool:
             # The examined counter rides the spec's predicate slot: the
@@ -767,6 +875,9 @@ class QueryServer:
         connection.streams[request_id] = stream
         self.metrics["streams_opened"] += 1
         await self._push_chunk(connection, stream)
+        self.latency.record_ms(
+            "stream", (perf_counter() - opened_at) * 1000.0
+        )
 
     async def _push_chunk(
         self, connection: _Connection, stream: _Stream
@@ -853,6 +964,10 @@ class QueryServer:
         server["streams_open"] = self.active_streams
         subscriptions = self.registry.stats.as_dict()
         subscriptions["active"] = self.registry.active
+        latency: Dict[str, object] = {
+            "admission_wait": self.coalescer.admission_wait.as_dict(),
+            "kinds": self.latency.as_dict(),
+        }
         await self._send(
             connection,
             {
@@ -861,6 +976,7 @@ class QueryServer:
                 "coalescer": self.coalescer.stats.as_dict(),
                 "engine": self._db.engine.totals.as_dict(),
                 "subscriptions": subscriptions,
+                "latency": latency,
             },
         )
 

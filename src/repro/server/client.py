@@ -42,6 +42,7 @@ from __future__ import annotations
 import select
 import socket
 import time
+import weakref
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional
 
@@ -63,13 +64,32 @@ class RemoteError(RuntimeError):
     """An ``error`` frame received from the server.
 
     Carries the frame's stable ``code`` (see
-    :data:`repro.server.protocol.ERROR_CODES`) alongside the message.
+    :data:`repro.server.protocol.ERROR_CODES`) alongside the message,
+    and — for ``overloaded`` load-shedding errors — the server's
+    ``retry_after_ms`` backoff hint (``None`` otherwise).
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after_ms: Optional[int] = None,
+    ) -> None:
         super().__init__(f"[{code}] {message}")
         #: the error frame's machine-readable code
         self.code = code
+        #: load-shedding backoff hint in milliseconds (or ``None``)
+        self.retry_after_ms = retry_after_ms
+
+
+def _remote_error(frame: Dict) -> RemoteError:
+    """Build a :class:`RemoteError` from one decoded ``error`` frame."""
+    return RemoteError(
+        frame["code"],
+        frame["message"],
+        retry_after_ms=frame.get("retry_after_ms"),
+    )
 
 
 class RemoteResult:
@@ -209,6 +229,13 @@ class QueryClient:
         # server-pushed notify frames read while waiting for another
         # response; drained by notifications()
         self._notifications: Deque[Notification] = deque()
+        # open RemoteStream instances by request id (weak: an abandoned
+        # stream must still reach its finalizer).  Lets an unsolicited
+        # 'overloaded' error — the server shedding a stream — land on
+        # the right stream instead of poisoning an unrelated response.
+        self._streams: "weakref.WeakValueDictionary[int, RemoteStream]" = (
+            weakref.WeakValueDictionary()
+        )
         #: the server's ``hello`` frame (protocol checked on connect)
         self.hello = self._read_frame()
         if self.hello.get("type") != "hello":
@@ -296,7 +323,11 @@ class QueryClient:
                 self._unacked_cancels.discard(frame_id)
                 continue
             if frame["type"] == "error":
-                raise RemoteError(frame["code"], frame["message"])
+                if frame_id != request_id and self._absorb_stream_shed(
+                    frame
+                ):
+                    continue
+                raise _remote_error(frame)
             if request_id is not None and frame_id != request_id:
                 raise ProtocolError(
                     "bad-frame",
@@ -304,6 +335,27 @@ class QueryClient:
                     f"expected {request_id}",
                 )
             return frame
+
+    def _absorb_stream_shed(self, frame: Dict) -> bool:
+        """Route an unsolicited ``error`` frame to the stream it sheds.
+
+        Under overload the server may tear down an open stream and push
+        an ``overloaded`` error carrying that stream's id.  When the
+        frame names one of this client's open streams, the stream is
+        marked shed (its iterator raises the error on the next row) and
+        the frame is consumed; returns ``False`` for every other error
+        frame so the caller raises it normally.
+        """
+        frame_id = frame.get("id")
+        stream = (
+            self._streams.pop(frame_id, None)
+            if frame_id is not None
+            else None
+        )
+        if stream is None:
+            return False
+        stream._mark_shed(_remote_error(frame))
+        return True
 
     def _lazy_cancel(self, request_id: int) -> None:
         """Best-effort ``cancel`` without reading the ack (finalizers).
@@ -387,7 +439,10 @@ class QueryClient:
                 "bad-frame",
                 f"expected a chunk frame, got {first['type']!r}",
             )
-        return RemoteStream(self, request_id, first)
+        stream = RemoteStream(self, request_id, first)
+        if not stream.done:
+            self._streams[request_id] = stream
+        return stream
 
     def _write(self, frame: Dict) -> WriteAck:
         """Send one mutation frame and read its ``write`` ack."""
@@ -536,7 +591,8 @@ class QueryClient:
             if frame["type"] == "notify":
                 self._notifications.append(Notification(frame))
             elif frame["type"] == "error":
-                raise RemoteError(frame["code"], frame["message"])
+                if not self._absorb_stream_shed(frame):
+                    raise _remote_error(frame)
             else:
                 raise ProtocolError(
                     "bad-frame",
@@ -586,6 +642,14 @@ class RemoteStream:
         self.done = bool(first_chunk["done"])
         #: did this side cancel before exhaustion?
         self.cancelled = False
+        #: the ``overloaded`` error that shed this stream server-side
+        #: (``None`` while healthy); raised on the next row fetch
+        self.shed: Optional[RemoteError] = None
+
+    def _mark_shed(self, error: RemoteError) -> None:
+        """Record a server-side shed: the stream is gone, rows raise."""
+        self.shed = error
+        self.cancelled = True
 
     def __iter__(self) -> Iterator:
         """Iterate the remaining rows, fetching chunks on demand."""
@@ -594,6 +658,8 @@ class RemoteStream:
     def __next__(self):
         """The next row; sends ``next`` when the buffer runs dry."""
         while self._position >= len(self._buffer):
+            if self.shed is not None:
+                raise self.shed
             if self.done or self.cancelled:
                 raise StopIteration
             self._fetch()
@@ -615,6 +681,8 @@ class RemoteStream:
         self.chunks_received += 1
         self.examined = int(chunk.get("examined", self.examined))
         self.done = bool(chunk["done"])
+        if self.done:
+            self._client._streams.pop(self._request_id, None)
         self._buffer = list(chunk["rows"])
         self._position = 0
 

@@ -35,19 +35,55 @@ then applies the mutation synchronously on the loop.  Reads admitted
 after the write land in a fresh batch and see the new version
 (read-your-writes for every connection, since admission order is
 arrival order).
+
+**Backpressure.**  Flush triggers *schedule a drain* on the next
+event-loop turn rather than executing inline, and each drain takes at
+most ``max_batch`` requests off the front of the queue.  Between
+drains the loop keeps reading sockets, so under sustained overload the
+admission queue genuinely grows — and is bounded: once ``max_queue``
+specs are waiting, :meth:`BatchCoalescer.enqueue` sheds the arrival
+with :class:`CoalescerOverloaded`, which carries a retry-after hint
+derived from the current backlog and a moving estimate of per-request
+service time.  Shedding at admission (instead of queueing without
+bound) is what keeps the latency of *admitted* requests bounded: a
+request that gets a future will wait at most ``max_queue /
+max_batch`` drains, no matter how hard clients push.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.stats import QueryResult as QueryRecord
 from repro.query.spec import Query
+from repro.server.metrics import LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.database import SpatialDatabase
+
+
+class CoalescerOverloaded(RuntimeError):
+    """Admission refused: the bounded queue is full.
+
+    Raised synchronously by :meth:`BatchCoalescer.enqueue` when
+    ``max_queue`` specs are already waiting.  ``retry_after_ms`` is the
+    server's estimate of when the backlog will have drained — the hint
+    the wire layer forwards to clients in the ``overloaded`` error
+    frame.
+    """
+
+    def __init__(self, pending: int, retry_after_ms: int) -> None:
+        super().__init__(
+            f"admission queue full ({pending} pending); "
+            f"retry in ~{retry_after_ms} ms"
+        )
+        #: queue depth observed at the moment of rejection
+        self.pending = pending
+        #: estimated milliseconds until the backlog drains
+        self.retry_after_ms = retry_after_ms
 
 
 @dataclass
@@ -76,6 +112,10 @@ class CoalescerStats:
     writes: int = 0
     #: flushes forced by a write arriving while reads were pending
     write_flushes: int = 0
+    #: arrivals rejected at admission because the queue was full
+    shed_requests: int = 0
+    #: deepest the admission queue has ever been
+    queue_peak: int = 0
     #: standing subscriptions active after the most recent write
     #: fan-out (mirrored from the live-query registry by the server)
     subscriptions: int = 0
@@ -118,6 +158,8 @@ class CoalescerStats:
             "window_flushes": self.window_flushes,
             "writes": self.writes,
             "write_flushes": self.write_flushes,
+            "shed_requests": self.shed_requests,
+            "queue_peak": self.queue_peak,
             "subscriptions": self.subscriptions,
             "notifications": self.notifications,
             "subscription_fanout": self.subscription_fanout,
@@ -140,8 +182,18 @@ class BatchCoalescer:
         ``0`` flushes on the next event-loop turn (per-request batches —
         no cross-client sharing, no added latency).
     max_batch:
-        Queue size that triggers an immediate flush, bounding both the
-        admission latency under load and the per-batch memory.
+        Largest batch one flush will execute: reaching this many
+        pending specs schedules a drain without waiting out the window,
+        and every drain takes at most this many off the queue —
+        bounding both the per-batch memory and how long one flush can
+        hold the event loop.
+    max_queue:
+        Bound on the admission queue.  An arrival finding this many
+        specs already pending is shed with :class:`CoalescerOverloaded`
+        instead of queued.  Defaults to ``8 * max_batch`` — deep enough
+        that normal bursts never touch it, shallow enough that the
+        queueing delay of admitted requests stays within a few batch
+        lifetimes.
     ready_hint:
         Optional zero-argument callable returning how many distinct
         clients could currently be submitting (the server passes its
@@ -157,21 +209,36 @@ class BatchCoalescer:
         *,
         window_ms: float = 2.0,
         max_batch: int = 64,
+        max_queue: Optional[int] = None,
         ready_hint: Optional[Callable[[], int]] = None,
     ) -> None:
         if window_ms < 0:
             raise ValueError(f"window_ms must be >= 0, got {window_ms!r}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        if max_queue is None:
+            max_queue = 8 * int(max_batch)
+        if max_queue < max_batch:
+            raise ValueError(
+                f"max_queue must be >= max_batch, got {max_queue!r}"
+            )
         self._db = database
         self.window_ms = float(window_ms)
         self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
         self.ready_hint = ready_hint
         #: admission accounting over this coalescer's lifetime
         self.stats = CoalescerStats()
-        self._pending: List[Tuple[Query, asyncio.Future, object]] = []
+        #: admission-queue wait (enqueue -> flush start) per request
+        self.admission_wait = LatencyHistogram()
+        self._pending: List[
+            Tuple[Query, asyncio.Future, object, float]
+        ] = []
         self._pending_clients: set = set()
         self._timer: Optional[asyncio.TimerHandle] = None
+        self._drain_scheduled = False
+        #: EWMA of per-request execution time, feeds the retry hint
+        self._service_ewma_ms: Optional[float] = None
 
     @property
     def pending(self) -> int:
@@ -192,24 +259,50 @@ class BatchCoalescer:
         immediately (:meth:`~repro.engine.batch.BatchQueryEngine.validate_spec`)
         without poisoning the shared batch; execution errors inside a
         flush land on every future of that batch.
+
+        Raises :class:`CoalescerOverloaded` (before creating a future)
+        when ``max_queue`` specs are already pending — the load-shedding
+        admission bound.
         """
         self._db.engine.validate_spec(spec)
+        if len(self._pending) >= self.max_queue:
+            self.stats.shed_requests += 1
+            raise CoalescerOverloaded(
+                len(self._pending), self.retry_after_ms()
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((spec, future, client))
+        self._pending.append((spec, future, client, perf_counter()))
         self._pending_clients.add(client)
         self.stats.requests += 1
+        if len(self._pending) > self.stats.queue_peak:
+            self.stats.queue_peak = len(self._pending)
+        if self._drain_scheduled:
+            return future  # joins the already-scheduled drain's backlog
         if len(self._pending) >= self.max_batch:
             self.stats.full_flushes += 1
-            self._flush()
+            self._schedule_drain()
         elif self._group_complete():
             self.stats.complete_flushes += 1
-            self._flush()
+            self._schedule_drain()
         elif self._timer is None:
             self._timer = loop.call_later(
                 self.window_ms / 1000.0, self._window_flush
             )
         return future
+
+    def retry_after_ms(self) -> int:
+        """Estimated milliseconds until the current backlog drains.
+
+        The backlog divided by the service rate: queue depth times the
+        EWMA of observed per-request execution time, plus one admission
+        window.  Before the first flush (no EWMA yet) the estimate
+        assumes 1 ms per request — pessimistic enough to spread the
+        first retry wave.
+        """
+        per_request_ms = self._service_ewma_ms or 1.0
+        backlog_ms = len(self._pending) * per_request_ms
+        return max(1, int(backlog_ms + self.window_ms))
 
     async def submit(
         self, spec: Query, *, client: object = None
@@ -237,7 +330,8 @@ class BatchCoalescer:
         """
         if self._pending:
             self.stats.write_flushes += 1
-            self._flush()
+            while self._pending:
+                self._flush(limit=self.max_batch)
         result = mutate()
         self.stats.writes += 1
         return result
@@ -257,24 +351,82 @@ class BatchCoalescer:
         return len(self._pending_clients) >= max(1, self.ready_hint())
 
     def flush_now(self) -> None:
-        """Flush the queue immediately (tests and shutdown paths)."""
-        if self._pending:
-            self._flush()
+        """Flush the whole queue immediately (tests and shutdown paths)."""
+        while self._pending:
+            self._flush(limit=self.max_batch)
+
+    def _schedule_drain(self) -> None:
+        """Arm a drain callback for the next event-loop turn.
+
+        Deferring by one turn (instead of flushing inline) is what
+        makes backpressure observable: the loop gets a chance to read
+        more sockets first, so coincident arrivals join this batch and
+        sustained overload accumulates in the bounded queue instead of
+        being hidden inside ever-larger inline flushes.
+        """
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        asyncio.get_running_loop().call_soon(self._drain)
+
+    def _drain(self) -> None:
+        """Drain callback: flush one batch, then re-trigger as needed.
+
+        Takes at most ``max_batch`` off the queue, then looks at the
+        leftover exactly as :meth:`enqueue` would have: still full —
+        schedule the next drain (interleaving with socket reads rather
+        than monopolizing the loop); group complete — same; otherwise
+        the remainder waits out a fresh admission window.
+        """
+        self._drain_scheduled = False
+        if not self._pending:
+            return
+        self._flush(limit=self.max_batch)
+        if not self._pending:
+            return
+        if len(self._pending) >= self.max_batch:
+            self.stats.full_flushes += 1
+            self._schedule_drain()
+        elif self._group_complete():
+            self.stats.complete_flushes += 1
+            self._schedule_drain()
+        elif self._timer is None:
+            self._timer = asyncio.get_running_loop().call_later(
+                self.window_ms / 1000.0, self._window_flush
+            )
 
     def _window_flush(self) -> None:
         """Timer callback: the admission window expired."""
         self.stats.window_flushes += 1
-        self._flush()
+        self._flush(limit=self.max_batch)
 
-    def _flush(self) -> None:
-        """Execute everything queued as one engine batch; settle futures."""
+    def _flush(self, limit: Optional[int] = None) -> None:
+        """Execute one queued batch as one engine job pool; settle futures.
+
+        Takes the oldest ``limit`` entries (everything when ``None``) —
+        FIFO, so admission order is execution order and the admission
+        wait recorded per request is the true queueing delay.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        batch, self._pending = self._pending, []
-        self._pending_clients = set()
+        if limit is None or limit >= len(self._pending):
+            batch, self._pending = self._pending, []
+            self._pending_clients = set()
+        else:
+            batch = self._pending[:limit]
+            self._pending = self._pending[limit:]
+            self._pending_clients = {
+                client for _, _, client, _ in self._pending
+            }
         if not batch:  # pragma: no cover - timer vs full-flush race guard
             return
+        now = perf_counter()
+        for _, _, _, admitted_at in batch:
+            self.admission_wait.record_ms((now - admitted_at) * 1000.0)
         stats = self.stats
         stats.batches += 1
         size = len(batch)
@@ -282,17 +434,27 @@ class BatchCoalescer:
         stats.batch_sizes[size] = stats.batch_sizes.get(size, 0) + 1
         if size >= 2:
             stats.coalesced_batches += 1
-        clients = {client for _, _, client in batch if client is not None}
+        clients = {
+            client for _, _, client, _ in batch if client is not None
+        }
         if len(clients) >= 2:
             stats.multi_client_batches += 1
-        specs = [spec for spec, _, _ in batch]
+        specs = [spec for spec, _, _, _ in batch]
         try:
             records = self._db.engine.run_specs(specs).results
         except Exception as exc:  # engine failure poisons this batch only
-            for _, future, _ in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_, future, _), record in zip(batch, records):
+        exec_ms = (perf_counter() - now) * 1000.0
+        per_request_ms = exec_ms / size
+        if self._service_ewma_ms is None:
+            self._service_ewma_ms = per_request_ms
+        else:
+            self._service_ewma_ms = (
+                0.8 * self._service_ewma_ms + 0.2 * per_request_ms
+            )
+        for (_, future, _, _), record in zip(batch, records):
             if not future.done():  # submitter may have disconnected
                 future.set_result(record)

@@ -174,6 +174,7 @@ ERROR_CODES = (
     "bad-spec",
     "bad-request",
     "too-many-requests",
+    "overloaded",
     "server-error",
 )
 
@@ -307,6 +308,17 @@ def _validate_error(frame: Dict) -> None:
     _require(
         isinstance(frame.get("message"), str), "'message' must be a string"
     )
+    if "retry_after_ms" in frame:
+        # Load-shedding hint: only 'overloaded' errors carry it today,
+        # but any error is allowed to (additive, like unknown fields).
+        retry = frame["retry_after_ms"]
+        _require(
+            isinstance(retry, (int, float))
+            and not isinstance(retry, bool)
+            and retry >= 0,
+            f"'retry_after_ms' must be a non-negative number, "
+            f"got {retry!r}",
+        )
 
 
 def _validate_hello(frame: Dict) -> None:
@@ -424,15 +436,19 @@ def _validate_stats(frame: Dict) -> None:
                 isinstance(frame[key], dict),
                 f"{key!r} must be an object",
             )
-    if "subscriptions" in frame:
-        _require(
-            len(sections) == 3,
-            "'subscriptions' only rides on a full stats response",
-        )
-        _require(
-            isinstance(frame["subscriptions"], dict),
-            "'subscriptions' must be an object",
-        )
+    for extra in ("subscriptions", "latency"):
+        # Additive sections: 'subscriptions' (live queries, PR 7) and
+        # 'latency' (per-kind histograms + admission wait) ride on a
+        # full response only; servers without the feature omit them.
+        if extra in frame:
+            _require(
+                len(sections) == 3,
+                f"{extra!r} only rides on a full stats response",
+            )
+            _require(
+                isinstance(frame[extra], dict),
+                f"{extra!r} must be an object",
+            )
 
 
 def _check_version(frame: Dict) -> None:
@@ -709,10 +725,21 @@ def rows_to_wire(rows: Iterable) -> List:
 
 
 def error_frame(
-    request_id: Optional[int], code: str, message: str
+    request_id: Optional[int],
+    code: str,
+    message: str,
+    *,
+    retry_after_ms: Optional[int] = None,
 ) -> Dict:
-    """Build an ``error`` frame (``request_id`` may be None)."""
+    """Build an ``error`` frame (``request_id`` may be None).
+
+    ``retry_after_ms`` attaches the load-shedding hint carried by
+    ``overloaded`` errors: how long the client should back off before
+    resubmitting.
+    """
     frame: Dict = {"type": "error", "code": code, "message": message}
     if request_id is not None:
         frame["id"] = request_id
+    if retry_after_ms is not None:
+        frame["retry_after_ms"] = retry_after_ms
     return frame

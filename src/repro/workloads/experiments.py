@@ -55,7 +55,7 @@ from repro.query.spec import (
     UnionQuery,
     WindowQuery,
 )
-from repro.workloads.generators import uniform_points
+from repro.workloads.generators import bursty_arrivals, uniform_points, zipf_ranks
 from repro.workloads.queries import QueryWorkload
 
 #: The paper's sweep values.
@@ -1071,6 +1071,689 @@ def render_figure(
 
 # -- command line ---------------------------------------------------------------
 
+# ---------------------------------------------------------------------------
+# Production traffic realism: skewed sessions, tail latency, overload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionOp:
+    """One operation of a production session, tagged with its session.
+
+    ``kind`` is ``window``/``area``/``knn`` (reads), ``insert`` (a
+    write), or ``subscribe``/``unsubscribe`` (live queries); ``payload``
+    is the matching :class:`~repro.query.spec.Query` spec or the insert
+    coordinate pair.  The ``session`` tag routes every op of one tenant
+    to the same connection when the trace is driven over the wire.
+    """
+
+    kind: str
+    payload: object
+    session: int
+
+
+def make_production_sessions(
+    *,
+    sessions: int = 24,
+    ops_per_session: int = 12,
+    tiles: int = 12,
+    alpha: float = 1.1,
+    query_size: float = 0.002,
+    write_fraction: float = 0.08,
+    subscribe_fraction: float = 0.25,
+    knn_fraction: float = 0.15,
+    area_fraction: float = 0.1,
+    limit: Optional[int] = 64,
+    seed: int = 0,
+) -> List[SessionOp]:
+    """A skewed mixed read/write/subscribe trace of tenant sessions.
+
+    The unit square is cut into a ``tiles`` x ``tiles`` grid whose
+    popularity follows a Zipf law (:func:`~repro.workloads.generators.zipf_ranks`
+    with exponent ``alpha``, ranks scattered spatially): every session
+    picks its *home tile* by popularity, so a handful of hot tiles
+    absorb most sessions while the long tail stays sparsely touched —
+    the defining skew of production map traffic, and the access pattern
+    the server's LRU cache and coalescer actually face.
+
+    Each session issues ``ops_per_session`` operations against its home
+    tile: mostly jittered viewport :class:`WindowQuery` reads (capped at
+    ``limit`` rows, the first-page pattern), a ``knn_fraction`` of
+    k-nearest probes and an ``area_fraction`` of Voronoi-method polygon
+    reads at the tile centre, and a ``write_fraction`` of point inserts
+    (a vehicle reporting in).  With probability ``subscribe_fraction`` a
+    session brackets its reads in a standing subscription on its
+    viewport — opened first, torn down last — so live-query fan-out
+    rides the same trace.  Ops are interleaved round-robin across
+    sessions (concurrent tenants, not one after another).  Deterministic
+    in ``seed``.
+    """
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    if ops_per_session < 2:
+        raise ValueError(
+            f"ops_per_session must be >= 2, got {ops_per_session}"
+        )
+    if tiles < 1:
+        raise ValueError(f"tiles must be >= 1, got {tiles}")
+    rng = random.Random(seed)
+    side = 1.0 / tiles
+    # Scatter popularity ranks over the grid so hot tiles are not
+    # spatially adjacent (hot spots in a city are not one contiguous
+    # blob) — rank r of the Zipf draw maps to a shuffled tile.
+    order = list(range(tiles * tiles))
+    rng.shuffle(order)
+    homes = [
+        order[rank]
+        for rank in zipf_ranks(
+            tiles * tiles, sessions, alpha=alpha, seed=rng.randrange(2**31)
+        )
+    ]
+
+    def tile_rect(tile: int) -> Tuple[float, float, float, float]:
+        """The bounding rectangle of grid tile ``tile``."""
+        tx, ty = divmod(tile, tiles)
+        return (tx * side, ty * side, (tx + 1) * side, (ty + 1) * side)
+
+    per_session: List[List[SessionOp]] = []
+    for session, tile in enumerate(homes):
+        min_x, min_y, max_x, max_y = tile_rect(tile)
+        cx = (min_x + max_x) / 2.0
+        cy = (min_y + max_y) / 2.0
+        view = math.sqrt(query_size)
+        ops: List[SessionOp] = []
+        subscribed = rng.random() < subscribe_fraction
+        if subscribed:
+            ops.append(
+                SessionOp(
+                    "subscribe",
+                    WindowQuery((min_x, min_y, max_x, max_y)),
+                    session,
+                )
+            )
+        body = ops_per_session - (2 if subscribed else 0)
+        for _ in range(max(1, body)):
+            draw = rng.random()
+            jx = rng.uniform(-0.3, 0.3) * side
+            jy = rng.uniform(-0.3, 0.3) * side
+            if draw < write_fraction:
+                ops.append(
+                    SessionOp(
+                        "insert",
+                        (
+                            min(max(cx + jx, 0.0), 1.0),
+                            min(max(cy + jy, 0.0), 1.0),
+                        ),
+                        session,
+                    )
+                )
+            elif draw < write_fraction + knn_fraction:
+                ops.append(
+                    SessionOp(
+                        "knn", KnnQuery((cx + jx, cy + jy), 8), session
+                    )
+                )
+            elif draw < write_fraction + knn_fraction + area_fraction:
+                polygon = random_query_polygon(query_size, rng=rng)
+                mbr = polygon.mbr
+                dx = cx - (mbr.min_x + mbr.max_x) / 2.0
+                dy = cy - (mbr.min_y + mbr.max_y) / 2.0
+                ops.append(
+                    SessionOp(
+                        "area",
+                        AreaQuery(
+                            Polygon(
+                                [
+                                    Point(p.x + dx, p.y + dy)
+                                    for p in polygon.vertices
+                                ]
+                            ),
+                            method="voronoi",
+                            limit=limit,
+                        ),
+                        session,
+                    )
+                )
+            else:
+                ops.append(
+                    SessionOp(
+                        "window",
+                        WindowQuery(
+                            (
+                                cx + jx - view / 2,
+                                cy + jy - view / 2,
+                                cx + jx + view / 2,
+                                cy + jy + view / 2,
+                            ),
+                            limit=limit,
+                        ),
+                        session,
+                    )
+                )
+        if subscribed:
+            ops.append(SessionOp("unsubscribe", None, session))
+        per_session.append(ops)
+    # Round-robin interleave: tenants are concurrent, so their ops mix
+    # on the wire instead of running session after session.
+    interleaved: List[SessionOp] = []
+    cursor = 0
+    while any(per_session):
+        ops = per_session[cursor % sessions]
+        if ops:
+            interleaved.append(ops.pop(0))
+        cursor += 1
+    return interleaved
+
+
+@dataclass
+class OpenLoopReport:
+    """What an open-loop drive observed, client-side and server-side.
+
+    ``client_latency_ms`` maps op kind to the sorted client-observed
+    round-trip milliseconds of successful responses; ``errors`` counts
+    error frames by code; ``stats_frame`` is the server's closing
+    ``stats`` response (with the ``latency`` section recorded by the
+    server itself).
+    """
+
+    offered: int
+    answered: int
+    duration_s: float
+    client_latency_ms: Dict[str, List[float]]
+    errors: Dict[str, int]
+    notifications: int
+    stats_frame: Dict
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def drive_open_loop(
+    host: str,
+    port: int,
+    ops: Sequence[SessionOp],
+    arrivals: Sequence[float],
+    *,
+    connections: int = 6,
+    time_scale: float = 1.0,
+) -> OpenLoopReport:
+    """Send ``ops`` at their ``arrivals`` timestamps; measure what comes back.
+
+    The *open-loop* load model: operation ``i`` goes out at
+    ``arrivals[i] * time_scale`` seconds after the drive starts,
+    whether or not earlier responses have arrived — exactly how
+    production traffic behaves (users do not politely wait for each
+    other), and the only model under which queueing delay and overload
+    are observable at all.  A closed loop self-throttles: it can never
+    offer more than the server absorbs, so its latencies look flat
+    right up to collapse.
+
+    Sessions are dealt to ``connections`` sockets (every op of one
+    session stays on its session's connection); each connection runs a
+    paced writer thread and a reader thread that timestamps responses.
+    Error frames are counted by code, never raised — shed requests are
+    data here, not failures.  Returns an :class:`OpenLoopReport` whose
+    ``stats_frame`` is fetched over a fresh connection after the drive.
+    """
+    import json as _json
+    import socket as _socket
+    import threading
+
+    if len(ops) != len(arrivals):
+        raise ValueError(
+            f"ops and arrivals must pair up, got {len(ops)} ops "
+            f"and {len(arrivals)} arrivals"
+        )
+    from repro.query.serialize import spec_to_dict
+
+    per_connection: List[List[Tuple[float, SessionOp]]] = [
+        [] for _ in range(connections)
+    ]
+    for op, arrival in zip(ops, arrivals):
+        per_connection[op.session % connections].append(
+            (arrival * time_scale, op)
+        )
+
+    latencies: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    notifications = [0]
+    answered = [0]
+    guard = threading.Lock()
+    failures: List[BaseException] = []
+
+    def run_connection(plan: List[Tuple[float, SessionOp]]) -> None:
+        if not plan:
+            return
+        sock = _socket.create_connection((host, port), timeout=60)
+        reader = sock.makefile("rb")
+        try:
+            hello = _json.loads(reader.readline())
+            assert hello["type"] == "hello"
+            # Per-id FIFO: an unsubscribe reuses its subscription's wire
+            # id, and the open loop may send it while the subscribed ack
+            # is still in flight — a plain dict entry would be
+            # overwritten and one response would find nothing to match.
+            pending: Dict[int, List[Tuple[str, float]]] = {}
+            subscription_ids: Dict[int, int] = {}
+            local_notifications = 0
+            local_latencies: Dict[str, List[float]] = {}
+            local_errors: Dict[str, int] = {}
+            done = threading.Event()
+
+            def read_responses() -> None:
+                expected = len(plan)
+                seen = 0
+                nonlocal local_notifications
+                while seen < expected:
+                    frame = _json.loads(reader.readline())
+                    received = time.perf_counter()
+                    if frame["type"] == "notify":
+                        # A notification reuses its subscription's id:
+                        # never pop the pending entry for it.
+                        local_notifications += 1
+                        continue
+                    queue = pending.get(frame.get("id"))
+                    kind_latency = queue.pop(0) if queue else None
+                    seen += 1
+                    if frame["type"] == "error":
+                        code = frame["code"]
+                        local_errors[code] = (
+                            local_errors.get(code, 0) + 1
+                        )
+                        continue
+                    if kind_latency is None:
+                        continue  # pragma: no cover - defensive
+                    kind, sent = kind_latency
+                    local_latencies.setdefault(kind, []).append(
+                        (received - sent) * 1000.0
+                    )
+                done.set()
+
+            collector = threading.Thread(target=read_responses)
+            collector.start()
+            started = time.perf_counter()
+            next_id = 0
+            for offset, op in plan:
+                next_id += 1
+                frame: Dict = {"id": next_id}
+                if op.kind in ("window", "area", "knn"):
+                    frame["type"] = "query"
+                    frame["spec"] = spec_to_dict(op.payload)
+                elif op.kind == "insert":
+                    x, y = op.payload
+                    frame.update(type="insert", x=x, y=y)
+                elif op.kind == "subscribe":
+                    frame["type"] = "subscribe"
+                    frame["spec"] = spec_to_dict(op.payload)
+                    subscription_ids[op.session] = next_id
+                else:  # "unsubscribe"
+                    frame["type"] = "unsubscribe"
+                    frame["id"] = subscription_ids.pop(
+                        op.session, next_id
+                    )
+                delay = started + offset - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                pending.setdefault(frame["id"], []).append(
+                    (op.kind, time.perf_counter())
+                )
+                sock.sendall(
+                    (_json.dumps(frame) + "\n").encode("utf-8")
+                )
+            done.wait(timeout=120)
+            collector.join(timeout=1)
+            with guard:
+                notifications[0] += local_notifications
+                for kind, values in local_latencies.items():
+                    latencies.setdefault(kind, []).extend(values)
+                    answered[0] += len(values)
+                for code, count in local_errors.items():
+                    errors[code] = errors.get(code, 0) + count
+                    answered[0] += count
+        except BaseException as exc:  # surfaced to the caller below
+            failures.append(exc)
+        finally:
+            sock.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=run_connection, args=(plan,))
+        for plan in per_connection
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    if failures:
+        raise failures[0]
+
+    from repro.server.client import QueryClient
+
+    with QueryClient(host, port) as monitor:
+        stats_frame = monitor.stats()
+    for values in latencies.values():
+        values.sort()
+    return OpenLoopReport(
+        offered=len(ops),
+        answered=answered[0],
+        duration_s=duration,
+        client_latency_ms=latencies,
+        errors=errors,
+        notifications=notifications[0],
+        stats_frame=stats_frame,
+    )
+
+
+@dataclass
+class TailLatencyReport:
+    """Per-kind tail latencies of one skewed-traffic drive."""
+
+    report: OpenLoopReport
+    rate: float
+
+    def kind_percentiles(self) -> Dict[str, Dict[str, float]]:
+        """Client-observed p50/p95/p99 (ms) per op kind, sorted."""
+        out: Dict[str, Dict[str, float]] = {}
+        for kind in sorted(self.report.client_latency_ms):
+            ordered = self.report.client_latency_ms[kind]
+            out[kind] = {
+                "count": float(len(ordered)),
+                "p50_ms": _percentile(ordered, 0.50),
+                "p95_ms": _percentile(ordered, 0.95),
+                "p99_ms": _percentile(ordered, 0.99),
+            }
+        return out
+
+    def server_latency(self) -> Dict:
+        """The server's own ``latency`` stats section."""
+        return self.report.stats_frame["latency"]
+
+
+def run_tail_latency_experiment(
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    data_size: int = 20_000,
+    sessions: int = 24,
+    ops_per_session: int = 12,
+    tiles: int = 12,
+    alpha: float = 1.1,
+    rate: float = 600.0,
+    connections: int = 6,
+    burst_probability: float = 0.08,
+    burst_size: int = 8,
+    window_ms: float = 2.0,
+    max_batch: int = 32,
+    database: Optional[SpatialDatabase] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> TailLatencyReport:
+    """Drive skewed bursty sessions open-loop; report tail latencies.
+
+    The traffic is :func:`make_production_sessions` (Zipf tile
+    popularity, mixed reads/writes/subscriptions) paced by
+    :func:`~repro.workloads.generators.bursty_arrivals` (Poisson gaps
+    with a diurnal wave compressed into the trace and occasional
+    thundering-herd bursts) at a mean of ``rate`` ops/second — brisk
+    but below capacity, so what the percentiles expose is *queueing
+    texture* (bursts stacking into the admission window) rather than
+    overload.  Returns a :class:`TailLatencyReport` combining
+    client-observed and server-recorded (histogram) percentiles.
+
+    Pass a ``database`` built on the **pure (incremental) backend**
+    for the realistic numbers: the scipy backend discards its Delaunay
+    structure on every insert and rebuilds it (hundreds of ms at 2E4
+    points) on the next voronoi/knn read, so under a mixed read/write
+    trace every write detonates a rebuild storm and the tail no longer
+    measures queueing at all.  The CLI ``tail`` target defaults to the
+    pure backend for exactly this reason (``--backend`` overrides).
+    """
+    from repro.server.app import ServerThread
+
+    if database is not None:
+        db = database
+    else:
+        if progress is not None:
+            progress(f"building database of {data_size:,} points...")
+        db = _build_database(data_size, config)
+    ops = make_production_sessions(
+        sessions=sessions,
+        ops_per_session=ops_per_session,
+        tiles=tiles,
+        alpha=alpha,
+        seed=config.seed,
+    )
+    arrivals = bursty_arrivals(
+        len(ops),
+        rate,
+        seed=config.seed,
+        diurnal_period_s=len(ops) / rate,
+        diurnal_amplitude=0.5,
+        burst_probability=burst_probability,
+        burst_size=burst_size,
+    )
+    if progress is not None:
+        progress(
+            f"open-loop drive: {len(ops)} ops, {sessions} sessions, "
+            f"{rate:g}/s offered over {connections} connections"
+        )
+    with ServerThread(
+        db, window_ms=window_ms, max_batch=max_batch, max_inflight=512
+    ) as server:
+        report = drive_open_loop(
+            server.host,
+            server.port,
+            ops,
+            arrivals,
+            connections=connections,
+        )
+    return TailLatencyReport(report=report, rate=rate)
+
+
+def render_tail_table(result: TailLatencyReport) -> str:
+    """Aligned text table of per-kind client and server percentiles."""
+    lines = [
+        f"{'kind':<12} {'count':>6} {'p50 ms':>9} "
+        f"{'p95 ms':>9} {'p99 ms':>9}"
+    ]
+    for kind, row in result.kind_percentiles().items():
+        lines.append(
+            f"{kind:<12} {int(row['count']):>6} {row['p50_ms']:>9.2f} "
+            f"{row['p95_ms']:>9.2f} {row['p99_ms']:>9.2f}"
+        )
+    wait = result.server_latency()["admission_wait"]
+    lines.append(
+        f"{'admission':<12} {wait['count']:>6} {wait['p50_ms']:>9.2f} "
+        f"{wait['p95_ms']:>9.2f} {wait['p99_ms']:>9.2f}"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class OverloadReport:
+    """Outcome of a sustained 2x-capacity overload drive."""
+
+    #: sustainable throughput measured in the calibration phase (req/s)
+    capacity_rps: float
+    #: offered rate of the overload phase (req/s)
+    offered_rps: float
+    #: requests admitted and answered with a result
+    admitted: int
+    #: requests shed with an ``overloaded`` error
+    shed: int
+    #: client-observed p99 of *admitted* window queries (ms)
+    admitted_p99_ms: float
+    #: the duration-independent bound the p99 must stay under (ms)
+    p99_bound_ms: float
+    #: the server's closing stats frame
+    stats_frame: Dict
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered queries shed (0.0 when none offered)."""
+        offered = self.admitted + self.shed
+        return self.shed / offered if offered else 0.0
+
+
+def run_overload_experiment(
+    config: ExperimentConfig = ExperimentConfig(),
+    *,
+    data_size: int = 20_000,
+    query_size: float = 0.002,
+    calibration_requests: int = 400,
+    calibration_clients: int = 4,
+    overload_factor: float = 2.0,
+    duration_s: float = 2.0,
+    connections: int = 8,
+    window_ms: float = 1.0,
+    max_batch: int = 8,
+    max_queue: int = 32,
+    bound_slack: float = 8.0,
+    database: Optional[SpatialDatabase] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> OverloadReport:
+    """Prove bounded tail latency under sustained overload.
+
+    Phase 1 *calibrates capacity*: ``calibration_clients`` closed-loop
+    clients hammer the server as fast as round-trips allow; their
+    aggregate throughput is what this host can actually sustain.
+    Phase 2 *offers ``overload_factor`` times that* open-loop for
+    ``duration_s`` seconds against a server with a deliberately small
+    admission queue (``max_queue``).  Without backpressure the queue —
+    and with it the latency of every admitted request — would grow
+    linearly for the whole duration; with the bounded queue the server
+    sheds the excess (``overloaded`` + retry hint) and an admitted
+    request waits at most ``max_queue`` service times.  The report's
+    ``p99_bound_ms`` is exactly that product (times ``bound_slack``
+    for scheduling noise, plus the admission window): a
+    **duration-independent** ceiling — the observable that load
+    shedding works — while ``shed_rate`` rises with the overload.
+    """
+    from repro.server.app import ServerThread
+
+    if database is not None:
+        db = database
+    else:
+        if progress is not None:
+            progress(f"building database of {data_size:,} points...")
+        db = _build_database(data_size, config)
+    def distinct_windows(count: int, seed: int) -> List[WindowQuery]:
+        """``count`` all-distinct small windows (no result-cache hits).
+
+        Calibration must measure real execution throughput, so its
+        trace has the same shape as the overload phase: every window
+        unique.  A repeated trace would calibrate the LRU result cache
+        instead and overstate capacity several-fold.
+        """
+        rng = random.Random(seed)
+        side = math.sqrt(query_size)
+        out = []
+        for _ in range(count):
+            cx = rng.uniform(0.1, 0.9)
+            cy = rng.uniform(0.1, 0.9)
+            out.append(
+                WindowQuery(
+                    (
+                        cx - side / 2,
+                        cy - side / 2,
+                        cx + side / 2,
+                        cy + side / 2,
+                    ),
+                    limit=64,
+                )
+            )
+        return out
+
+    trace = distinct_windows(calibration_requests, config.seed + 1)
+
+    with ServerThread(
+        db, window_ms=window_ms, max_batch=max_batch
+    ) as server:
+        started = time.perf_counter()
+        serve_trace_concurrent(
+            server.host, server.port, trace, calibration_clients
+        )
+        calibration_s = time.perf_counter() - started
+    capacity_rps = len(trace) / calibration_s
+    service_ms = 1000.0 / capacity_rps
+    if progress is not None:
+        progress(
+            f"calibrated capacity: {capacity_rps:,.0f} req/s "
+            f"({service_ms:.3f} ms/request)"
+        )
+
+    offered_rps = capacity_rps * overload_factor
+    count = int(offered_rps * duration_s)
+    ops = [
+        SessionOp("window", spec, session=i)
+        for i, spec in enumerate(
+            distinct_windows(count, config.seed)
+        )
+    ]
+    arrivals = bursty_arrivals(
+        count,
+        offered_rps,
+        seed=config.seed,
+        burst_probability=0.05,
+        burst_size=max_batch,
+    )
+    if progress is not None:
+        progress(
+            f"overload drive: {count} requests at {offered_rps:,.0f}/s "
+            f"({overload_factor:g}x capacity), max_queue={max_queue}"
+        )
+    with ServerThread(
+        db,
+        window_ms=window_ms,
+        max_batch=max_batch,
+        max_queue=max_queue,
+        max_inflight=10_000,
+    ) as server:
+        report = drive_open_loop(
+            server.host,
+            server.port,
+            ops,
+            arrivals,
+            connections=connections,
+        )
+    admitted_latencies = report.client_latency_ms.get("window", [])
+    admitted_p99 = _percentile(admitted_latencies, 0.99)
+    shed = report.errors.get("overloaded", 0)
+    p99_bound_ms = window_ms + max_queue * service_ms * bound_slack
+    return OverloadReport(
+        capacity_rps=capacity_rps,
+        offered_rps=offered_rps,
+        admitted=len(admitted_latencies),
+        shed=shed,
+        admitted_p99_ms=admitted_p99,
+        p99_bound_ms=p99_bound_ms,
+        stats_frame=report.stats_frame,
+    )
+
+
+def render_overload_table(result: OverloadReport) -> str:
+    """Aligned text summary of one overload drive."""
+    coalescer = result.stats_frame["coalescer"]
+    rows = [
+        ("capacity (calibrated)", f"{result.capacity_rps:,.0f} req/s"),
+        ("offered", f"{result.offered_rps:,.0f} req/s"),
+        ("admitted", f"{result.admitted}"),
+        ("shed (overloaded)", f"{result.shed}"),
+        ("shed rate", f"{result.shed_rate:.1%}"),
+        ("admitted p99", f"{result.admitted_p99_ms:.2f} ms"),
+        ("p99 bound", f"{result.p99_bound_ms:.2f} ms"),
+        ("queue peak", f"{coalescer['queue_peak']}"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(
+        f"{label:<{width}}  {value}" for label, value in rows
+    )
+
+
 _TARGETS = (
     "table1",
     "table2",
@@ -1082,6 +1765,8 @@ _TARGETS = (
     "mixed",
     "composite",
     "serve",
+    "tail",
+    "overload",
     "all",
 )
 
@@ -1143,6 +1828,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=5.0,
         help="serve target: cross-client coalescing window",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=24,
+        help="tail target: concurrent tenant sessions in the trace",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=600.0,
+        help="tail target: mean offered ops/second",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="overload target: coalescer admission-queue bound",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        help="overload target: seconds of sustained 2x-capacity load",
     )
     args = parser.parse_args(argv)
 
@@ -1233,6 +1942,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_batch_table(composite_rows))
         if args.target == "composite":
             return 0
+
+    if args.target == "tail":
+        # Mixed read/write serving needs the incremental backend: the
+        # scipy backend rebuilds its whole Delaunay structure on the
+        # first voronoi/knn read after every write, and that rebuild
+        # storm would drown the queueing behaviour this target shows.
+        tail_config = (
+            config
+            if args.backend is not None
+            else replace(config, backend_kind="pure")
+        )
+        tail = run_tail_latency_experiment(
+            tail_config,
+            data_size=args.data_size or 20_000,
+            sessions=args.sessions,
+            rate=args.rate,
+            window_ms=min(args.window_ms, 2.0),
+            progress=progress,
+        )
+        print(
+            f"\nTail latency under skewed bursty traffic "
+            f"({args.sessions} sessions, {args.rate:g} ops/s offered):"
+        )
+        print(render_tail_table(tail))
+        return 0
+
+    if args.target == "overload":
+        overload = run_overload_experiment(
+            config,
+            data_size=args.data_size or 20_000,
+            max_queue=args.max_queue,
+            duration_s=args.duration,
+            progress=progress,
+        )
+        print(
+            f"\nOverload shedding at "
+            f"{overload.offered_rps / overload.capacity_rps:.1f}x "
+            f"calibrated capacity (max_queue={args.max_queue}):"
+        )
+        print(render_overload_table(overload))
+        return 0
 
     need_data = args.target in ("table1", "fig4", "fig5", "all")
     need_query = args.target in ("table2", "fig6", "fig7", "all")

@@ -1,0 +1,116 @@
+"""Unit tests of the log2 latency histogram and the per-kind panel."""
+
+import pytest
+
+from repro.server.metrics import (
+    BUCKET_COUNT,
+    LatencyHistogram,
+    LatencyPanel,
+)
+
+
+class TestBucketing:
+    def test_empty_histogram_reports_zeroes(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean_ms == 0.0
+        assert hist.max_ms == 0.0
+        assert hist.p50_ms == 0.0
+        assert hist.p95_ms == 0.0
+        assert hist.p99_ms == 0.0
+
+    def test_bucket_index_is_log2_of_microseconds(self):
+        # 1 us has bit_length 1; each doubling moves one bucket up.
+        assert LatencyHistogram.bucket_index(0.0) == 0
+        assert LatencyHistogram.bucket_index(0.001) == 1  # 1 us
+        assert LatencyHistogram.bucket_index(0.002) == 2  # 2 us
+        assert LatencyHistogram.bucket_index(1.0) == 10  # 1000 us
+        assert LatencyHistogram.bucket_index(-5.0) == 0
+
+    def test_huge_observations_clamp_to_the_last_bucket(self):
+        hist = LatencyHistogram()
+        hist.record_ms(1e15)
+        assert hist.count == 1
+        assert hist.nonzero_buckets()[0][1] == 1
+        assert (
+            LatencyHistogram.bucket_index(1e15) == BUCKET_COUNT - 1
+        )
+
+    def test_upper_edges_double_per_bucket(self):
+        edges = [
+            LatencyHistogram.bucket_upper_ms(i) for i in range(5)
+        ]
+        for narrow, wide in zip(edges, edges[1:]):
+            assert wide == 2 * narrow
+
+
+class TestQuantiles:
+    def test_percentile_is_an_upper_bound_within_2x(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.record_ms(3.0)
+        # Every observation is 3 ms, so any quantile must land in
+        # [3 ms, 6 ms): the true value, over-reported by < 2x.
+        for q in (0.5, 0.95, 0.99, 1.0):
+            assert 3.0 <= hist.percentile_ms(q) < 6.0
+
+    def test_tail_separates_from_the_body(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record_ms(1.0)
+        hist.record_ms(1000.0)
+        assert hist.p50_ms < 3.0
+        assert hist.p99_ms < 3.0  # rank 99 still sits in the body
+        assert hist.percentile_ms(1.0) == pytest.approx(1000.0)
+
+    def test_percentile_never_exceeds_the_true_max(self):
+        hist = LatencyHistogram()
+        hist.record_ms(5.0)  # bucket upper edge is 8.192 ms
+        assert hist.percentile_ms(1.0) == 5.0
+        assert hist.max_ms == 5.0
+
+    def test_mean_and_max_are_exact(self):
+        hist = LatencyHistogram()
+        for value in (1.0, 2.0, 9.0):
+            hist.record_ms(value)
+        assert hist.mean_ms == pytest.approx(4.0)
+        assert hist.max_ms == 9.0
+
+    def test_quantile_argument_is_validated(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile_ms(1.5)
+
+
+class TestWireForm:
+    def test_as_dict_schema_and_conservation(self):
+        hist = LatencyHistogram()
+        for value in (0.5, 0.7, 3.0, 40.0):
+            hist.record_ms(value)
+        data = hist.as_dict()
+        assert set(data) == {
+            "count",
+            "mean_ms",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "max_ms",
+            "buckets",
+        }
+        assert data["count"] == 4
+        # every observation is in exactly one bucket
+        assert sum(data["buckets"].values()) == 4
+        # bucket keys are the upper edges in ms, parseable as floats
+        assert all(float(key) > 0 for key in data["buckets"])
+
+    def test_panel_creates_kinds_lazily_and_sorts(self):
+        panel = LatencyPanel()
+        assert panel.kinds == ()
+        panel.record_ms("window", 1.0)
+        panel.record_ms("knn", 2.0)
+        panel.record_ms("window", 3.0)
+        assert panel.kinds == ("knn", "window")
+        data = panel.as_dict()
+        assert list(data) == ["knn", "window"]
+        assert data["window"]["count"] == 2
+        assert data["knn"]["count"] == 1
+        assert panel.histogram("window").max_ms == 3.0

@@ -327,3 +327,179 @@ class TestServeThroughput:
         out = capsys.readouterr().out
         assert "Served throughput over the NDJSON wire" in out
         assert "serve/sequential" in out
+
+
+class TestProductionSessions:
+    def test_structure_and_interleave(self):
+        from repro.workloads.experiments import make_production_sessions
+
+        ops = make_production_sessions(sessions=8, ops_per_session=6, seed=2)
+        assert len(ops) > 0
+        sessions = {op.session for op in ops}
+        assert sessions == set(range(8))
+        # Round-robin interleave: the first ops cycle through sessions
+        # rather than draining one session at a time.
+        first_eight = [op.session for op in ops[:8]]
+        assert len(set(first_eight)) > 1
+        kinds = {op.kind for op in ops}
+        assert "window" in kinds
+        assert kinds <= {
+            "window",
+            "area",
+            "knn",
+            "insert",
+            "subscribe",
+            "unsubscribe",
+        }
+
+    def test_deterministic_and_seed_sensitive(self):
+        from repro.workloads.experiments import make_production_sessions
+
+        a = make_production_sessions(sessions=5, ops_per_session=8, seed=3)
+        b = make_production_sessions(sessions=5, ops_per_session=8, seed=3)
+        c = make_production_sessions(sessions=5, ops_per_session=8, seed=4)
+        assert [(o.kind, o.session) for o in a] == [
+            (o.kind, o.session) for o in b
+        ]
+        assert [(o.kind, o.session) for o in a] != [
+            (o.kind, o.session) for o in c
+        ]
+
+    def test_subscriptions_bracket_their_session(self):
+        """A session that subscribes does so first and unsubscribes
+        last — subscription lifetime spans the session."""
+        from repro.workloads.experiments import make_production_sessions
+
+        ops = make_production_sessions(
+            sessions=30, ops_per_session=6, subscribe_fraction=1.0, seed=1
+        )
+        by_session = {}
+        for op in ops:
+            by_session.setdefault(op.session, []).append(op.kind)
+        for session, kinds in by_session.items():
+            assert kinds[0] == "subscribe", (session, kinds)
+            assert kinds[-1] == "unsubscribe", (session, kinds)
+
+    def test_zipf_home_tiles_concentrate_traffic(self):
+        """Most sessions should live on a few hot tiles: the spread of
+        distinct window anchors must be far below the session count."""
+        from repro.workloads.experiments import make_production_sessions
+
+        ops = make_production_sessions(
+            sessions=64,
+            ops_per_session=4,
+            tiles=12,
+            alpha=1.3,
+            subscribe_fraction=0.0,
+            write_fraction=0.0,
+            knn_fraction=0.0,
+            area_fraction=0.0,
+            seed=0,
+        )
+        # Bucket window centres to their tile; Zipf should leave some
+        # of the 144 tiles untouched while the hot ones dominate.
+        centres = set()
+        for op in ops:
+            rect = op.payload.rect
+            centres.add(
+                (round((rect.min_x + rect.max_x) / 2, 1),
+                 round((rect.min_y + rect.max_y) / 2, 1))
+            )
+        assert len(centres) < 64
+
+
+class TestTailLatencyExperiment:
+    def test_small_run_end_to_end(self):
+        from repro.core.database import SpatialDatabase
+        from repro.workloads.experiments import (
+            render_tail_table,
+            run_tail_latency_experiment,
+        )
+        from repro.workloads.generators import uniform_points
+
+        db = SpatialDatabase.from_points(
+            uniform_points(600, seed=11), backend_kind="pure"
+        ).prepare()
+        result = run_tail_latency_experiment(
+            ExperimentConfig(seed=5),
+            data_size=600,
+            sessions=4,
+            ops_per_session=5,
+            rate=400.0,
+            connections=2,
+            database=db,
+        )
+        report = result.report
+        assert report.answered == report.offered == 20
+        kinds = result.kind_percentiles()
+        assert kinds, "no per-kind percentiles measured"
+        for row in kinds.values():
+            assert 0.0 <= row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        wait = result.server_latency()["admission_wait"]
+        assert wait["count"] > 0
+        table = render_tail_table(result)
+        assert "admission" in table
+
+    def test_main_tail_smoke(self, capsys):
+        exit_code = main(
+            [
+                "tail",
+                "--data-size",
+                "600",
+                "--sessions",
+                "4",
+                "--rate",
+                "400",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Tail latency under skewed bursty traffic" in out
+
+
+class TestOverloadExperiment:
+    def test_small_run_sheds_and_bounds(self):
+        from repro.core.database import SpatialDatabase
+        from repro.workloads.experiments import (
+            render_overload_table,
+            run_overload_experiment,
+        )
+        from repro.workloads.generators import uniform_points
+
+        db = SpatialDatabase.from_points(
+            uniform_points(600, seed=13), backend_kind="scipy"
+        ).prepare()
+        result = run_overload_experiment(
+            ExperimentConfig(seed=7),
+            data_size=600,
+            calibration_requests=120,
+            overload_factor=2.0,
+            duration_s=0.4,
+            connections=4,
+            max_queue=8,
+            database=db,
+        )
+        assert result.capacity_rps > 0
+        assert result.offered_rps == pytest.approx(
+            2.0 * result.capacity_rps
+        )
+        assert result.admitted > 0
+        assert 0.0 <= result.shed_rate < 1.0
+        table = render_overload_table(result)
+        assert "shed" in table
+
+    def test_main_overload_smoke(self, capsys):
+        exit_code = main(
+            [
+                "overload",
+                "--data-size",
+                "600",
+                "--duration",
+                "0.3",
+                "--max-queue",
+                "8",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Overload shedding at" in out

@@ -15,6 +15,13 @@ checks:
 * ``W605`` — invalid escape sequences (compile-time ``SyntaxWarning``);
 * tabs in indentation (the codebase is spaces-only).
 
+Independently of which linter runs, files under the serving layers
+(:data:`DOC_COVERAGE_ROOTS` — ``src/repro/server``, ``src/repro/live``)
+also pass a **static doc-coverage check**: the module and every public
+function, method, and class must carry a docstring.  These are the
+operational surfaces ``docs/OPERATIONS.md`` points into, and ruff is
+not configured for pydocstyle rules, so the coverage gate lives here.
+
 Exit status 0 when clean, 1 when any finding is reported — same contract
 either way, so CI can call ``make lint`` unconditionally.
 """
@@ -31,6 +38,10 @@ from typing import Iterator, List
 
 #: Directories the fallback linter skips entirely.
 SKIP_PARTS = {".git", "__pycache__", ".pytest_cache", ".hypothesis"}
+
+#: Packages whose public API must be fully docstringed (relative to the
+#: repo root).  The serving layers: everything an operator reaches for.
+DOC_COVERAGE_ROOTS = ("src/repro/server", "src/repro/live")
 
 
 def iter_python_files(roots: List[str]) -> Iterator[pathlib.Path]:
@@ -145,6 +156,66 @@ def check_file(path: pathlib.Path) -> List[str]:
     return findings
 
 
+def check_doc_coverage(path: pathlib.Path) -> List[str]:
+    """Docstring findings for one file: module + public defs/classes.
+
+    Public means the name does not start with ``_``; nested helpers
+    (functions defined inside functions) are exempt — they are
+    implementation detail by position regardless of name.
+    """
+    findings: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError:
+        return findings  # E999 is reported by the main checks
+    if ast.get_docstring(tree) is None:
+        findings.append(
+            f"{path}:1: D100 public module missing a docstring"
+        )
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        """Visit definitions, skipping bodies of functions."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                is_class = isinstance(child, ast.ClassDef)
+                public = not child.name.startswith("_")
+                if public and not inside_function:
+                    if ast.get_docstring(child) is None:
+                        kind = "class" if is_class else "function"
+                        findings.append(
+                            f"{path}:{child.lineno}: D103 public "
+                            f"{kind} '{child.name}' missing a docstring"
+                        )
+                walk(child, inside_function or not is_class)
+            else:
+                walk(child, inside_function)
+
+    walk(tree, inside_function=False)
+    return findings
+
+
+def run_doc_coverage() -> int:
+    """Run the doc-coverage check over :data:`DOC_COVERAGE_ROOTS`."""
+    repo_root = pathlib.Path(__file__).resolve().parents[1]
+    findings: List[str] = []
+    count = 0
+    for root in DOC_COVERAGE_ROOTS:
+        for path in iter_python_files([str(repo_root / root)]):
+            count += 1
+            findings.extend(check_doc_coverage(path))
+    for finding in findings:
+        print(finding)
+    print(
+        f"doc coverage: {count} files checked, {len(findings)} findings",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
 def run_fallback(roots: List[str]) -> int:
     """Run the built-in checks over ``roots``; returns an exit status."""
     findings: List[str] = []
@@ -164,12 +235,19 @@ def run_fallback(roots: List[str]) -> int:
 
 
 def main(argv: List[str]) -> int:
-    """Dispatch to ruff when available, else the built-in fallback."""
+    """Dispatch to ruff when available, else the built-in fallback.
+
+    The doc-coverage gate over :data:`DOC_COVERAGE_ROOTS` runs in
+    *both* modes — ruff is not configured for docstring rules, so
+    coverage would silently vary with the environment otherwise.
+    """
     roots = argv or ["src", "tests", "benchmarks", "examples", "tools"]
     ruff = shutil.which("ruff")
     if ruff is not None:
-        return subprocess.call([ruff, "check", *roots])
-    return run_fallback(roots)
+        status = subprocess.call([ruff, "check", *roots])
+    else:
+        status = run_fallback(roots)
+    return max(status, run_doc_coverage())
 
 
 if __name__ == "__main__":

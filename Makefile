@@ -41,7 +41,8 @@ bench-smoke:
 		benchmarks/bench_mutable.py \
 		benchmarks/bench_subscriptions.py \
 		benchmarks/bench_tail_latency.py \
-		benchmarks/bench_overload.py -q --benchmark-disable
+		benchmarks/bench_overload.py \
+		benchmarks/bench_cluster.py -q --benchmark-disable
 
 ## columnar acceptance bench alone: vectorized vs scalar hot paths on
 ## the refinement-heavy trace (>= 2x asserted), ids byte-identical
@@ -66,7 +67,8 @@ bench:
 		benchmarks/bench_mutable.py \
 		benchmarks/bench_subscriptions.py \
 		benchmarks/bench_tail_latency.py \
-		benchmarks/bench_overload.py
+		benchmarks/bench_overload.py \
+		benchmarks/bench_cluster.py
 
 ## one-shot demo of both methods + the batch engine
 demo:

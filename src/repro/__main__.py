@@ -274,9 +274,17 @@ def _build_or_load_database(args: argparse.Namespace):
         print(f"  {len(db):,} points restored (row ids preserved)")
         return db
     print(f"Building a database of {args.points:,} uniform points...")
-    return SpatialDatabase.from_points(
+    db = SpatialDatabase.from_points(
         uniform_points(args.points, seed=args.seed), backend_kind="scipy"
-    ).prepare()
+    )
+    if len(db):
+        db.prepare()
+    else:
+        # ``--points 0`` starts an empty, write-first server (the shape
+        # cluster workers boot in); the Voronoi backend builds lazily
+        # once the first rows arrive.
+        print("  starting empty; awaiting writes")
+    return db
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -471,6 +479,173 @@ def _cmd_subscribe(args: argparse.Namespace) -> int:
                     f"+{note.added} -{note.removed}"
                 )
         print(f"{received} notifications received")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.cluster.launcher import start_cluster
+
+    snapshot_state = None
+    points = None
+    if args.load:
+        from repro.cluster.persist import load_cluster_state
+
+        print(f"Loading cluster snapshot {args.load} ...")
+        snapshot_state = load_cluster_state(args.load)
+        if int(snapshot_state["workers"]) != args.workers:
+            raise SystemExit(
+                f"snapshot was taken with {snapshot_state['workers']} "
+                f"workers, --workers says {args.workers}"
+            )
+        print(
+            f"  {len(snapshot_state['rows']):,} points across "
+            f"{snapshot_state['workers']} shards (row ids preserved)"
+        )
+    else:
+        from repro.workloads.generators import uniform_points
+
+        print(f"Building {args.points:,} uniform points...")
+        points = [
+            (p.x, p.y) for p in uniform_points(args.points, seed=args.seed)
+        ]
+    print(f"Spawning {args.workers} worker(s) on ephemeral ports...")
+    cluster = start_cluster(
+        args.workers,
+        points=points,
+        snapshot_state=snapshot_state,
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+    )
+    try:
+        coordinator = cluster.coordinator
+        for shard_range in coordinator.shard_map.ranges:
+            worker = cluster.workers[shard_range.worker]
+            print(
+                f"  worker {shard_range.worker} on "
+                f"{worker.host}:{worker.port} serves Hilbert keys "
+                f"[{shard_range.lo}, {shard_range.hi})"
+            )
+        print(
+            f"Cluster of {args.workers} workers serving "
+            f"{coordinator.total_live:,} points on "
+            f"{cluster.host}:{cluster.port} (protocol v1; point your "
+            f"clients at the router)"
+        )
+        print("Press Ctrl-C to stop.")
+        while True:
+            time_module.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopped")
+    finally:
+        if args.save_on_exit:
+            from repro.cluster.persist import save_cluster
+
+            written = save_cluster(args.save_on_exit, cluster.coordinator)
+            print(
+                f"wrote cluster snapshot {written} (reload it with "
+                f"`python -m repro cluster --workers {args.workers} "
+                f"--load {written}`)"
+            )
+        cluster.close()
+    return 0
+
+
+def _render_histogram_rows(rows) -> None:
+    """Print aligned ``name count mean p50 p95 p99 max`` latency rows."""
+    header = ("", "count", "mean", "p50", "p95", "p99", "max")
+    table = [header]
+    for name, histogram in rows:
+        table.append(
+            (
+                name,
+                f"{histogram.get('count', 0):,}",
+                *(
+                    f"{float(histogram.get(field, 0.0)):.3f}"
+                    for field in (
+                        "mean_ms",
+                        "p50_ms",
+                        "p95_ms",
+                        "p99_ms",
+                        "max_ms",
+                    )
+                ),
+            )
+        )
+    widths = [
+        max(len(row[column]) for row in table)
+        for column in range(len(header))
+    ]
+    for row in table:
+        print(
+            "    "
+            + row[0].ljust(widths[0])
+            + "".join(
+                value.rjust(width + 2)
+                for value, width in zip(row[1:], widths[1:])
+            )
+        )
+
+
+def _render_stats_frame(frame: dict) -> None:
+    """Human-readable rendering of a ``stats`` frame (any server)."""
+    for section in ("server", "coalescer", "engine", "subscriptions"):
+        counters = frame.get(section)
+        if counters is None:
+            continue
+        print(f"{section}:")
+        for key in sorted(counters):
+            value = counters[key]
+            if isinstance(value, dict):
+                continue  # nested histograms render in the latency table
+            print(f"    {key} = {value:,}" if isinstance(value, int)
+                  else f"    {key} = {value}")
+    latency = frame.get("latency")
+    if latency:
+        print("latency (ms):")
+        rows = [("admission_wait", latency.get("admission_wait", {}))]
+        rows += sorted(latency.get("kinds", {}).items())
+        _render_histogram_rows(rows)
+    cluster = frame.get("cluster")
+    if cluster:
+        print("cluster:")
+        print(
+            f"    {cluster['workers']} workers, "
+            f"{cluster['points']:,} live points, "
+            f"version {cluster['version']}, "
+            f"{cluster['rebalances']} rebalance(s)"
+        )
+        live = cluster.get("live", [])
+        for shard_range in cluster.get("ranges", []):
+            worker = shard_range["worker"]
+            count = live[worker] if worker < len(live) else "?"
+            print(
+                f"    shard [{shard_range['lo']}, {shard_range['hi']}) "
+                f"-> worker {worker} ({count:,} live)"
+            )
+        router = cluster.get("router")
+        if router:
+            print(
+                "    router: "
+                + "  ".join(
+                    f"{key}={router[key]:,}" for key in sorted(router)
+                )
+            )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.server import QueryClient
+
+    host, port = _parse_address(args.remote)
+    with QueryClient(host, port) as client:
+        print(
+            f"Connected to {host}:{port} "
+            f"({client.hello['server']}, {client.hello['points']:,} points)"
+        )
+        frame = client.stats()
+    _render_stats_frame(frame)
     return 0
 
 
@@ -691,6 +866,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "before any --insert/--delete flags",
     )
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="Hilbert-sharded multi-worker cluster (see docs/CLUSTER.md)",
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker replicas to spawn (one `serve` process each)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="router listen port (0 picks an ephemeral port)",
+    )
+    cluster.add_argument(
+        "--points",
+        type=int,
+        default=10_000,
+        help="generate this many uniform points (ignored with --load)",
+    )
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--load",
+        default=None,
+        metavar="DIR",
+        help="restore a cluster snapshot directory written by "
+        "--save-on-exit (repro.cluster.persist)",
+    )
+    cluster.add_argument(
+        "--save-on-exit",
+        default=None,
+        metavar="DIR",
+        help="write a shard-aware snapshot directory on shutdown",
+    )
+    cluster.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="per-worker coalescing admission window, milliseconds",
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="render a running server's stats frame (counters + latency)",
+    )
+    stats.add_argument(
+        "--remote",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running serve instance or cluster router "
+        "(a router answers the merged cluster-wide view)",
+    )
+
     subscribe = subparsers.add_parser(
         "subscribe",
         help="register standing queries and stream pushed deltas",
@@ -770,6 +1001,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "mutate":
         return _cmd_mutate(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "subscribe":
         return _cmd_subscribe(args)
     if args.command == "snapshot":

@@ -1,0 +1,32 @@
+"""Hilbert-sharded multi-process cluster serving.
+
+The cluster layer scales the single-process server across cores: a
+**router** process partitions the unit square into contiguous
+Hilbert-key ranges (:mod:`repro.cluster.shardmap`), routes and merges
+queries across N **worker** replicas (:mod:`repro.cluster.coordinator`),
+and speaks the same v1 NDJSON protocol to clients
+(:mod:`repro.cluster.router`), so existing clients work unchanged.
+Workers are plain ``python -m repro serve`` processes spawned on
+ephemeral ports (:mod:`repro.cluster.launcher`); snapshots persist
+per-shard with a manifest (:mod:`repro.cluster.persist`); stats frames
+merge histogram-wise (:mod:`repro.cluster.stats`).  See
+``docs/CLUSTER.md`` for topology, routing rules, and rebalance
+semantics.
+"""
+
+from repro.cluster.backends import LocalShard, RemoteShard, ShardBackend
+from repro.cluster.coordinator import ClusterCoordinator, ClusterWriteError
+from repro.cluster.shardmap import ShardMap, ShardRange, cell_cover
+from repro.cluster.stats import merge_stats_frames
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterWriteError",
+    "LocalShard",
+    "RemoteShard",
+    "ShardBackend",
+    "ShardMap",
+    "ShardRange",
+    "cell_cover",
+    "merge_stats_frames",
+]

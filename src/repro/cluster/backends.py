@@ -1,0 +1,275 @@
+"""Shard backends: the coordinator's uniform view of one worker.
+
+The :class:`~repro.cluster.coordinator.ClusterCoordinator` routes and
+merges; a *backend* answers shard-local operations in shard-local row
+ids.  Two implementations share the interface:
+
+:class:`LocalShard`
+    A :class:`~repro.core.database.SpatialDatabase` in this process —
+    the oracle-equivalence test harness and the zero-deployment mode.
+    Specs pass through unserialised, so predicates work.
+
+:class:`RemoteShard`
+    A worker process reached over the v1 NDJSON protocol.  Connections
+    are pooled per shard: concurrent router threads each borrow a
+    dedicated :class:`~repro.server.client.QueryClient` (the wire
+    client is not thread-safe on one socket), and streams keep their
+    connection checked out until closed.  Specs must be serialisable —
+    the coordinator strips predicates/limits before fan-out and applies
+    them at the merge layer, so this never constrains cluster clients.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.query.spec import Query
+
+__all__ = ["ShardBackend", "LocalShard", "RemoteShard"]
+
+
+class ShardBackend:
+    """Interface one shard exposes to the coordinator (local ids)."""
+
+    def query_ids(self, spec: Query) -> List[int]:
+        """Answer ``spec`` eagerly; returns shard-local row ids."""
+        raise NotImplementedError
+
+    def stream_ids(
+        self, spec: Query, *, chunk_size: int = 256
+    ) -> Iterator[int]:
+        """Lazily yield ``spec``'s shard-local row ids in result order."""
+        raise NotImplementedError
+
+    def insert(self, x: float, y: float) -> int:
+        """Insert one point; returns its shard-local row id."""
+        raise NotImplementedError
+
+    def extend(self, points: Sequence[Tuple[float, float]]) -> List[int]:
+        """Insert a batch; returns the shard-local row ids in order."""
+        raise NotImplementedError
+
+    def delete(self, local_id: int) -> None:
+        """Tombstone one shard-local row."""
+        raise NotImplementedError
+
+    def stats_frame(self) -> Optional[dict]:
+        """The shard's ``stats`` wire frame (``None`` if not serving)."""
+        return None
+
+    def close(self) -> None:
+        """Release any held resources (connections)."""
+
+
+class LocalShard(ShardBackend):
+    """An in-process :class:`SpatialDatabase` acting as one shard."""
+
+    def __init__(self, database) -> None:
+        #: the shard's database (local row ids)
+        self.database = database
+
+    def query_ids(self, spec: Query) -> List[int]:
+        """Execute ``spec`` on the shard database (eager ids)."""
+        return self.database.query(spec).ids()
+
+    def stream_ids(
+        self, spec: Query, *, chunk_size: int = 256
+    ) -> Iterator[int]:
+        """Stream ``spec`` lazily through the database's stream path."""
+        result = self.database.query(spec)
+        return result.stream()
+
+    def insert(self, x: float, y: float) -> int:
+        """Insert one point into the shard database."""
+        from repro.geometry.point import Point
+
+        return self.database.insert(Point(x, y))
+
+    def extend(self, points: Sequence[Tuple[float, float]]) -> List[int]:
+        """Bulk-insert into the shard database."""
+        from repro.geometry.point import Point
+
+        return self.database.extend([Point(x, y) for x, y in points])
+
+    def delete(self, local_id: int) -> None:
+        """Tombstone one row in the shard database."""
+        self.database.delete(local_id)
+
+
+class _PooledClient:
+    """A borrowed wire client that returns to its pool on release."""
+
+    __slots__ = ("client", "_shard", "_returned")
+
+    def __init__(self, client, shard: "RemoteShard") -> None:
+        #: the underlying :class:`~repro.server.client.QueryClient`
+        self.client = client
+        self._shard = shard
+        self._returned = False
+
+    def release(self) -> None:
+        """Return the connection to the shard's pool (idempotent)."""
+        if not self._returned:
+            self._returned = True
+            self._shard._release(self.client)
+
+    def discard(self) -> None:
+        """Close the connection instead of pooling it (error paths)."""
+        if not self._returned:
+            self._returned = True
+            try:
+                self.client.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+
+class RemoteShard(ShardBackend):
+    """One worker process addressed over the NDJSON wire protocol.
+
+    ``connect`` defaults to dialing a
+    :class:`~repro.server.client.QueryClient`; tests may inject a
+    factory.  The pool grows on demand (one connection per concurrently
+    borrowing thread) and shrinks only at :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect: Optional[Callable[[], object]] = None,
+    ) -> None:
+        #: worker address
+        self.host, self.port = host, port
+        self._connect = connect or self._dial
+        self._pool: List[object] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _dial(self):
+        """Open one wire client to the worker."""
+        from repro.server.client import QueryClient
+
+        return QueryClient(self.host, self.port)
+
+    def _borrow(self) -> _PooledClient:
+        """Check a pooled connection out (dialing when the pool is dry)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("shard backend is closed")
+            if self._pool:
+                return _PooledClient(self._pool.pop(), self)
+        return _PooledClient(self._connect(), self)
+
+    def _release(self, client) -> None:
+        """Return one connection to the pool (closing when shut down)."""
+        with self._lock:
+            if not self._closed:
+                self._pool.append(client)
+                return
+        client.close()
+
+    def query_ids(self, spec: Query) -> List[int]:
+        """Answer ``spec`` over the wire (packed id transport)."""
+        borrowed = self._borrow()
+        try:
+            ids = list(borrowed.client.query(spec).ids)
+        except Exception:
+            borrowed.discard()
+            raise
+        borrowed.release()
+        return ids
+
+    def stream_ids(
+        self, spec: Query, *, chunk_size: int = 256
+    ) -> Iterator[int]:
+        """Open a chunked wire stream; the connection stays borrowed.
+
+        The returned generator supports ``close()`` — closing cancels
+        the server-side stream and returns the connection to the pool,
+        so abandoning a merge mid-way releases worker resources
+        deterministically.
+        """
+        borrowed = self._borrow()
+        try:
+            stream = borrowed.client.stream(spec, chunk_size=chunk_size)
+        except Exception:
+            borrowed.discard()
+            raise
+
+        def rows() -> Iterator[int]:
+            try:
+                for row in stream:
+                    yield row
+            finally:
+                try:
+                    stream.close()
+                except Exception:
+                    borrowed.discard()
+                else:
+                    borrowed.release()
+
+        return rows()
+
+    def insert(self, x: float, y: float) -> int:
+        """Insert one point on the worker; returns its local row id."""
+        borrowed = self._borrow()
+        try:
+            ack = borrowed.client.insert(x, y)
+        except Exception:
+            borrowed.discard()
+            raise
+        borrowed.release()
+        return ack.rows[0]
+
+    def extend(self, points: Sequence[Tuple[float, float]]) -> List[int]:
+        """Bulk-insert on the worker, chunked under the wire cap."""
+        from repro.server.protocol import MAX_WRITE_POINTS
+
+        points = list(points)
+        borrowed = self._borrow()
+        rows: List[int] = []
+        try:
+            for start in range(0, len(points), MAX_WRITE_POINTS):
+                ack = borrowed.client.extend(
+                    points[start : start + MAX_WRITE_POINTS]
+                )
+                rows.extend(ack.rows)
+        except Exception:
+            borrowed.discard()
+            raise
+        borrowed.release()
+        return rows
+
+    def delete(self, local_id: int) -> None:
+        """Tombstone one worker row."""
+        borrowed = self._borrow()
+        try:
+            borrowed.client.delete(local_id)
+        except Exception:
+            borrowed.discard()
+            raise
+        borrowed.release()
+
+    def stats_frame(self) -> Optional[dict]:
+        """Fetch the worker's ``stats`` frame."""
+        borrowed = self._borrow()
+        try:
+            frame = borrowed.client.stats()
+        except Exception:
+            borrowed.discard()
+            raise
+        borrowed.release()
+        return frame
+
+    def close(self) -> None:
+        """Close every pooled connection and refuse new borrows."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for client in pool:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass

@@ -1,0 +1,857 @@
+"""Scatter-gather query coordination over Hilbert-sharded workers.
+
+The :class:`ClusterCoordinator` is the cluster's brain, independent of
+any transport: it owns the :class:`~repro.cluster.shardmap.ShardMap`,
+the global row-id catalog, and the routing/merge rules, and talks to
+its shards through the :class:`~repro.cluster.backends.ShardBackend`
+interface (in-process databases or remote workers alike — the network
+router wraps this same class).
+
+**Identity.**  Clients see *global* row ids, assigned in write-arrival
+order exactly like a single :class:`~repro.core.database.SpatialDatabase`
+assigns its row ids — so a cluster driven by a trace produces the same
+ids as the single-process oracle.  Each shard stores its rows under its
+own local ids; the coordinator's catalog maps both directions and also
+keeps every live row's coordinates, which is what lets it evaluate
+predicates, order kNN merges by exact distance, and migrate rows during
+a rebalance without ever reading data back from a worker.
+
+**Routing.**  Point writes and kNN/nearest seeds go to the single shard
+owning the point's Hilbert key.  A bounded kNN expands beyond the owner
+only when the kth-distance ball crosses a shard boundary
+(:meth:`ShardMap.workers_for_circle`).  Window/area (and composite
+leaves) fan out to every shard whose Hilbert range intersects the
+region's key interval; shard-local sorted id lists are translated to
+global ids and merged with :func:`repro.query.merge.union_sorted`.
+Streaming kNN interleaves the shards' ``incremental_nearest`` wire
+streams by distance.  Predicates and limits are *never* pushed down:
+shards answer the raw geometric spec and the coordinator applies the
+user-level options at the merge layer, in the same order
+:func:`repro.query.executor.finalize_record` does — predicate first,
+then limit.
+
+**Rebalancing.**  After any write, if the heaviest worker's live count
+exceeds ``imbalance_ratio`` times the mean, its fullest Hilbert range
+is split at the live median key and the upper half migrates to the
+lightest worker (see :meth:`rebalance_once`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from array import array
+from itertools import islice
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster.backends import ShardBackend
+from repro.cluster.shardmap import ShardMap
+from repro.cluster.stats import merge_stats_frames
+from repro.core.exceptions import EmptyDatabaseError, InvalidQueryAreaError
+from repro.engine.order import DEFAULT_ORDER
+from repro.geometry.point import Point
+from repro.query.merge import union_sorted
+from repro.query.executor import merge_sorted_ids
+from repro.query.spec import (
+    AreaQuery,
+    CompositeQuery,
+    KnnQuery,
+    NearestQuery,
+    Query,
+    WindowQuery,
+)
+
+__all__ = ["ClusterCoordinator", "ClusterWriteError"]
+
+
+class ClusterWriteError(ValueError):
+    """A write the cluster must reject (unknown row, bad coordinates)."""
+
+
+class _RWLock:
+    """Many concurrent readers or one writer (no reentrancy needed)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        """Hold shared read access for the ``with`` block."""
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Hold exclusive write access for the ``with`` block."""
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+def _effective_k(spec: KnnQuery) -> Optional[int]:
+    """The row budget of a kNN spec (``k`` capped by ``limit``).
+
+    Mirrors the single-process executor: ``None`` means unbounded.
+    """
+    if spec.k is None:
+        return spec.limit
+    if spec.limit is not None:
+        return min(spec.k, spec.limit)
+    return spec.k
+
+
+def _require_finite(x: float, y: float) -> None:
+    """Reject non-finite write coordinates before any shard sees them."""
+    if not (math.isfinite(x) and math.isfinite(y)):
+        raise ClusterWriteError(
+            f"coordinates must be finite, got ({x!r}, {y!r})"
+        )
+
+
+class ClusterCoordinator:
+    """Routing, identity, and merge logic for one shard cluster.
+
+    Parameters
+    ----------
+    backends:
+        One :class:`~repro.cluster.backends.ShardBackend` per worker,
+        in worker-index order.  Workers start empty unless restoring.
+    order:
+        Hilbert refinement order of the shard map (default 8).
+    shard_map:
+        Explicit starting map; defaults to an even partition.
+    imbalance_ratio:
+        Rebalance triggers when the heaviest worker's live count
+        exceeds this multiple of the mean live count.
+    min_split:
+        Never split a worker holding fewer live rows than this.
+    auto_rebalance:
+        Check the imbalance trigger after every write batch.
+
+    Thread safety: reads run concurrently; writes (and rebalances) are
+    exclusive, guarded by an internal readers-writer lock.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[ShardBackend],
+        *,
+        order: int = DEFAULT_ORDER,
+        shard_map: Optional[ShardMap] = None,
+        imbalance_ratio: float = 2.0,
+        min_split: int = 64,
+        auto_rebalance: bool = True,
+        chunk_size: int = 256,
+    ) -> None:
+        if not backends:
+            raise ValueError("need at least one shard backend")
+        self._backends = list(backends)
+        self._map = shard_map or ShardMap.even(len(backends), order=order)
+        if self._map.all_workers() - set(range(len(backends))):
+            raise ValueError("shard map names workers without a backend")
+        #: rebalance trigger ratio (heaviest vs mean live count)
+        self.imbalance_ratio = float(imbalance_ratio)
+        #: minimum live rows on a worker before it may split
+        self.min_split = int(min_split)
+        #: run the rebalance check after each write batch
+        self.auto_rebalance = bool(auto_rebalance)
+        #: rows per chunk on shard wire streams
+        self.chunk_size = int(chunk_size)
+        # Catalog, indexed by global id.  Dead/placeholder rows keep
+        # their slot (ids are never reused) with ``_alive == 0``.
+        self._xs = array("d")
+        self._ys = array("d")
+        self._keys = array("q")
+        self._worker = array("i")
+        self._local = array("q")
+        self._alive = bytearray()
+        self._local_to_global: List[Dict[int, int]] = [
+            {} for _ in self._backends
+        ]
+        self._live = [0] * len(self._backends)
+        self._version = 0
+        self._rebalances = 0
+        self._lock = _RWLock()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Number of worker shards."""
+        return len(self._backends)
+
+    @property
+    def shard_map(self) -> ShardMap:
+        """The current Hilbert-range routing table."""
+        return self._map
+
+    @property
+    def version(self) -> int:
+        """Monotone cluster data version (one tick per applied write)."""
+        return self._version
+
+    @property
+    def total_live(self) -> int:
+        """Live rows across all shards."""
+        return sum(self._live)
+
+    @property
+    def live_counts(self) -> List[int]:
+        """Per-worker live row counts (copy)."""
+        return list(self._live)
+
+    @property
+    def rebalances(self) -> int:
+        """Completed rebalance splits."""
+        return self._rebalances
+
+    def point(self, global_id: int) -> Point:
+        """The stored point of a live global row id."""
+        if not self._is_live(global_id):
+            raise KeyError(f"no live row {global_id}")
+        return Point(self._xs[global_id], self._ys[global_id])
+
+    def _point_at(self, global_id: int) -> Point:
+        """Catalog coordinates without the liveness check.
+
+        Merge-layer predicates run through here: like the oracle's
+        ``database.point``, a tombstoned row's coordinates stay
+        addressable, so streams admitted before a delete keep working.
+        """
+        return Point(self._xs[global_id], self._ys[global_id])
+
+    def _is_live(self, global_id: int) -> bool:
+        return 0 <= global_id < len(self._alive) and bool(
+            self._alive[global_id]
+        )
+
+    def _squared_distance(self, global_id: int, x: float, y: float) -> float:
+        dx = self._xs[global_id] - x
+        dy = self._ys[global_id] - y
+        return dx * dx + dy * dy
+
+    def close(self) -> None:
+        """Close every shard backend."""
+        for backend in self._backends:
+            backend.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def _allocate(
+        self, x: float, y: float, worker: int, local_id: int, key: int
+    ) -> int:
+        """Record one new live row in the catalog; returns its global id."""
+        global_id = len(self._alive)
+        self._xs.append(x)
+        self._ys.append(y)
+        self._keys.append(key)
+        self._worker.append(worker)
+        self._local.append(local_id)
+        self._alive.append(1)
+        self._local_to_global[worker][local_id] = global_id
+        self._live[worker] += 1
+        return global_id
+
+    def insert(self, x: float, y: float) -> int:
+        """Route one point to its owning shard; returns its global id."""
+        x, y = float(x), float(y)
+        _require_finite(x, y)
+        with self._lock.write():
+            key = self._map.key_of(x, y)
+            worker = self._map.owner_of_key(key)
+            local_id = self._backends[worker].insert(x, y)
+            global_id = self._allocate(x, y, worker, local_id, key)
+            self._version += 1
+            self._maybe_rebalance()
+            return global_id
+
+    def extend(
+        self, points: Sequence[Tuple[float, float]]
+    ) -> List[int]:
+        """Partition a batch by owner shard; returns global ids in order."""
+        pairs = [(float(x), float(y)) for x, y in points]
+        for x, y in pairs:
+            _require_finite(x, y)
+        with self._lock.write():
+            by_worker: Dict[int, List[int]] = {}
+            keys = []
+            for position, (x, y) in enumerate(pairs):
+                key = self._map.key_of(x, y)
+                keys.append(key)
+                by_worker.setdefault(
+                    self._map.owner_of_key(key), []
+                ).append(position)
+            locals_at: List[Optional[int]] = [None] * len(pairs)
+            owner_at: List[int] = [0] * len(pairs)
+            for worker, positions in by_worker.items():
+                local_ids = self._backends[worker].extend(
+                    [pairs[p] for p in positions]
+                )
+                for position, local_id in zip(positions, local_ids):
+                    locals_at[position] = local_id
+                    owner_at[position] = worker
+            global_ids = []
+            for position, (x, y) in enumerate(pairs):
+                global_ids.append(
+                    self._allocate(
+                        x,
+                        y,
+                        owner_at[position],
+                        locals_at[position],
+                        keys[position],
+                    )
+                )
+            if pairs:
+                self._version += 1
+                self._maybe_rebalance()
+            return global_ids
+
+    def bulk_load(
+        self, points: Sequence[Tuple[float, float]]
+    ) -> List[int]:
+        """Initial data load (an :meth:`extend` from the empty cluster)."""
+        return self.extend(points)
+
+    def delete(self, global_id: int) -> None:
+        """Tombstone one global row on its owning shard."""
+        with self._lock.write():
+            if not isinstance(global_id, int) or not self._is_live(
+                global_id
+            ):
+                raise ClusterWriteError(
+                    f"row {global_id!r} does not exist or was already "
+                    "deleted"
+                )
+            worker = self._worker[global_id]
+            local_id = self._local[global_id]
+            self._backends[worker].delete(local_id)
+            self._alive[global_id] = 0
+            del self._local_to_global[worker][local_id]
+            self._live[worker] -= 1
+            self._version += 1
+            self._maybe_rebalance()
+
+    # -- rebalancing -------------------------------------------------------
+
+    def _maybe_rebalance(self) -> None:
+        """Run one split when the live-count imbalance trigger fires."""
+        if self.auto_rebalance:
+            self._rebalance_locked()
+
+    def rebalance_once(self, *, force: bool = False) -> bool:
+        """Run at most one rebalance split; returns whether one ran.
+
+        With ``force`` the imbalance-ratio trigger is skipped (the
+        heaviest worker still needs ``min_split`` live rows and a
+        splittable range).
+        """
+        with self._lock.write():
+            return self._rebalance_locked(force=force)
+
+    def _rebalance_locked(self, *, force: bool = False) -> bool:
+        """The split itself; the caller holds the write lock."""
+        total = sum(self._live)
+        workers = len(self._backends)
+        if total == 0 or workers < 2:
+            return False
+        heaviest = max(range(workers), key=self._live.__getitem__)
+        lightest = min(range(workers), key=self._live.__getitem__)
+        if heaviest == lightest or self._live[heaviest] < self.min_split:
+            return False
+        if (
+            not force
+            and self._live[heaviest]
+            <= self.imbalance_ratio * (total / workers)
+        ):
+            return False
+        # The heaviest worker's fullest range, by live rows.
+        rows_by_range: Dict[int, List[int]] = {}
+        for global_id in range(len(self._alive)):
+            if self._alive[global_id] and self._worker[global_id] == heaviest:
+                shard_range = self._map.range_at(self._keys[global_id])
+                rows_by_range.setdefault(shard_range.lo, []).append(
+                    global_id
+                )
+        if not rows_by_range:
+            return False
+        range_lo = max(rows_by_range, key=lambda lo: len(rows_by_range[lo]))
+        rows = rows_by_range[range_lo]
+        keys = sorted(self._keys[g] for g in rows)
+        split_at = keys[len(keys) // 2]
+        target_range = self._map.range_at(range_lo)
+        if split_at <= target_range.lo:
+            # Median collapses onto the lower bound (heavy key
+            # duplication); cut at the first distinct key above it.
+            above = [k for k in keys if k > target_range.lo]
+            if not above:
+                return False  # one hot cell; a key split cannot help
+            split_at = above[0]
+        new_map = self._map.split(range_lo, split_at, lightest)
+        moved = sorted(
+            g for g in rows if self._keys[g] >= split_at
+        )
+        if not moved:
+            return False
+        new_locals = self._backends[lightest].extend(
+            [(self._xs[g], self._ys[g]) for g in moved]
+        )
+        for global_id, new_local in zip(moved, new_locals):
+            old_local = self._local[global_id]
+            self._backends[heaviest].delete(old_local)
+            del self._local_to_global[heaviest][old_local]
+            self._worker[global_id] = lightest
+            self._local[global_id] = new_local
+            self._local_to_global[lightest][new_local] = global_id
+        self._live[heaviest] -= len(moved)
+        self._live[lightest] += len(moved)
+        self._map = new_map
+        self._rebalances += 1
+        return True
+
+    # -- reads -------------------------------------------------------------
+
+    def query(self, spec: Query) -> List[int]:
+        """Answer ``spec`` across the cluster; global ids, oracle order.
+
+        Region kinds return ascending global ids; point kinds return
+        nearest-first — identical to a single
+        :class:`~repro.core.database.SpatialDatabase` holding all rows.
+        """
+        if not isinstance(spec, Query):
+            raise TypeError(f"not a query spec: {spec!r}")
+        with self._lock.read():
+            return self._execute(spec)
+
+    def stream(self, spec: Query) -> Iterator[int]:
+        """Lazily yield ``spec``'s global ids in result order.
+
+        The scatter-gather sibling of
+        :func:`repro.query.executor.stream_spec`: an unbounded kNN
+        interleaves the shards' incremental wire streams by distance,
+        pulling only as many candidates as the consumer demands;
+        composites fan their leaves out eagerly and keep the set-merge
+        lazy.  ``close()`` on the returned generator tears down every
+        underlying shard stream.
+
+        Note the shard map and catalog are read per pulled row without
+        holding the read lock across the whole consumption — a stream
+        held open across writes keeps yielding its shards' MVCC
+        admission-time rows, like a single server's chunked stream.
+        """
+        if not isinstance(spec, Query):
+            raise TypeError(f"not a query spec: {spec!r}")
+        if isinstance(spec, KnnQuery):
+            return self._stream_knn(spec)
+        if isinstance(spec, CompositeQuery):
+            return self._stream_composite(spec)
+        with self._lock.read():
+            return iter(self._execute(spec))
+
+    def _execute(self, spec: Query) -> List[int]:
+        """Dispatch one spec under the read lock."""
+        if isinstance(spec, CompositeQuery):
+            stream = self._composite_stream(spec)
+            return list(stream)
+        if isinstance(spec, KnnQuery):
+            return self._execute_knn(spec)
+        if isinstance(spec, NearestQuery):
+            return self._execute_nearest(spec)
+        if isinstance(spec, (AreaQuery, WindowQuery)):
+            ids = self._region_ids(spec)
+            return self._finalize(spec, ids)
+        raise TypeError(f"not a query spec: {spec!r}")
+
+    def _finalize(self, spec: Query, ids: List[int]) -> List[int]:
+        """Apply merge-layer ``predicate`` then ``limit`` (oracle order)."""
+        if spec.predicate is not None:
+            predicate = spec.predicate
+            ids = [g for g in ids if predicate(self._point_at(g))]
+        if spec.limit is not None and len(ids) > spec.limit:
+            ids = ids[: spec.limit]
+        return ids
+
+    def _nonempty(self, workers) -> List[int]:
+        """The given workers that hold at least one live row, sorted."""
+        return sorted(w for w in workers if self._live[w] > 0)
+
+    def _translate_sorted(self, worker: int, local_ids: List[int]) -> List[int]:
+        """Shard-local result ids as a sorted global id list."""
+        mapping = self._local_to_global[worker]
+        return sorted(mapping[local] for local in local_ids)
+
+    # -- region kinds ------------------------------------------------------
+
+    def _region_bounds(self, spec: Query) -> Tuple[float, float, float, float]:
+        """The fan-out bounding box of a region spec."""
+        if isinstance(spec, WindowQuery):
+            rect = spec.rect
+        else:
+            rect = spec.region.mbr
+        return (rect.min_x, rect.min_y, rect.max_x, rect.max_y)
+
+    def _region_ids(self, spec: Query) -> List[int]:
+        """Fan a region spec out and union the sorted shard results.
+
+        Returns the merged ascending global ids with *no* user-level
+        options applied; mirrors the single-process validation errors
+        for empty databases and degenerate regions so oracle parity
+        holds on the edges too.
+        """
+        total = self.total_live
+        if isinstance(spec, AreaQuery):
+            if total == 0:
+                raise EmptyDatabaseError("area query on an empty cluster")
+            if spec.region.area <= 0.0:
+                raise InvalidQueryAreaError("query area has zero area")
+        elif spec.method == "voronoi":
+            if total == 0:
+                raise EmptyDatabaseError(
+                    "voronoi window query on an empty cluster"
+                )
+            if spec.rect.area <= 0.0:
+                raise InvalidQueryAreaError(
+                    "voronoi execution needs a positive-area window"
+                )
+        workers = self._nonempty(
+            self._map.workers_for_bounds(self._region_bounds(spec))
+        )
+        if not workers:
+            return []
+        shard_spec = replace(spec, predicate=None, limit=None)
+        per_shard = [
+            self._translate_sorted(
+                worker, self._backends[worker].query_ids(shard_spec)
+            )
+            for worker in workers
+        ]
+        if len(per_shard) == 1:
+            return per_shard[0]
+        return list(union_sorted(per_shard))
+
+    # -- point kinds -------------------------------------------------------
+
+    def _execute_nearest(self, spec: NearestQuery) -> List[int]:
+        """1-NN via the kNN route (handles ``limit``/``predicate``)."""
+        if spec.limit == 0 or self.total_live == 0:
+            return []
+        as_knn = KnnQuery(
+            spec.point, 1, method=spec.method, predicate=spec.predicate
+        )
+        return self._execute_knn(as_knn)
+
+    def _execute_knn(self, spec: KnnQuery) -> List[int]:
+        """Owning-shard kNN with boundary-ball expansion."""
+        total = self.total_live
+        k = _effective_k(spec)
+        if k is None:
+            k = total
+        if k == 0 or total == 0:
+            return []
+        if spec.predicate is not None:
+            # Predicates make the kth distance unknowable up front:
+            # consume the distance-interleaved stream (which applies the
+            # predicate once per candidate) until k rows pass, exactly
+            # like the single-process filtered expansion.
+            stream = self._stream_knn(replace(spec, k=k, limit=None))
+            try:
+                return list(stream)
+            finally:
+                stream.close()
+        x, y = spec.point.x, spec.point.y
+        owner = self._map.owner_of(x, y)
+        queried: List[int] = []
+        candidates: List[int] = []
+        if self._live[owner]:
+            queried.append(owner)
+            candidates.extend(self._shard_knn(owner, spec, k))
+        expansion: Sequence[int]
+        if len(candidates) < k:
+            # The owner cannot bound the kth distance — fan out.
+            expansion = self._nonempty(
+                set(range(self.workers)) - set(queried)
+            )
+        else:
+            kth = max(
+                self._squared_distance(g, x, y) for g in candidates
+            )
+            radius = math.nextafter(math.sqrt(kth), math.inf)
+            expansion = self._nonempty(
+                self._map.workers_for_circle(x, y, radius)
+                - set(queried)
+            )
+        for worker in expansion:
+            candidates.extend(self._shard_knn(worker, spec, k))
+        candidates.sort(
+            key=lambda g: (self._squared_distance(g, x, y), g)
+        )
+        return candidates[:k]
+
+    def _shard_knn(self, worker: int, spec: KnnQuery, k: int) -> List[int]:
+        """One shard's ``k`` nearest, translated to global ids."""
+        shard_spec = replace(
+            spec,
+            k=min(k, self._live[worker]),
+            predicate=None,
+            limit=None,
+        )
+        mapping = self._local_to_global[worker]
+        return [
+            mapping[local]
+            for local in self._backends[worker].query_ids(shard_spec)
+        ]
+
+    # -- streaming ---------------------------------------------------------
+
+    def _stream_knn(self, spec: KnnQuery) -> Iterator[int]:
+        """Distance-interleave every shard's incremental kNN stream.
+
+        Each shard stream yields its rows in increasing distance, so a
+        heap over the stream heads — keyed by (squared distance, global
+        id) computed from the catalog — yields the cluster-wide ranking
+        lazily: pulling ``n`` rows pulls only ~``n`` candidates per the
+        shards' own incremental expansion.
+        """
+        def produce() -> Iterator[int]:
+            with self._lock.read():
+                k = _effective_k(spec)
+                workers = self._nonempty(range(self.workers))
+                shard_spec = replace(
+                    spec, k=None, predicate=None, limit=None
+                )
+                streams = {
+                    worker: self._backends[worker].stream_ids(
+                        shard_spec, chunk_size=self.chunk_size
+                    )
+                    for worker in workers
+                }
+                mappings = {
+                    worker: dict(self._local_to_global[worker])
+                    for worker in workers
+                }
+            x, y = spec.point.x, spec.point.y
+            predicate = spec.predicate
+            produced = 0
+            heap = []
+            try:
+                for worker, stream in streams.items():
+                    for local in stream:
+                        global_id = mappings[worker][local]
+                        heapq.heappush(
+                            heap,
+                            (
+                                self._squared_distance(global_id, x, y),
+                                global_id,
+                                worker,
+                            ),
+                        )
+                        break
+                while heap:
+                    _, global_id, worker = heapq.heappop(heap)
+                    for local in streams[worker]:
+                        refill = mappings[worker][local]
+                        heapq.heappush(
+                            heap,
+                            (
+                                self._squared_distance(refill, x, y),
+                                refill,
+                                worker,
+                            ),
+                        )
+                        break
+                    if predicate is not None and not predicate(
+                        self._point_at(global_id)
+                    ):
+                        continue
+                    yield global_id
+                    produced += 1
+                    if k is not None and produced >= k:
+                        return
+            finally:
+                for stream in streams.values():
+                    close = getattr(stream, "close", None)
+                    if close is not None:
+                        close()
+
+        return produce()
+
+    def _composite_stream(self, spec: CompositeQuery) -> Iterator[int]:
+        """Merged composite stream (the caller holds the read lock)."""
+
+        def build(node: Query) -> Iterator[int]:
+            if isinstance(node, CompositeQuery):
+                merged = merge_sorted_ids(
+                    node, [build(part) for part in node.parts]
+                )
+                return self._stream_options(node, merged)
+            # Composite leaves are region kinds by spec validation;
+            # leaf options apply inside the leaf, before the merge.
+            return iter(self._finalize(node, self._region_ids(node)))
+
+        return build(spec)
+
+    def _stream_composite(self, spec: CompositeQuery) -> Iterator[int]:
+        """Deferred composite stream: leaves fan out on first demand."""
+
+        def produce() -> Iterator[int]:
+            with self._lock.read():
+                stream = self._composite_stream(spec)
+            yield from stream
+
+        return produce()
+
+    def _stream_options(
+        self, spec: Query, ids: Iterator[int]
+    ) -> Iterator[int]:
+        """Lazy ``predicate``/``limit`` over a merged stream (in order)."""
+        if spec.predicate is not None:
+            predicate = spec.predicate
+            ids = (g for g in ids if predicate(self._point_at(g)))
+        if spec.limit is not None:
+            ids = islice(ids, spec.limit)
+        return ids
+
+    # -- stats -------------------------------------------------------------
+
+    def cluster_section(self) -> Dict:
+        """The router's additive ``cluster`` stats section."""
+        return {
+            "workers": self.workers,
+            "points": self.total_live,
+            "version": self._version,
+            "live": self.live_counts,
+            "rebalances": self._rebalances,
+            "ranges": self._map.as_dicts(),
+        }
+
+    def stats_frame(self) -> Dict:
+        """The cluster-merged ``stats`` wire frame.
+
+        Worker frames merge counter-wise and histogram-wise
+        (:func:`repro.cluster.stats.merge_stats_frames`); backends that
+        do not serve stats (in-process shards) contribute empty
+        sections.  The router's own ``cluster`` section always rides
+        along.
+        """
+        with self._lock.read():
+            frames = []
+            for backend in self._backends:
+                frame = backend.stats_frame()
+                if frame is not None:
+                    frames.append(frame)
+            section = self.cluster_section()
+        if not frames:
+            frames = [
+                {
+                    "type": "stats",
+                    "server": {},
+                    "coalescer": {},
+                    "engine": {},
+                }
+            ]
+        return merge_stats_frames(frames, cluster=section)
+
+    # -- persistence hooks -------------------------------------------------
+
+    def export_state(self) -> Dict:
+        """The catalog/shard-map state a snapshot persists.
+
+        Coordinates, global ids, and owners of every *live* row (dead
+        ids reappear as holes on restore), plus the shard map and the
+        version counters.  See :mod:`repro.cluster.persist`.
+        """
+        with self._lock.read():
+            rows = [
+                (
+                    g,
+                    self._xs[g],
+                    self._ys[g],
+                    self._worker[g],
+                )
+                for g in range(len(self._alive))
+                if self._alive[g]
+            ]
+            return {
+                "order": self._map.order,
+                "workers": self.workers,
+                "ranges": self._map.as_dicts(),
+                "next_global_id": len(self._alive),
+                "version": self._version,
+                "rebalances": self._rebalances,
+                "rows": rows,
+            }
+
+    @classmethod
+    def restore(
+        cls,
+        backends: Sequence[ShardBackend],
+        state: Dict,
+        **options,
+    ) -> "ClusterCoordinator":
+        """Rebuild a coordinator (and load its shards) from a snapshot.
+
+        ``backends`` must be empty workers, one per snapshot worker.
+        Each worker is bulk-loaded with its live rows in ascending
+        global-id order and the catalog is rebuilt with the original
+        global ids (deleted ids stay holes, so later writes continue
+        the original id sequence).
+        """
+        if len(backends) != int(state["workers"]):
+            raise ValueError(
+                f"snapshot was taken with {state['workers']} workers, "
+                f"got {len(backends)} backends"
+            )
+        shard_map = ShardMap.from_dicts(
+            state["ranges"], order=int(state["order"])
+        )
+        coordinator = cls(backends, shard_map=shard_map, **options)
+        next_global_id = int(state["next_global_id"])
+        for _ in range(next_global_id):
+            coordinator._xs.append(0.0)
+            coordinator._ys.append(0.0)
+            coordinator._keys.append(0)
+            coordinator._worker.append(-1)
+            coordinator._local.append(-1)
+            coordinator._alive.append(0)
+        by_worker: Dict[int, List[Tuple[int, float, float]]] = {}
+        for global_id, x, y, worker in state["rows"]:
+            by_worker.setdefault(int(worker), []).append(
+                (int(global_id), float(x), float(y))
+            )
+        for worker, rows in sorted(by_worker.items()):
+            rows.sort()
+            local_ids = backends[worker].extend(
+                [(x, y) for _, x, y in rows]
+            )
+            for (global_id, x, y), local_id in zip(rows, local_ids):
+                coordinator._xs[global_id] = x
+                coordinator._ys[global_id] = y
+                coordinator._keys[global_id] = shard_map.key_of(x, y)
+                coordinator._worker[global_id] = worker
+                coordinator._local[global_id] = local_id
+                coordinator._alive[global_id] = 1
+                coordinator._local_to_global[worker][local_id] = global_id
+            coordinator._live[worker] = len(rows)
+        coordinator._version = int(state.get("version", 0))
+        coordinator._rebalances = int(state.get("rebalances", 0))
+        return coordinator

@@ -1,0 +1,238 @@
+"""Process management: spawn worker replicas and assemble a cluster.
+
+A worker is nothing special — it is ``python -m repro serve`` on an
+ephemeral port with an empty database, exactly the process a user would
+start by hand.  :func:`spawn_worker` launches one and parses the bound
+address from its startup banner (``serve --port 0`` prints the port it
+actually got); :func:`start_cluster` composes N of them with a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` over
+:class:`~repro.cluster.backends.RemoteShard` backends and a
+:class:`~repro.cluster.router.RouterThread` speaking protocol v1 to
+clients — the topology behind ``python -m repro cluster --workers N``.
+
+Data loads *through* the coordinator (bulk extend, partitioned by the
+shard map), so workers never need seed files and a restored snapshot
+(``--load``) replays onto whatever worker count the snapshot recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.backends import RemoteShard
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.router import RouterThread
+
+__all__ = ["WorkerProcess", "spawn_worker", "ClusterHandle", "start_cluster"]
+
+#: The serve banner the launcher parses the bound address from.
+_BANNER = re.compile(r"Serving [\d,]+ points on ([\w.\-]+):(\d+) ")
+
+
+class WorkerProcess:
+    """One spawned ``repro serve`` worker and its bound address."""
+
+    def __init__(
+        self, process: subprocess.Popen, host: str, port: int
+    ) -> None:
+        #: the worker's OS process
+        self.process = process
+        #: bound listen address (parsed from the startup banner)
+        self.host, self.port = host, port
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self.process.poll() is None
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        """Stop the worker process (terminate, then kill on timeout)."""
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+def _worker_environment() -> Dict[str, str]:
+    """The spawned worker's environment: this repro on the path.
+
+    Workers must import the same library as the launcher even when it
+    was never installed (the repo's ``PYTHONPATH=src`` convention), so
+    the package's parent directory is prepended explicitly.
+    """
+    import repro
+
+    source_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        source_root + os.pathsep + existing if existing else source_root
+    )
+    return env
+
+
+def spawn_worker(
+    *,
+    host: str = "127.0.0.1",
+    window_ms: float = 2.0,
+    max_batch: int = 64,
+    startup_timeout: float = 30.0,
+) -> WorkerProcess:
+    """Launch one empty ``repro serve`` worker on an ephemeral port.
+
+    Blocks until the worker prints its startup banner (so the returned
+    address is connectable) or ``startup_timeout`` passes.  The worker
+    starts with ``--points 0`` — data arrives through the coordinator's
+    bulk load, never via per-worker seed files.
+    """
+    command = [
+        sys.executable,
+        "-u",  # unbuffered: the banner must arrive through the pipe
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        host,
+        "--port",
+        "0",
+        "--points",
+        "0",
+        "--window-ms",
+        str(window_ms),
+        "--max-batch",
+        str(max_batch),
+    ]
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_worker_environment(),
+    )
+    deadline = time.monotonic() + startup_timeout
+    lines: List[str] = []
+    while True:
+        if process.poll() is not None:
+            raise RuntimeError(
+                "worker exited during startup:\n" + "".join(lines)
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError(
+                "worker did not print its startup banner within "
+                f"{startup_timeout:g}s:\n" + "".join(lines)
+            )
+        line = process.stdout.readline()
+        if not line:
+            time.sleep(0.01)
+            continue
+        lines.append(line)
+        match = _BANNER.search(line)
+        if match:
+            return WorkerProcess(
+                process, match.group(1), int(match.group(2))
+            )
+
+
+class ClusterHandle:
+    """A running cluster: router + workers + coordinator, one lifetime.
+
+    Returned by :func:`start_cluster`; use as a context manager or call
+    :meth:`close`.  :attr:`host`/:attr:`port` are the router's client
+    address.
+    """
+
+    def __init__(
+        self,
+        router_thread: RouterThread,
+        coordinator: ClusterCoordinator,
+        workers: List[WorkerProcess],
+    ) -> None:
+        #: the protocol-serving router thread
+        self.router_thread = router_thread
+        #: the routing/merge engine (shared with the router)
+        self.coordinator = coordinator
+        #: the spawned worker processes
+        self.workers = workers
+        #: the router's client-facing address
+        self.host, self.port = router_thread.host, router_thread.port
+
+    def close(self) -> None:
+        """Stop the router (closing shard connections), then workers."""
+        self.router_thread.close()
+        for worker in self.workers:
+            worker.terminate()
+
+    def __enter__(self) -> "ClusterHandle":
+        """Context-manager entry: the cluster is already serving."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: tear the cluster down."""
+        self.close()
+
+
+def start_cluster(
+    worker_count: int,
+    *,
+    points: Optional[Sequence[Tuple[float, float]]] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    window_ms: float = 2.0,
+    max_batch: int = 64,
+    snapshot_state: Optional[Dict] = None,
+    **coordinator_options,
+) -> ClusterHandle:
+    """Spawn ``worker_count`` workers and serve them behind one router.
+
+    Either ``points`` (bulk-loaded through the shard map) or
+    ``snapshot_state`` (a :func:`repro.cluster.persist.load_cluster_state`
+    mapping, restoring ids and shard assignment exactly) seeds the data;
+    both ``None`` starts empty.  ``coordinator_options`` pass through to
+    :class:`ClusterCoordinator` (rebalance tuning).  On any startup
+    failure the already-spawned workers are terminated before the error
+    propagates.
+    """
+    if worker_count < 1:
+        raise ValueError(f"need at least one worker, got {worker_count}")
+    if points is not None and snapshot_state is not None:
+        raise ValueError("pass points or snapshot_state, not both")
+    workers: List[WorkerProcess] = []
+    try:
+        for _ in range(worker_count):
+            workers.append(
+                spawn_worker(
+                    host=host, window_ms=window_ms, max_batch=max_batch
+                )
+            )
+        backends = [
+            RemoteShard(worker.host, worker.port) for worker in workers
+        ]
+        if snapshot_state is not None:
+            coordinator = ClusterCoordinator.restore(
+                backends, snapshot_state, **coordinator_options
+            )
+        else:
+            coordinator = ClusterCoordinator(
+                backends, **coordinator_options
+            )
+            if points:
+                coordinator.bulk_load(points)
+        router_thread = RouterThread(
+            coordinator, host=host, port=port
+        )
+    except BaseException:
+        for worker in workers:
+            worker.terminate()
+        raise
+    return ClusterHandle(router_thread, coordinator, workers)

@@ -1,0 +1,595 @@
+"""The cluster router: protocol v1 over a shard coordinator.
+
+:class:`ClusterRouter` is a threaded TCP server speaking the exact
+NDJSON wire format of the single-process
+:class:`~repro.server.app.QueryServer` — same ``hello``, same
+``query``/``next``/``cancel``/write/``stats`` frames, same packed id
+transport, same error codes — so every existing client
+(:class:`~repro.server.client.QueryClient`, the CLI, the benchmarks)
+talks to a cluster without change.  Behind the socket it delegates to a
+:class:`~repro.cluster.coordinator.ClusterCoordinator`: queries scatter
+to the owning shards and gather through the merge layer; writes route
+to the owning shard; ``stats`` answers the cluster-merged frame with
+the router's additive ``cluster`` section.
+
+Differences from a single server, all wire-legal:
+
+* ``stats`` carries an extra ``cluster`` section (unknown fields are
+  forward-compatible by protocol rule) and omits ``subscriptions``.
+* ``subscribe``/``unsubscribe`` answer ``bad-request`` — standing
+  queries would need cross-shard delta ordering, which the router does
+  not provide (see docs/CLUSTER.md for the planned design).
+* ``explain`` renders the router's routing decision, not a per-shard
+  planner trace.
+
+Concurrency: one OS thread per client connection (blocking socket I/O
+releases the GIL, and the coordinator's readers-writer lock lets reads
+from different connections fan out to workers truly concurrently); each
+connection's frames are processed strictly in arrival order, preserving
+the single-server admission semantics per connection.
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+import threading
+from dataclasses import asdict
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+from repro.cluster.coordinator import ClusterCoordinator, ClusterWriteError
+from repro.core.exceptions import ReproError
+from repro.core.stats import QueryStats
+from repro.server.protocol import (
+    DEFAULT_CHUNK_SIZE,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    pack_ids,
+    parse_query_spec,
+    rows_to_wire,
+)
+
+__all__ = ["ClusterRouter", "RouterThread"]
+
+
+def _router_version() -> str:
+    """The advertised server string (import deferred to avoid cycles)."""
+    import repro
+
+    return f"repro-cluster/{repro.__version__}"
+
+
+class _RouterStream:
+    """One open chunked stream on a router connection."""
+
+    __slots__ = ("request_id", "chunks", "source", "seq", "produced")
+
+    def __init__(self, request_id: int, chunks, source) -> None:
+        self.request_id = request_id
+        #: iterator of row blocks (post-projection)
+        self.chunks = chunks
+        #: the underlying merged gid stream (closed on teardown)
+        self.source = source
+        self.seq = 0
+        #: rows produced so far (the chunk frames' ``examined`` field)
+        self.produced = 0
+
+    def close(self) -> None:
+        """Tear down the underlying shard streams."""
+        close = getattr(self.source, "close", None)
+        if close is not None:
+            close()
+
+
+class ClusterRouter:
+    """Serve the v1 wire protocol over a :class:`ClusterCoordinator`.
+
+    Parameters
+    ----------
+    coordinator:
+        The routing/merge engine (its backends may be remote workers or
+        in-process shards — the router does not care).
+    host, port:
+        Listen address; port 0 binds an ephemeral port, exposed via
+        :attr:`address` after :meth:`start`.
+    chunk_size:
+        Default rows per ``chunk`` frame when the client names none.
+    max_inflight:
+        Cap on concurrently open streams per connection.
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_inflight: int = 64,
+    ) -> None:
+        self.coordinator = coordinator
+        self._host = host
+        self._port = port
+        self.chunk_size = int(chunk_size)
+        self.max_inflight = int(max_inflight)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
+        self._closed = threading.Event()
+        #: router-level counters (merged into the stats frame)
+        self.metrics: Dict[str, int] = {
+            "connections_accepted": 0,
+            "requests_total": 0,
+            "writes_total": 0,
+            "streams_opened": 0,
+            "streams_completed": 0,
+            "streams_cancelled": 0,
+            "errors_sent": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("router is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> tuple:
+        """Bind the listen socket and start accepting; returns address."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-cluster-router", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop accepting, drop every connection, close shard backends."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self.coordinator.close()
+
+    def _accept_loop(self) -> None:
+        """Accept connections until closed; one handler thread each."""
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._conn_lock:
+                self._connections.add(conn)
+            self.metrics["connections_accepted"] += 1
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-cluster-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    # -- per-connection protocol loop --------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """One client's frame loop: hello, then request/response."""
+        streams: Dict[int, _RouterStream] = {}
+        try:
+            conn.sendall(
+                encode_frame(
+                    {
+                        "type": "hello",
+                        "protocol": PROTOCOL_VERSION,
+                        "server": _router_version(),
+                        "points": self.coordinator.total_live,
+                    }
+                )
+            )
+            reader = conn.makefile("rb")
+            while True:
+                line = reader.readline(MAX_LINE_BYTES + 1)
+                if not line:
+                    return  # client disconnected
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError as exc:
+                    self._send_error(conn, None, exc.code, exc.message)
+                    continue
+                self._dispatch(conn, streams, frame)
+        except (ConnectionError, OSError, BrokenPipeError):
+            pass  # client vanished mid-frame
+        finally:
+            for stream in streams.values():
+                stream.close()
+            streams.clear()
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+    def _send(self, conn: socket.socket, frame: Dict) -> None:
+        """Encode and write one frame."""
+        conn.sendall(encode_frame(frame))
+
+    def _send_error(
+        self,
+        conn: socket.socket,
+        request_id: Optional[int],
+        code: str,
+        message: str,
+    ) -> None:
+        """Write one ``error`` frame."""
+        self.metrics["errors_sent"] += 1
+        self._send(conn, error_frame(request_id, code, message))
+
+    def _dispatch(
+        self,
+        conn: socket.socket,
+        streams: Dict[int, _RouterStream],
+        frame: Dict,
+    ) -> None:
+        """Route one validated frame to its handler (arrival order)."""
+        frame_type = frame["type"]
+        if frame_type == "query":
+            self._on_query(conn, streams, frame)
+        elif frame_type in ("insert", "extend", "delete"):
+            self._on_write(conn, frame)
+        elif frame_type == "next":
+            self._on_next(conn, streams, frame)
+        elif frame_type == "cancel":
+            self._on_cancel(conn, streams, frame)
+        elif frame_type in ("subscribe", "unsubscribe"):
+            # Standing queries need cross-shard delta ordering the
+            # scatter-gather router does not provide; explicit rejection
+            # beats silently absent notifies.
+            self._send_error(
+                conn,
+                frame["id"],
+                "bad-request",
+                "subscriptions are not supported through the cluster "
+                "router; subscribe to a worker directly or poll",
+            )
+        else:  # "stats"
+            self._on_stats(conn)
+
+    # -- queries -----------------------------------------------------------
+
+    def _on_query(
+        self,
+        conn: socket.socket,
+        streams: Dict[int, _RouterStream],
+        frame: Dict,
+    ) -> None:
+        """Answer one query: eager scatter-gather or chunked stream."""
+        request_id = frame["id"]
+        if request_id in streams:
+            self._send_error(
+                conn,
+                request_id,
+                "bad-request",
+                f"request id {request_id} is already in flight",
+            )
+            return
+        try:
+            spec = parse_query_spec(frame)
+        except ProtocolError as exc:
+            self._send_error(conn, request_id, exc.code, exc.message)
+            return
+        self.metrics["requests_total"] += 1
+        if frame.get("stream"):
+            self._open_stream(conn, streams, request_id, spec, frame)
+            return
+        started = perf_counter()
+        try:
+            ids = self.coordinator.query(spec)
+        except (ValueError, ReproError) as exc:
+            self._send_error(conn, request_id, "bad-spec", str(exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error(conn, request_id, "server-error", str(exc))
+            return
+        stats = QueryStats(
+            method="cluster",
+            result_size=len(ids),
+            time_ms=(perf_counter() - started) * 1000.0,
+        )
+        response: Dict = {
+            "type": "result",
+            "id": request_id,
+            "stats": _stats_to_wire(stats),
+        }
+        if frame.get("packed"):
+            response["ids_packed"] = pack_ids(ids)
+        else:
+            response["ids"] = ids
+        if frame.get("explain"):
+            response["explain"] = self._explain(spec)
+        self._send(conn, response)
+
+    def _explain(self, spec) -> str:
+        """Render the router's routing decision for an ``explain`` query."""
+        coordinator = self.coordinator
+        shard_map = coordinator.shard_map
+        lines = [
+            f"cluster scatter-gather over {coordinator.workers} workers "
+            f"({len(shard_map.ranges)} Hilbert ranges, "
+            f"order={shard_map.order})",
+            f"spec: {spec.describe()}",
+        ]
+        point = getattr(spec, "point", None)
+        if point is not None:
+            owner = shard_map.owner_of(point.x, point.y)
+            lines.append(
+                f"route: owning shard {owner}, ball expansion on demand"
+            )
+        else:
+            lines.append(
+                "route: fan out to range-intersecting shards, "
+                "merge sorted ids"
+            )
+        return "\n".join(lines)
+
+    def _project(self, spec) -> "callable":
+        """Row projector for ``spec.select`` over the global catalog."""
+        coordinator = self.coordinator
+        if spec.select == "points":
+            return coordinator._point_at
+        if spec.select == "distances":
+            point = spec.point
+
+            def distance(global_id: int) -> float:
+                other = coordinator._point_at(global_id)
+                return math.hypot(other.x - point.x, other.y - point.y)
+
+            return distance
+        return lambda global_id: global_id
+
+    def _open_stream(
+        self,
+        conn: socket.socket,
+        streams: Dict[int, _RouterStream],
+        request_id: int,
+        spec,
+        frame: Dict,
+    ) -> None:
+        """Open a chunked stream and push its first chunk."""
+        if len(streams) >= self.max_inflight:
+            self._send_error(
+                conn,
+                request_id,
+                "too-many-requests",
+                f"connection exceeds {self.max_inflight} open streams",
+            )
+            return
+        size = frame.get("chunk_size", self.chunk_size)
+        try:
+            source = self.coordinator.stream(spec)
+        except (ValueError, ReproError) as exc:
+            self._send_error(conn, request_id, "bad-spec", str(exc))
+            return
+        project = self._project(spec)
+        stream = _RouterStream(
+            request_id, _blocks(source, size, project), source
+        )
+        streams[request_id] = stream
+        self.metrics["streams_opened"] += 1
+        self._push_chunk(conn, streams, stream)
+
+    def _push_chunk(
+        self,
+        conn: socket.socket,
+        streams: Dict[int, _RouterStream],
+        stream: _RouterStream,
+    ) -> None:
+        """Produce and send one chunk; ``done`` only on exhaustion.
+
+        Mirrors the single server exactly: a final chunk of exactly
+        ``chunk_size`` rows is followed by one empty ``done`` chunk on
+        the next ``next``, so clients read until ``done``.
+        """
+        try:
+            rows = next(stream.chunks, None)
+        except Exception as exc:
+            streams.pop(stream.request_id, None)
+            stream.close()
+            self._send_error(
+                conn, stream.request_id, "server-error", str(exc)
+            )
+            return
+        stream.produced += len(rows or [])
+        frame = {
+            "type": "chunk",
+            "id": stream.request_id,
+            "seq": stream.seq,
+            "rows": rows_to_wire(rows or []),
+            "done": rows is None,
+            "examined": stream.produced,
+        }
+        stream.seq += 1
+        if rows is None:
+            streams.pop(stream.request_id, None)
+            stream.close()
+            self.metrics["streams_completed"] += 1
+        self._send(conn, frame)
+
+    def _on_next(
+        self,
+        conn: socket.socket,
+        streams: Dict[int, _RouterStream],
+        frame: Dict,
+    ) -> None:
+        """Client-driven continuation: produce the next chunk."""
+        stream = streams.get(frame["id"])
+        if stream is None:
+            self._send_error(
+                conn,
+                frame["id"],
+                "bad-request",
+                f"no open stream with id {frame['id']}",
+            )
+            return
+        self._push_chunk(conn, streams, stream)
+
+    def _on_cancel(
+        self,
+        conn: socket.socket,
+        streams: Dict[int, _RouterStream],
+        frame: Dict,
+    ) -> None:
+        """Tear down an open stream; acknowledge with a final chunk."""
+        request_id = frame["id"]
+        stream = streams.pop(request_id, None)
+        if stream is None:
+            self._send_error(
+                conn,
+                request_id,
+                "bad-request",
+                f"no open stream with id {request_id}",
+            )
+            return
+        stream.close()
+        self.metrics["streams_cancelled"] += 1
+        self._send(
+            conn,
+            {
+                "type": "chunk",
+                "id": request_id,
+                "seq": stream.seq,
+                "rows": [],
+                "done": True,
+                "cancelled": True,
+                "examined": stream.produced,
+            },
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    def _on_write(self, conn: socket.socket, frame: Dict) -> None:
+        """Route one mutation to its owning shard and acknowledge."""
+        request_id = frame["id"]
+        op = frame["type"]
+        coordinator = self.coordinator
+        try:
+            if op == "insert":
+                rows = [
+                    coordinator.insert(float(frame["x"]), float(frame["y"]))
+                ]
+            elif op == "extend":
+                rows = coordinator.extend(
+                    [(float(x), float(y)) for x, y in frame["points"]]
+                )
+            else:  # "delete"
+                row = int(frame["row"])
+                coordinator.delete(row)
+                rows = [row]
+        except (ClusterWriteError, IndexError, ValueError, ReproError) as exc:
+            self._send_error(conn, request_id, "bad-request", str(exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error(conn, request_id, "server-error", str(exc))
+            return
+        self.metrics["writes_total"] += 1
+        self._send(
+            conn,
+            {
+                "type": "write",
+                "id": request_id,
+                "op": op,
+                "rows": rows,
+                "version": coordinator.version,
+                "points": coordinator.total_live,
+            },
+        )
+
+    # -- stats -------------------------------------------------------------
+
+    def _on_stats(self, conn: socket.socket) -> None:
+        """Answer with the cluster-merged stats frame."""
+        try:
+            frame = self.coordinator.stats_frame()
+        except Exception as exc:  # pragma: no cover - worker vanished
+            self._send_error(conn, None, "server-error", str(exc))
+            return
+        frame["cluster"] = dict(frame.get("cluster", {}))
+        frame["cluster"]["router"] = dict(self.metrics)
+        self._send(conn, frame)
+
+
+def _blocks(source: Iterator, size: int, project) -> Iterator[List]:
+    """Cut a gid stream into projected row blocks of ``size``."""
+    block: List = []
+    for global_id in source:
+        block.append(project(global_id))
+        if len(block) >= size:
+            yield block
+            block = []
+    if block:
+        yield block
+
+
+def _stats_to_wire(stats: QueryStats) -> Dict:
+    """JSON-ready form of the router's synthetic :class:`QueryStats`."""
+    data = asdict(stats)
+    data["time_ms"] = round(float(data["time_ms"]), 4)
+    return data
+
+
+class RouterThread:
+    """A started :class:`ClusterRouter` with blocking lifecycle.
+
+    The cluster sibling of :class:`~repro.server.app.ServerThread`:
+    construction binds the listen socket (port 0 by default — the bound
+    ephemeral port is in :attr:`host`/:attr:`port`), and :meth:`close`
+    (or leaving the ``with`` block) tears the router down, shard
+    backends included.
+    """
+
+    def __init__(
+        self, coordinator: ClusterCoordinator, **router_kwargs
+    ) -> None:
+        self.router = ClusterRouter(coordinator, **router_kwargs)
+        #: the bound listen address
+        self.host, self.port = self.router.start()
+
+    def close(self) -> None:
+        """Stop the router (idempotent)."""
+        self.router.close()
+
+    def __enter__(self) -> "RouterThread":
+        """Context-manager entry: the router is already accepting."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: stop the router."""
+        self.close()

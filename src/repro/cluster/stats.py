@@ -1,0 +1,169 @@
+"""Cluster-wide stats aggregation over the ``stats`` wire frame.
+
+Each worker replica answers a full PR-8 ``stats`` frame: counter
+sections (``server``/``coalescer``/``engine``/``subscriptions``) plus a
+``latency`` section of per-kind :class:`~repro.server.metrics.LatencyHistogram`
+wire forms.  Those histogram dicts are mergeable by design — fixed
+log2 buckets keyed by their upper edge, exact ``count``/``sum``/``max``
+alongside — so the cluster view is computed by summing bucket counts
+and re-walking the quantiles, with no per-observation state crossing
+the wire.
+
+:func:`merge_stats_frames` produces one frame that passes the protocol's
+``stats`` validation (the three required sections present, additive
+sections only when every input carried them), so cluster clients can
+consume it with the same code path as a single server's frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "merge_histogram_dicts",
+    "merge_latency_sections",
+    "merge_stats_frames",
+]
+
+
+def merge_histogram_dicts(
+    histograms: Sequence[Dict],
+) -> Dict[str, object]:
+    """Merge :meth:`LatencyHistogram.as_dict` wire forms into one.
+
+    Bucket counts sum per upper edge; ``count`` and ``max_ms`` are
+    exact; ``mean_ms`` is reconstructed from the rounded per-source
+    means (exact up to their wire rounding); the quantiles re-run the
+    histogram's conservative walk over the merged buckets, so they
+    carry the same never-under-reporting guarantee as a single
+    histogram's.
+    """
+    buckets: Dict[str, int] = {}
+    count = 0
+    sum_ms = 0.0
+    max_ms = 0.0
+    for histogram in histograms:
+        source_count = int(histogram.get("count", 0))
+        count += source_count
+        sum_ms += float(histogram.get("mean_ms", 0.0)) * source_count
+        max_ms = max(max_ms, float(histogram.get("max_ms", 0.0)))
+        for edge, bucket_count in histogram.get("buckets", {}).items():
+            buckets[edge] = buckets.get(edge, 0) + int(bucket_count)
+    merged: Dict[str, object] = {
+        "count": count,
+        "mean_ms": round(sum_ms / count, 3) if count else 0.0,
+        "max_ms": round(max_ms, 3),
+        "buckets": dict(
+            sorted(buckets.items(), key=lambda item: float(item[0]))
+        ),
+    }
+    for name, q in (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99)):
+        merged[name] = round(
+            _percentile_from_buckets(buckets, count, max_ms, q), 3
+        )
+    return merged
+
+
+def _percentile_from_buckets(
+    buckets: Dict[str, int], count: int, max_ms: float, q: float
+) -> float:
+    """The conservative bucket-walk quantile over merged wire buckets.
+
+    Mirrors :meth:`LatencyHistogram.percentile_ms`: walk edges in
+    ascending order to the first bucket whose cumulative count reaches
+    the rank and report that bucket's upper edge, clamped by the exact
+    maximum.
+    """
+    if not count:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for edge in sorted(buckets, key=float):
+        cumulative += buckets[edge]
+        if cumulative >= rank and cumulative > 0:
+            return min(float(edge), max_ms)
+    return max_ms
+
+
+def merge_latency_sections(
+    sections: Sequence[Dict],
+) -> Dict[str, object]:
+    """Merge per-worker ``latency`` stats sections into the cluster view.
+
+    Both sub-sections merge histogram-wise: ``admission_wait`` directly,
+    ``kinds`` per query kind (a kind recorded by any worker appears in
+    the merge).
+    """
+    kinds: Dict[str, List[Dict]] = {}
+    waits: List[Dict] = []
+    for section in sections:
+        wait = section.get("admission_wait")
+        if wait:
+            waits.append(wait)
+        for kind, histogram in section.get("kinds", {}).items():
+            kinds.setdefault(kind, []).append(histogram)
+    return {
+        "admission_wait": merge_histogram_dicts(waits),
+        "kinds": {
+            kind: merge_histogram_dicts(histograms)
+            for kind, histograms in sorted(kinds.items())
+        },
+    }
+
+
+def _sum_counters(sections: Sequence[Dict]) -> Dict:
+    """Sum numeric counters key-wise across worker stats sections.
+
+    Non-numeric values (and booleans) are carried through from the
+    first section that has them — they are labels, not counters.
+    Nested dicts merge recursively (the histogram-shaped ones are
+    handled by the dedicated mergers before this runs).
+    """
+    merged: Dict = {}
+    for section in sections:
+        for key, value in section.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                if isinstance(value, dict):
+                    merged[key] = _sum_counters(
+                        [merged.get(key, {}), value]
+                    )
+                else:
+                    merged.setdefault(key, value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def merge_stats_frames(
+    frames: Sequence[Dict], *, cluster: Optional[Dict] = None
+) -> Dict:
+    """One cluster-wide ``stats`` frame from per-worker frames.
+
+    Counter sections sum key-wise; the ``latency`` section merges
+    histogram-wise; additive sections (``subscriptions``, ``latency``)
+    appear only when every worker supplied them, keeping the merged
+    frame within the protocol's stats schema.  ``cluster`` attaches the
+    router's own additive section (shard map, per-worker live counts,
+    rebalance counters) — unknown extra fields are forward-compatible
+    by protocol rule.
+    """
+    if not frames:
+        raise ValueError("need at least one worker stats frame")
+    merged: Dict = {"type": "stats"}
+    for key in ("server", "coalescer", "engine"):
+        merged[key] = _sum_counters(
+            [frame.get(key, {}) for frame in frames]
+        )
+    if all("subscriptions" in frame for frame in frames):
+        merged["subscriptions"] = _sum_counters(
+            [frame["subscriptions"] for frame in frames]
+        )
+    if all("latency" in frame for frame in frames):
+        merged["latency"] = merge_latency_sections(
+            [frame["latency"] for frame in frames]
+        )
+    if cluster is not None:
+        merged["cluster"] = cluster
+    return merged

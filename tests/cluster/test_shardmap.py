@@ -1,0 +1,113 @@
+"""Property tests for Hilbert shard maps and region key covers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.shardmap import (
+    CELL_COVER_CAP,
+    ShardMap,
+    ShardRange,
+    cell_cover,
+)
+from repro.engine.order import hilbert_index
+
+UNIT = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestShardRangeAndConstruction:
+    def test_even_tiles_the_key_space(self):
+        for workers in (1, 2, 3, 4, 7, 16):
+            shard_map = ShardMap.even(workers)
+            assert shard_map.ranges[0].lo == 0
+            assert shard_map.ranges[-1].hi == 4**shard_map.order
+            for left, right in zip(shard_map.ranges, shard_map.ranges[1:]):
+                assert left.hi == right.lo
+
+    def test_gaps_and_overlaps_rejected(self):
+        top = 4**8
+        with pytest.raises(ValueError):
+            ShardMap([ShardRange(0, 10, 0), ShardRange(11, top, 1)])
+        with pytest.raises(ValueError):
+            ShardMap([ShardRange(0, 10, 0), ShardRange(9, top, 1)])
+        with pytest.raises(ValueError):
+            ShardMap([ShardRange(5, top, 0)])
+
+    def test_round_trip_through_dicts(self):
+        shard_map = ShardMap.even(5)
+        clone = ShardMap.from_dicts(shard_map.as_dicts(), order=8)
+        assert clone.ranges == shard_map.ranges
+
+    def test_split_moves_the_upper_half(self):
+        shard_map = ShardMap.even(2)
+        lo, hi = shard_map.ranges[0].lo, shard_map.ranges[0].hi
+        middle = (lo + hi) // 2
+        split = shard_map.split(lo, middle, new_worker=2)
+        assert split.range_at(lo) == ShardRange(lo, middle, 0)
+        assert split.range_at(middle) == ShardRange(middle, hi, 2)
+        with pytest.raises(ValueError):
+            shard_map.split(lo, lo, new_worker=2)  # not strictly inside
+
+
+class TestOwnership:
+    @settings(max_examples=200)
+    @given(UNIT, UNIT)
+    def test_owner_matches_hilbert_key(self, x, y):
+        shard_map = ShardMap.even(4)
+        key = hilbert_index(x, y, order=shard_map.order)
+        assert shard_map.owner_of(x, y) == shard_map.owner_of_key(key)
+
+    def test_out_of_range_points_clamp_like_the_index(self):
+        shard_map = ShardMap.even(3)
+        for x, y in [(-0.5, 0.2), (1.7, 0.2), (0.3, -2.0), (2.0, 2.0)]:
+            key = hilbert_index(x, y, order=shard_map.order)
+            assert shard_map.owner_of(x, y) == shard_map.owner_of_key(key)
+
+
+class TestRegionCovers:
+    @settings(max_examples=60)
+    @given(UNIT, UNIT, UNIT, UNIT, st.integers(2, 6))
+    def test_bounds_cover_contains_every_interior_owner(
+        self, x0, y0, x1, y1, workers
+    ):
+        if x1 < x0:
+            x0, x1 = x1, x0
+        if y1 < y0:
+            y0, y1 = y1, y0
+        shard_map = ShardMap.even(workers)
+        owners = shard_map.workers_for_bounds((x0, y0, x1, y1))
+        rng = random.Random(17)
+        for _ in range(25):
+            px = x0 + rng.random() * (x1 - x0)
+            py = y0 + rng.random() * (y1 - y0)
+            assert shard_map.owner_of(px, py) in owners
+
+    @settings(max_examples=60)
+    @given(UNIT, UNIT, st.floats(0.0, 0.4, allow_nan=False))
+    def test_circle_cover_contains_every_interior_owner(self, cx, cy, r):
+        shard_map = ShardMap.even(4)
+        owners = shard_map.workers_for_circle(cx, cy, r)
+        rng = random.Random(23)
+        for _ in range(30):
+            angle = rng.random() * 2.0 * math.pi
+            distance = r * math.sqrt(rng.random())
+            px = cx + distance * math.cos(angle)
+            py = cy + distance * math.sin(angle)
+            if 0.0 <= px <= 1.0 and 0.0 <= py <= 1.0:
+                assert shard_map.owner_of(px, py) in owners
+
+    def test_circle_cover_is_a_strict_subset_for_small_discs(self):
+        shard_map = ShardMap.even(8)
+        owners = shard_map.workers_for_circle(0.1, 0.1, 0.01)
+        assert len(owners) < len(shard_map.all_workers())
+
+    def test_cell_cover_caps_out_as_fan_out_signal(self):
+        # the whole unit square touches every cell — far over the cap
+        assert cell_cover((0.0, 0.0, 1.0, 1.0), order=8) == []
+        small = cell_cover((0.4, 0.4, 0.401, 0.401), order=8)
+        assert small and len(small) <= CELL_COVER_CAP

@@ -1,0 +1,94 @@
+"""Shard-aware snapshot round trips: directory format + restore."""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, LocalShard
+from repro.cluster.persist import (
+    load_cluster_state,
+    restore_cluster,
+    save_cluster,
+)
+from repro.core.database import SpatialDatabase
+from repro.query.spec import AreaQuery, KnnQuery
+from repro.geometry.point import Point
+from repro.workloads import make_query_areas, uniform_points
+
+
+def fresh_backends(workers=3):
+    return [LocalShard(SpatialDatabase()) for _ in range(workers)]
+
+
+@pytest.fixture
+def coordinator():
+    points = [(p.x, p.y) for p in uniform_points(250, seed=13)]
+    coordinator = ClusterCoordinator(fresh_backends(), min_split=32)
+    coordinator.bulk_load(points)
+    # leave holes and a forced split so the snapshot is non-trivial
+    coordinator.delete(7)
+    coordinator.delete(100)
+    assert coordinator.rebalance_once(force=True)
+    return coordinator
+
+
+class TestRoundTrip:
+    def test_save_then_restore_preserves_results_and_ids(
+        self, tmp_path, coordinator
+    ):
+        directory = save_cluster(tmp_path / "snap", coordinator)
+        restored = restore_cluster(directory, fresh_backends())
+
+        assert restored.total_live == coordinator.total_live
+        assert restored.live_counts == coordinator.live_counts
+        assert restored.rebalances == coordinator.rebalances
+        assert restored.shard_map.ranges == coordinator.shard_map.ranges
+        for index in range(8):
+            area = make_query_areas(0.04, 1, seed=40 + index)[0]
+            assert restored.query(AreaQuery(area)) == coordinator.query(
+                AreaQuery(area)
+            )
+        spec = KnnQuery(Point(0.3, 0.3), 12)
+        assert restored.query(spec) == coordinator.query(spec)
+        # deleted ids stay holes: the next insert continues the sequence
+        assert restored.insert(0.5, 0.25) == coordinator.insert(0.5, 0.25)
+
+    def test_manifest_lists_every_worker_even_empty(self, tmp_path):
+        coordinator = ClusterCoordinator(fresh_backends(4))
+        coordinator.extend([(0.01, 0.01), (0.02, 0.02)])  # one shard only
+        directory = save_cluster(tmp_path / "snap", coordinator)
+        with open(os.path.join(directory, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert [shard["worker"] for shard in manifest["shards"]] == [
+            0,
+            1,
+            2,
+            3,
+        ]
+        restored = restore_cluster(directory, fresh_backends(4))
+        assert restored.total_live == 2
+
+
+class TestCorruption:
+    def test_unsupported_format_rejected(self, tmp_path, coordinator):
+        directory = save_cluster(tmp_path / "snap", coordinator)
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format"] = 99
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_cluster_state(directory)
+
+    def test_count_mismatch_rejected(self, tmp_path, coordinator):
+        directory = save_cluster(tmp_path / "snap", coordinator)
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["shards"][0]["count"] += 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ValueError, match="corrupt"):
+            load_cluster_state(directory)

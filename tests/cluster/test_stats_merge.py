@@ -1,0 +1,97 @@
+"""Unit tests for cluster-wide stats frame and histogram merging."""
+
+import pytest
+
+from repro.cluster.stats import (
+    merge_histogram_dicts,
+    merge_latency_sections,
+    merge_stats_frames,
+)
+from repro.server.metrics import LatencyHistogram
+from repro.server.protocol import validate_frame
+
+
+def histogram_of(values):
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record_ms(value)
+    return histogram
+
+
+class TestHistogramMerge:
+    def test_merge_equals_single_histogram_over_union(self):
+        left, right = [0.1, 0.5, 2.0, 8.0], [0.2, 4.0, 16.0, 40.0]
+        merged = merge_histogram_dicts(
+            [histogram_of(left).as_dict(), histogram_of(right).as_dict()]
+        )
+        combined = histogram_of(left + right).as_dict()
+        assert merged["count"] == combined["count"]
+        assert merged["max_ms"] == combined["max_ms"]
+        assert merged["buckets"] == combined["buckets"]
+        for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+            assert merged[quantile] == combined[quantile]
+
+    def test_quantiles_never_exceed_the_exact_max(self):
+        merged = merge_histogram_dicts(
+            [histogram_of([3.0]).as_dict(), histogram_of([3.5]).as_dict()]
+        )
+        assert merged["p99_ms"] <= merged["max_ms"] == 3.5
+
+    def test_empty_inputs_merge_to_zeros(self):
+        merged = merge_histogram_dicts([LatencyHistogram().as_dict()])
+        assert merged["count"] == 0
+        assert merged["p99_ms"] == 0.0
+
+
+class TestLatencySectionMerge:
+    def test_kind_union_across_workers(self):
+        section_a = {
+            "admission_wait": histogram_of([1.0]).as_dict(),
+            "kinds": {"area": histogram_of([2.0]).as_dict()},
+        }
+        section_b = {
+            "admission_wait": histogram_of([3.0]).as_dict(),
+            "kinds": {"knn": histogram_of([4.0]).as_dict()},
+        }
+        merged = merge_latency_sections([section_a, section_b])
+        assert merged["admission_wait"]["count"] == 2
+        assert set(merged["kinds"]) == {"area", "knn"}
+
+
+class TestFrameMerge:
+    def frame(self, requests, with_latency=True):
+        frame = {
+            "type": "stats",
+            "server": {"requests_total": requests, "connections": 1},
+            "coalescer": {"batches": 2},
+            "engine": {"executed": 5, "time_ms": 1.5},
+        }
+        if with_latency:
+            frame["subscriptions"] = {"active": 0}
+            frame["latency"] = {
+                "admission_wait": histogram_of([1.0]).as_dict(),
+                "kinds": {},
+            }
+        return frame
+
+    def test_counters_sum_and_frame_validates(self):
+        merged = merge_stats_frames(
+            [self.frame(3), self.frame(4)],
+            cluster={"workers": 2},
+        )
+        assert merged["server"]["requests_total"] == 7
+        assert merged["engine"]["time_ms"] == pytest.approx(3.0)
+        assert merged["cluster"] == {"workers": 2}
+        # the merged frame must stay inside the protocol's stats schema
+        validate_frame(merged)
+
+    def test_additive_sections_require_every_worker(self):
+        merged = merge_stats_frames(
+            [self.frame(1), self.frame(1, with_latency=False)]
+        )
+        assert "latency" not in merged
+        assert "subscriptions" not in merged
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_stats_frames([])

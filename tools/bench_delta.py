@@ -56,9 +56,11 @@ STABLE_BENCHMARKS = frozenset(
         "heterogeneous_batch_speedup",
         "live_subscriptions",
         "mutable_server_mix",
+        "overload_shedding",
         "server_coalescing_mechanism",
         "server_coalescing_speedup",
         "server_streamed_knn",
+        "skewed_tail_latency",
         "unbounded_knn_streaming",
     }
 )
@@ -93,6 +95,11 @@ _CONTEXT_KEYS = {
     "max_queue",
     "duration_s",
     "offered",
+    "workers",
+    "shards",
+    "cpus",
+    "mode",
+    "modeled",
 }
 
 #: Metrics where *larger is worse* (times); everything else numeric is

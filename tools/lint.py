@@ -16,7 +16,8 @@ checks:
 * tabs in indentation (the codebase is spaces-only).
 
 Independently of which linter runs, files under the serving layers
-(:data:`DOC_COVERAGE_ROOTS` — ``src/repro/server``, ``src/repro/live``)
+(:data:`DOC_COVERAGE_ROOTS` — ``src/repro/server``, ``src/repro/live``,
+``src/repro/cluster``)
 also pass a **static doc-coverage check**: the module and every public
 function, method, and class must carry a docstring.  These are the
 operational surfaces ``docs/OPERATIONS.md`` points into, and ruff is
@@ -41,7 +42,11 @@ SKIP_PARTS = {".git", "__pycache__", ".pytest_cache", ".hypothesis"}
 
 #: Packages whose public API must be fully docstringed (relative to the
 #: repo root).  The serving layers: everything an operator reaches for.
-DOC_COVERAGE_ROOTS = ("src/repro/server", "src/repro/live")
+DOC_COVERAGE_ROOTS = (
+    "src/repro/server",
+    "src/repro/live",
+    "src/repro/cluster",
+)
 
 
 def iter_python_files(roots: List[str]) -> Iterator[pathlib.Path]:

@@ -3,11 +3,20 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test docs-check lint bench-smoke bench-columnar bench demo
+.PHONY: test test-chaos docs-check lint bench-smoke bench-columnar bench demo
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
 	$(PYTEST) -x -q
+
+## fault-injection chaos suite under a fixed seed: deterministic
+## FaultyBackend scenarios plus the real-process kill -9 tests
+## (replicated failover, degraded results, supervision respawn).
+## Override the seed to replay a specific run:
+## REPRO_CHAOS_SEED=<n> make test-chaos
+test-chaos:
+	REPRO_CHAOS_SEED=$${REPRO_CHAOS_SEED:-1307} \
+		$(PYTEST) tests/cluster/test_failover.py -q
 
 ## documentation gate: fails on any public item without a docstring,
 ## any dead relative link/anchor in README.md + docs/*.md, or any
@@ -42,7 +51,8 @@ bench-smoke:
 		benchmarks/bench_subscriptions.py \
 		benchmarks/bench_tail_latency.py \
 		benchmarks/bench_overload.py \
-		benchmarks/bench_cluster.py -q --benchmark-disable
+		benchmarks/bench_cluster.py \
+		benchmarks/bench_failover.py -q --benchmark-disable
 
 ## columnar acceptance bench alone: vectorized vs scalar hot paths on
 ## the refinement-heavy trace (>= 2x asserted), ids byte-identical
@@ -68,7 +78,8 @@ bench:
 		benchmarks/bench_subscriptions.py \
 		benchmarks/bench_tail_latency.py \
 		benchmarks/bench_overload.py \
-		benchmarks/bench_cluster.py
+		benchmarks/bench_cluster.py \
+		benchmarks/bench_failover.py
 
 ## one-shot demo of both methods + the batch engine
 demo:

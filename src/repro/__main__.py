@@ -105,7 +105,7 @@ def _cmd_query_remote(args: argparse.Namespace, specs) -> int:
     from repro.server import QueryClient
 
     host, port = _parse_address(args.remote)
-    with QueryClient(host, port) as client:
+    with QueryClient(host, port, timeout=args.timeout) as client:
         print(
             f"Connected to {host}:{port} "
             f"({client.hello['server']}, {client.hello['points']:,} points)"
@@ -144,6 +144,12 @@ def _cmd_query_remote(args: argparse.Namespace, specs) -> int:
                 f"{len(result.ids):>7,} "
                 f"{result.stats.get('time_ms', 0.0):>8.2f}"
             )
+            if result.degraded:
+                print(
+                    f"     !! DEGRADED RESULT: shard(s) "
+                    f"{result.shards_failed or '?'} unreachable — "
+                    f"rows from those shards are missing"
+                )
             if args.explain and result.explain:
                 print(result.explain)
         stats = client.stats()
@@ -389,7 +395,7 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
             "and/or --from-file OPS.ndjson"
         )
         return 1
-    with QueryClient(host, port) as client:
+    with QueryClient(host, port, timeout=args.timeout) as client:
         print(
             f"Connected to {host}:{port} "
             f"({client.hello['server']}, {client.hello['points']:,} points)"
@@ -510,7 +516,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         points = [
             (p.x, p.y) for p in uniform_points(args.points, seed=args.seed)
         ]
-    print(f"Spawning {args.workers} worker(s) on ephemeral ports...")
+    print(
+        f"Spawning {args.workers} worker(s)"
+        + (
+            f" + {args.workers} replica(s)"
+            if args.replicas
+            else ""
+        )
+        + " on ephemeral ports..."
+    )
     cluster = start_cluster(
         args.workers,
         points=points,
@@ -518,22 +532,41 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         window_ms=args.window_ms,
+        replicas=args.replicas,
+        supervise=args.supervise,
+        health_interval=args.health_interval,
     )
     try:
         coordinator = cluster.coordinator
         for shard_range in coordinator.shard_map.ranges:
             worker = cluster.workers[shard_range.worker]
-            print(
+            line = (
                 f"  worker {shard_range.worker} on "
                 f"{worker.host}:{worker.port} serves Hilbert keys "
                 f"[{shard_range.lo}, {shard_range.hi})"
             )
+            if shard_range.replica is not None and cluster.replica_workers:
+                replica = cluster.replica_workers[shard_range.replica]
+                line += (
+                    f" (replica on {replica.host}:{replica.port})"
+                )
+            print(line)
         print(
             f"Cluster of {args.workers} workers serving "
             f"{coordinator.total_live:,} points on "
             f"{cluster.host}:{cluster.port} (protocol v1; point your "
             f"clients at the router)"
         )
+        if args.replicas:
+            print(
+                "Writes mirror synchronously to replicas; reads fail "
+                "over when a primary is down."
+            )
+        if args.supervise:
+            print(
+                "Supervision on: dead workers respawn and reload "
+                "automatically."
+            )
         print("Press Ctrl-C to stop.")
         while True:
             time_module.sleep(3600)
@@ -618,12 +651,34 @@ def _render_stats_frame(frame: dict) -> None:
             f"{cluster['rebalances']} rebalance(s)"
         )
         live = cluster.get("live", [])
+        health = cluster.get("health") or {}
+        primary_health = health.get("primaries", [])
+        replica_health = health.get("replicas", [])
+        dirty = cluster.get("replica_dirty", [])
         for shard_range in cluster.get("ranges", []):
             worker = shard_range["worker"]
             count = live[worker] if worker < len(live) else "?"
-            print(
+            line = (
                 f"    shard [{shard_range['lo']}, {shard_range['hi']}) "
-                f"-> worker {worker} ({count:,} live)"
+                f"-> worker {worker} ({count:,} live"
+            )
+            if worker < len(primary_health):
+                line += f", {primary_health[worker]}"
+            line += ")"
+            slot = shard_range.get("replica")
+            if slot is not None and slot < len(replica_health):
+                state = replica_health[slot]
+                if slot < len(dirty) and dirty[slot]:
+                    state += " DIRTY"
+                line += f" replica {slot} ({state})"
+            print(line)
+        if cluster.get("replicas"):
+            print(
+                f"    fault tolerance: {cluster['replicas']} replica(s), "
+                f"{cluster.get('failovers', 0)} failover read(s), "
+                f"{cluster.get('degraded_results', 0)} degraded "
+                f"result(s), {cluster.get('mirror_failures', 0)} mirror "
+                f"failure(s), {cluster.get('recoveries', 0)} recover(ies)"
             )
         router = cluster.get("router")
         if router:
@@ -639,7 +694,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.server import QueryClient
 
     host, port = _parse_address(args.remote)
-    with QueryClient(host, port) as client:
+    with QueryClient(host, port, timeout=args.timeout) as client:
         print(
             f"Connected to {host}:{port} "
             f"({client.hello['server']}, {client.hello['points']:,} points)"
@@ -786,6 +841,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="send the specs to a running `python -m repro serve` "
         "instance instead of building a local database",
     )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout for --remote connects and response reads",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -865,6 +927,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         '({"op": "insert"|"extend"|"delete", ...}) in file order, '
         "before any --insert/--delete flags",
     )
+    mutate.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout for connects and response reads",
+    )
 
     cluster = subparsers.add_parser(
         "cluster",
@@ -909,6 +978,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=2.0,
         help="per-worker coalescing admission window, milliseconds",
     )
+    cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        choices=(0, 1),
+        help="standby workers per primary (1 mirrors writes "
+        "synchronously and serves failover reads; see docs/CLUSTER.md)",
+    )
+    cluster.add_argument(
+        "--supervise",
+        action="store_true",
+        help="respawn dead workers and reload their shards from the "
+        "coordinator catalog (and replica) automatically",
+    )
+    cluster.add_argument(
+        "--health-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="background health-probe period (0 disables probing; "
+        "failures on the hot path still mark shards down)",
+    )
 
     stats = subparsers.add_parser(
         "stats",
@@ -920,6 +1011,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="HOST:PORT",
         help="address of a running serve instance or cluster router "
         "(a router answers the merged cluster-wide view)",
+    )
+    stats.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout for connects and response reads",
     )
 
     subscribe = subparsers.add_parser(

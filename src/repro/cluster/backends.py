@@ -17,16 +17,33 @@ ids.  Two implementations share the interface:
     connection checked out until closed.  Specs must be serialisable —
     the coordinator strips predicates/limits before fan-out and applies
     them at the merge layer, so this never constrains cluster clients.
+
+**RPC hardening.**  Every remote call runs under a per-call socket
+deadline (``rpc_timeout``); *read* RPCs additionally retry under a
+:class:`~repro.cluster.faults.RetryPolicy` — bounded attempts, jittered
+exponential backoff, connection discarded and re-dialed between
+attempts (a dry pool dials fresh, so a worker restarted on the same
+address reconnects transparently).  *Write* RPCs get exactly one
+attempt: a retried write could double-apply on a worker that committed
+the first attempt before the connection died.  A call that exhausts its
+budget raises :class:`~repro.cluster.faults.ShardUnavailableError`, the
+signal the coordinator's failover logic keys on.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.query.spec import Query
 
 __all__ = ["ShardBackend", "LocalShard", "RemoteShard"]
+
+#: Transport-level failures worth retrying (server-side ``RemoteError``
+#: frames are *not* here: a worker that answered is reachable, and its
+#: verdict would not change on a retry).
+_RETRYABLE = (ConnectionError, TimeoutError, OSError, EOFError)
 
 
 class ShardBackend:
@@ -57,6 +74,14 @@ class ShardBackend:
     def stats_frame(self) -> Optional[dict]:
         """The shard's ``stats`` wire frame (``None`` if not serving)."""
         return None
+
+    def ping(self) -> bool:
+        """Health probe: can this backend answer right now?
+
+        Never raises — probe failures return ``False``.  The default is
+        ``True`` (an in-process shard is alive iff this process is).
+        """
+        return True
 
     def close(self) -> None:
         """Release any held resources (connections)."""
@@ -131,6 +156,10 @@ class RemoteShard(ShardBackend):
     :class:`~repro.server.client.QueryClient`; tests may inject a
     factory.  The pool grows on demand (one connection per concurrently
     borrowing thread) and shrinks only at :meth:`close`.
+
+    ``retry`` governs read RPCs (see the module docstring); ``None``
+    installs the default :class:`~repro.cluster.faults.RetryPolicy`.
+    ``rpc_timeout`` is the per-attempt socket deadline in seconds.
     """
 
     def __init__(
@@ -139,19 +168,73 @@ class RemoteShard(ShardBackend):
         port: int,
         *,
         connect: Optional[Callable[[], object]] = None,
+        retry: Optional["RetryPolicy"] = None,
+        rpc_timeout: float = 10.0,
     ) -> None:
+        from repro.cluster.faults import RetryPolicy
+
         #: worker address
         self.host, self.port = host, port
+        #: the read-RPC retry policy
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: per-attempt socket deadline, seconds
+        self.rpc_timeout = float(rpc_timeout)
         self._connect = connect or self._dial
         self._pool: List[object] = []
         self._lock = threading.Lock()
         self._closed = False
 
     def _dial(self):
-        """Open one wire client to the worker."""
+        """Open one wire client to the worker (per-call socket deadline)."""
         from repro.server.client import QueryClient
 
-        return QueryClient(self.host, self.port)
+        return QueryClient(self.host, self.port, timeout=self.rpc_timeout)
+
+    def _call(self, op: Callable[[object], object], *, retryable: bool):
+        """Run ``op(client)`` on a borrowed connection, retrying reads.
+
+        Transport failures discard the connection (the next borrow
+        re-dials when the pool is dry) and — for ``retryable`` calls —
+        back off and try again under the policy's attempt and deadline
+        budgets.  A call that exhausts its budget raises
+        :class:`~repro.cluster.faults.ShardUnavailableError` chained to
+        the last transport error; non-transport errors (a worker's
+        ``RemoteError`` verdict, spec bugs) propagate unchanged.
+        """
+        from repro.cluster.faults import ShardUnavailableError
+
+        policy = self.retry
+        attempts = policy.attempts if retryable else 1
+        deadline = time.monotonic() + policy.deadline_s
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                backoff = policy.backoff_s(attempt - 1)
+                if time.monotonic() + backoff > deadline:
+                    break
+                time.sleep(backoff)
+            try:
+                borrowed = self._borrow()
+            except RuntimeError:
+                raise  # closed backend: not a transport failure
+            except _RETRYABLE as exc:
+                last_error = exc
+                continue
+            try:
+                result = op(borrowed.client)
+            except _RETRYABLE as exc:
+                borrowed.discard()
+                last_error = exc
+                continue
+            except Exception:
+                borrowed.discard()
+                raise
+            borrowed.release()
+            return result
+        raise ShardUnavailableError(
+            f"worker {self.host}:{self.port} unavailable after "
+            f"{attempts} attempt(s): {last_error}"
+        ) from last_error
 
     def _borrow(self) -> _PooledClient:
         """Check a pooled connection out (dialing when the pool is dry)."""
@@ -171,15 +254,10 @@ class RemoteShard(ShardBackend):
         client.close()
 
     def query_ids(self, spec: Query) -> List[int]:
-        """Answer ``spec`` over the wire (packed id transport)."""
-        borrowed = self._borrow()
-        try:
-            ids = list(borrowed.client.query(spec).ids)
-        except Exception:
-            borrowed.discard()
-            raise
-        borrowed.release()
-        return ids
+        """Answer ``spec`` over the wire (packed ids; retried reads)."""
+        return self._call(
+            lambda client: list(client.query(spec).ids), retryable=True
+        )
 
     def stream_ids(
         self, spec: Query, *, chunk_size: int = 256
@@ -189,14 +267,48 @@ class RemoteShard(ShardBackend):
         The returned generator supports ``close()`` — closing cancels
         the server-side stream and returns the connection to the pool,
         so abandoning a merge mid-way releases worker resources
-        deterministically.
+        deterministically.  Opening retries like any read RPC;
+        mid-stream transport failures propagate to the consumer (the
+        coordinator fails the pull over to the replica).
         """
-        borrowed = self._borrow()
-        try:
-            stream = borrowed.client.stream(spec, chunk_size=chunk_size)
-        except Exception:
-            borrowed.discard()
-            raise
+
+        from repro.cluster.faults import ShardUnavailableError
+
+        # The generic _call loop releases the connection on success, but
+        # a stream must keep its connection checked out until exhausted
+        # — so the borrow+open step runs its own retry loop here.
+        policy = self.retry
+        deadline = time.monotonic() + policy.deadline_s
+        last_error: Optional[BaseException] = None
+        borrowed = stream = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                backoff = policy.backoff_s(attempt - 1)
+                if time.monotonic() + backoff > deadline:
+                    break
+                time.sleep(backoff)
+            try:
+                borrowed = self._borrow()
+            except RuntimeError:
+                raise
+            except _RETRYABLE as exc:
+                last_error = exc
+                continue
+            try:
+                stream = borrowed.client.stream(spec, chunk_size=chunk_size)
+                break
+            except _RETRYABLE as exc:
+                borrowed.discard()
+                last_error = exc
+                continue
+            except Exception:
+                borrowed.discard()
+                raise
+        if stream is None:
+            raise ShardUnavailableError(
+                f"worker {self.host}:{self.port} unavailable after "
+                f"{policy.attempts} attempt(s): {last_error}"
+            ) from last_error
 
         def rows() -> Iterator[int]:
             try:
@@ -213,55 +325,56 @@ class RemoteShard(ShardBackend):
         return rows()
 
     def insert(self, x: float, y: float) -> int:
-        """Insert one point on the worker; returns its local row id."""
-        borrowed = self._borrow()
-        try:
-            ack = borrowed.client.insert(x, y)
-        except Exception:
-            borrowed.discard()
-            raise
-        borrowed.release()
-        return ack.rows[0]
+        """Insert one point on the worker; returns its local row id.
+
+        Single attempt: a retried insert could double-apply on a worker
+        that committed before the connection died.
+        """
+        return self._call(
+            lambda client: client.insert(x, y).rows[0], retryable=False
+        )
 
     def extend(self, points: Sequence[Tuple[float, float]]) -> List[int]:
-        """Bulk-insert on the worker, chunked under the wire cap."""
+        """Bulk-insert on the worker, chunked under the wire cap.
+
+        Single attempt per call, like :meth:`insert`.
+        """
         from repro.server.protocol import MAX_WRITE_POINTS
 
         points = list(points)
-        borrowed = self._borrow()
-        rows: List[int] = []
-        try:
+
+        def run(client) -> List[int]:
+            rows: List[int] = []
             for start in range(0, len(points), MAX_WRITE_POINTS):
-                ack = borrowed.client.extend(
-                    points[start : start + MAX_WRITE_POINTS]
-                )
+                ack = client.extend(points[start : start + MAX_WRITE_POINTS])
                 rows.extend(ack.rows)
-        except Exception:
-            borrowed.discard()
-            raise
-        borrowed.release()
-        return rows
+            return rows
+
+        return self._call(run, retryable=False)
 
     def delete(self, local_id: int) -> None:
-        """Tombstone one worker row."""
-        borrowed = self._borrow()
-        try:
-            borrowed.client.delete(local_id)
-        except Exception:
-            borrowed.discard()
-            raise
-        borrowed.release()
+        """Tombstone one worker row (single attempt, like all writes)."""
+        self._call(
+            lambda client: client.delete(local_id), retryable=False
+        )
 
     def stats_frame(self) -> Optional[dict]:
-        """Fetch the worker's ``stats`` frame."""
-        borrowed = self._borrow()
+        """Fetch the worker's ``stats`` frame (retried like a read)."""
+        return self._call(lambda client: client.stats(), retryable=True)
+
+    def ping(self) -> bool:
+        """One-attempt liveness probe (no retries — probes must be cheap)."""
         try:
-            frame = borrowed.client.stats()
+            borrowed = self._borrow()
+        except Exception:
+            return False
+        try:
+            borrowed.client.stats()
         except Exception:
             borrowed.discard()
-            raise
+            return False
         borrowed.release()
-        return frame
+        return True
 
     def close(self) -> None:
         """Close every pooled connection and refuse new borrows."""

@@ -13,6 +13,15 @@ clients — the topology behind ``python -m repro cluster --workers N``.
 Data loads *through* the coordinator (bulk extend, partitioned by the
 shard map), so workers never need seed files and a restored snapshot
 (``--load``) replays onto whatever worker count the snapshot recorded.
+
+Fault tolerance: ``start_cluster(..., replicas=1)`` spawns one standby
+worker per primary and mirrors writes synchronously (``--replicas`` on
+the CLI); ``supervise=True`` starts a :class:`ClusterSupervisor` thread
+that notices dead worker processes, respawns them, and reloads their
+rows from the coordinator's global catalog
+(:meth:`~repro.cluster.coordinator.ClusterCoordinator.rebuild_worker` /
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.rebuild_replica`),
+so a ``kill -9`` heals without operator action.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import os
 import re
 import subprocess
 import sys
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,7 +38,13 @@ from repro.cluster.backends import RemoteShard
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.router import RouterThread
 
-__all__ = ["WorkerProcess", "spawn_worker", "ClusterHandle", "start_cluster"]
+__all__ = [
+    "WorkerProcess",
+    "spawn_worker",
+    "ClusterSupervisor",
+    "ClusterHandle",
+    "start_cluster",
+]
 
 #: The serve banner the launcher parses the bound address from.
 _BANNER = re.compile(r"Serving [\d,]+ points on ([\w.\-]+):(\d+) ")
@@ -50,17 +66,38 @@ class WorkerProcess:
         """Whether the worker process is still running."""
         return self.process.poll() is None
 
-    def terminate(self, timeout: float = 5.0) -> None:
-        """Stop the worker process (terminate, then kill on timeout)."""
+    @property
+    def pid(self) -> int:
+        """The worker's OS process id (chaos tests kill this)."""
+        return self.process.pid
+
+    def terminate(self, timeout: float = 5.0) -> Optional[int]:
+        """Stop and reap the worker; returns its exit code.
+
+        Terminates (then kills on timeout) a still-running worker, waits
+        so the child is reaped rather than left a zombie, and closes the
+        captured stdout/stderr pipes so repeated restarts cannot leak
+        file descriptors.  Returns the process exit code — nonzero or
+        negative (killed by signal) when the worker did not shut down
+        cleanly — or ``None`` if the process could not be reaped.
+        """
         if self.process.poll() is None:
             self.process.terminate()
             try:
                 self.process.wait(timeout=timeout)
             except subprocess.TimeoutExpired:  # pragma: no cover - stuck
                 self.process.kill()
-                self.process.wait(timeout=timeout)
-        if self.process.stdout is not None:
-            self.process.stdout.close()
+                try:
+                    self.process.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    pass
+        else:
+            # Already exited (crashed or killed externally): reap it.
+            self.process.wait()
+        for pipe in (self.process.stdout, self.process.stderr):
+            if pipe is not None and not pipe.closed:
+                pipe.close()
+        return self.process.returncode
 
 
 def _worker_environment() -> Dict[str, str]:
@@ -144,12 +181,155 @@ def spawn_worker(
             )
 
 
+class ClusterSupervisor:
+    """Respawn dead worker processes and reload their shards.
+
+    A daemon thread polling every primary (and replica) worker process;
+    when one has exited it is reaped (:meth:`WorkerProcess.terminate`
+    closes its pipes and reports the exit code), a fresh empty worker
+    is spawned, and the coordinator rebuilds the shard onto it from the
+    global catalog —
+    :meth:`~repro.cluster.coordinator.ClusterCoordinator.rebuild_worker`
+    for a primary,
+    :meth:`~repro.cluster.coordinator.ClusterCoordinator.rebuild_replica`
+    for a standby.  Until the rebuild lands, reads fail over to the
+    replica (or surface degraded results); afterwards the shard serves
+    normally again.
+
+    ``events`` accumulates one human-readable line per detection /
+    recovery / failure, newest last; ``restarts`` counts successful
+    recoveries.  Recovery failures (the respawn itself dying, the
+    rebuild RPC failing) are logged and retried on the next poll tick.
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        workers: List[WorkerProcess],
+        replica_workers: Optional[List[Optional[WorkerProcess]]] = None,
+        *,
+        poll_interval: float = 0.25,
+        host: str = "127.0.0.1",
+        window_ms: float = 2.0,
+        max_batch: int = 64,
+    ) -> None:
+        self.coordinator = coordinator
+        #: primary worker processes, mutated in place on respawn
+        self.workers = workers
+        #: replica worker processes (slot-indexed), mutated on respawn
+        self.replica_workers = (
+            replica_workers if replica_workers is not None else []
+        )
+        self.poll_interval = poll_interval
+        self._spawn_options = {
+            "host": host,
+            "window_ms": window_ms,
+            "max_batch": max_batch,
+        }
+        #: recovery log, one line per event (detection, success, failure)
+        self.events: List[str] = []
+        #: count of completed respawn-and-rebuild recoveries
+        self.restarts = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        """Start the poll loop (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the poll loop (idempotent; joins the thread)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        self._thread = None
+
+    def _log(self, message: str) -> None:
+        with self._lock:
+            self.events.append(message)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            self.check_once()
+
+    def check_once(self) -> int:
+        """One poll pass: recover every dead worker found; returns count.
+
+        Exposed for deterministic tests (call instead of starting the
+        thread); the background loop calls it every ``poll_interval``.
+        """
+        recovered = 0
+        for index, worker in enumerate(self.workers):
+            if worker.alive:
+                continue
+            exit_code = worker.terminate()
+            self._log(
+                f"primary worker {index} exited with code {exit_code}"
+            )
+            if self._recover_primary(index):
+                recovered += 1
+        for slot, worker in enumerate(self.replica_workers):
+            if worker is None or worker.alive:
+                continue
+            exit_code = worker.terminate()
+            self._log(
+                f"replica worker {slot} exited with code {exit_code}"
+            )
+            if self._recover_replica(slot):
+                recovered += 1
+        return recovered
+
+    def _recover_primary(self, index: int) -> bool:
+        try:
+            replacement = spawn_worker(**self._spawn_options)
+            backend = RemoteShard(replacement.host, replacement.port)
+            rows = self.coordinator.rebuild_worker(index, backend)
+        except Exception as exc:
+            self._log(f"primary worker {index} recovery failed: {exc}")
+            return False
+        self.workers[index] = replacement
+        with self._lock:
+            self.restarts += 1
+        self._log(
+            f"primary worker {index} respawned on "
+            f"{replacement.host}:{replacement.port}, {rows} rows restored"
+        )
+        return True
+
+    def _recover_replica(self, slot: int) -> bool:
+        try:
+            replacement = spawn_worker(**self._spawn_options)
+            backend = RemoteShard(replacement.host, replacement.port)
+            rows = self.coordinator.rebuild_replica(slot, backend)
+        except Exception as exc:
+            self._log(f"replica worker {slot} recovery failed: {exc}")
+            return False
+        self.replica_workers[slot] = replacement
+        with self._lock:
+            self.restarts += 1
+        self._log(
+            f"replica worker {slot} respawned on "
+            f"{replacement.host}:{replacement.port}, {rows} rows mirrored"
+        )
+        return True
+
+
 class ClusterHandle:
     """A running cluster: router + workers + coordinator, one lifetime.
 
     Returned by :func:`start_cluster`; use as a context manager or call
     :meth:`close`.  :attr:`host`/:attr:`port` are the router's client
-    address.
+    address.  ``replica_workers`` holds the standby processes (empty
+    when unreplicated) and ``supervisor`` the respawn thread (``None``
+    unless ``supervise=True``).
     """
 
     def __init__(
@@ -157,21 +337,32 @@ class ClusterHandle:
         router_thread: RouterThread,
         coordinator: ClusterCoordinator,
         workers: List[WorkerProcess],
+        replica_workers: Optional[List[WorkerProcess]] = None,
+        supervisor: Optional[ClusterSupervisor] = None,
     ) -> None:
         #: the protocol-serving router thread
         self.router_thread = router_thread
         #: the routing/merge engine (shared with the router)
         self.coordinator = coordinator
-        #: the spawned worker processes
+        #: the spawned primary worker processes
         self.workers = workers
+        #: the spawned standby worker processes (slot-indexed)
+        self.replica_workers = replica_workers or []
+        #: the respawn thread, when supervision was requested
+        self.supervisor = supervisor
         #: the router's client-facing address
         self.host, self.port = router_thread.host, router_thread.port
 
     def close(self) -> None:
-        """Stop the router (closing shard connections), then workers."""
+        """Stop supervision, then the router, then every worker."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self.router_thread.close()
         for worker in self.workers:
             worker.terminate()
+        for worker in self.replica_workers:
+            if worker is not None:
+                worker.terminate()
 
     def __enter__(self) -> "ClusterHandle":
         """Context-manager entry: the cluster is already serving."""
@@ -191,6 +382,9 @@ def start_cluster(
     window_ms: float = 2.0,
     max_batch: int = 64,
     snapshot_state: Optional[Dict] = None,
+    replicas: int = 0,
+    supervise: bool = False,
+    health_interval: float = 0.0,
     **coordinator_options,
 ) -> ClusterHandle:
     """Spawn ``worker_count`` workers and serve them behind one router.
@@ -198,7 +392,12 @@ def start_cluster(
     Either ``points`` (bulk-loaded through the shard map) or
     ``snapshot_state`` (a :func:`repro.cluster.persist.load_cluster_state`
     mapping, restoring ids and shard assignment exactly) seeds the data;
-    both ``None`` starts empty.  ``coordinator_options`` pass through to
+    both ``None`` starts empty.  ``replicas=1`` spawns one standby
+    worker per primary and mirrors every write synchronously (reads
+    fail over when a primary dies); ``supervise=True`` starts a
+    :class:`ClusterSupervisor` that respawns dead workers; a positive
+    ``health_interval`` starts the coordinator's background health
+    probes at that period.  ``coordinator_options`` pass through to
     :class:`ClusterCoordinator` (rebalance tuning).  On any startup
     failure the already-spawned workers are terminated before the error
     propagates.
@@ -207,7 +406,12 @@ def start_cluster(
         raise ValueError(f"need at least one worker, got {worker_count}")
     if points is not None and snapshot_state is not None:
         raise ValueError("pass points or snapshot_state, not both")
+    if replicas not in (0, 1):
+        raise ValueError(
+            f"replicas must be 0 or 1 (per-primary standby), got {replicas}"
+        )
     workers: List[WorkerProcess] = []
+    replica_workers: List[WorkerProcess] = []
     try:
         for _ in range(worker_count):
             workers.append(
@@ -218,6 +422,19 @@ def start_cluster(
         backends = [
             RemoteShard(worker.host, worker.port) for worker in workers
         ]
+        if replicas:
+            for _ in range(worker_count):
+                replica_workers.append(
+                    spawn_worker(
+                        host=host,
+                        window_ms=window_ms,
+                        max_batch=max_batch,
+                    )
+                )
+            coordinator_options["replicas"] = [
+                RemoteShard(worker.host, worker.port)
+                for worker in replica_workers
+            ]
         if snapshot_state is not None:
             coordinator = ClusterCoordinator.restore(
                 backends, snapshot_state, **coordinator_options
@@ -228,11 +445,24 @@ def start_cluster(
             )
             if points:
                 coordinator.bulk_load(points)
-        router_thread = RouterThread(
-            coordinator, host=host, port=port
-        )
+        if health_interval > 0:
+            coordinator.start_health_monitor(health_interval)
+        router_thread = RouterThread(coordinator, host=host, port=port)
     except BaseException:
-        for worker in workers:
+        for worker in workers + replica_workers:
             worker.terminate()
         raise
-    return ClusterHandle(router_thread, coordinator, workers)
+    supervisor: Optional[ClusterSupervisor] = None
+    if supervise:
+        supervisor = ClusterSupervisor(
+            coordinator,
+            workers,
+            replica_workers if replicas else None,
+            host=host,
+            window_ms=window_ms,
+            max_batch=max_batch,
+        )
+        supervisor.start()
+    return ClusterHandle(
+        router_thread, coordinator, workers, replica_workers, supervisor
+    )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from typing import Dict, List
 
 import numpy as np
@@ -110,9 +111,15 @@ def load_cluster_state(path: str | os.PathLike) -> Dict:
     rows = []
     for shard in manifest["shards"]:
         shard_path = os.path.join(directory, shard["file"])
-        with np.load(shard_path, allow_pickle=False) as archive:
-            xy = archive["xy"].reshape(-1, 2)
-            gids = archive["gids"]
+        try:
+            with np.load(shard_path, allow_pickle=False) as archive:
+                xy = archive["xy"].reshape(-1, 2)
+                gids = archive["gids"]
+        except (OSError, KeyError, zipfile.BadZipFile) as exc:
+            raise ValueError(
+                f"corrupt cluster snapshot: cannot read "
+                f"{shard['file']}: {exc}"
+            ) from exc
         if len(xy) != int(shard["count"]) or len(gids) != len(xy):
             raise ValueError(
                 f"corrupt cluster snapshot: {shard['file']} holds "

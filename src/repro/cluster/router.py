@@ -21,6 +21,13 @@ Differences from a single server, all wire-legal:
   not provide (see docs/CLUSTER.md for the planned design).
 * ``explain`` renders the router's routing decision, not a per-shard
   planner trace.
+* Partial failure is *loud*: a query that loses a shard from both its
+  primary and replica answers with ``"degraded": true`` plus the
+  ``shards_failed`` worker list on the result frame (or the stream's
+  final ``done`` chunk) — never a silently smaller result.  A write
+  whose owning shard is unreachable answers an ``error`` frame with
+  code ``unavailable``; the write did not apply and is safe to retry
+  after recovery.
 
 Concurrency: one OS thread per client connection (blocking socket I/O
 releases the GIL, and the coordinator's readers-writer lock lets reads
@@ -38,7 +45,11 @@ from dataclasses import asdict
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional
 
-from repro.cluster.coordinator import ClusterCoordinator, ClusterWriteError
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterDegradedError,
+    ClusterWriteError,
+)
 from repro.core.exceptions import ReproError
 from repro.core.stats import QueryStats
 from repro.server.protocol import (
@@ -131,6 +142,8 @@ class ClusterRouter:
             "streams_completed": 0,
             "streams_cancelled": 0,
             "errors_sent": 0,
+            "degraded_results": 0,
+            "writes_unavailable": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -311,8 +324,15 @@ class ClusterRouter:
             self._open_stream(conn, streams, request_id, spec, frame)
             return
         started = perf_counter()
+        shards_failed: Optional[List[int]] = None
         try:
             ids = self.coordinator.query(spec)
+        except ClusterDegradedError as exc:
+            # A shard was lost from both copies: answer with the
+            # explicitly-partial result, never a silent one.
+            ids = exc.ids
+            shards_failed = exc.shards_failed
+            self.metrics["degraded_results"] += 1
         except (ValueError, ReproError) as exc:
             self._send_error(conn, request_id, "bad-spec", str(exc))
             return
@@ -329,6 +349,9 @@ class ClusterRouter:
             "id": request_id,
             "stats": _stats_to_wire(stats),
         }
+        if shards_failed is not None:
+            response["degraded"] = True
+            response["shards_failed"] = shards_failed
         if frame.get("packed"):
             response["ids_packed"] = pack_ids(ids)
         else:
@@ -441,6 +464,13 @@ class ClusterRouter:
             streams.pop(stream.request_id, None)
             stream.close()
             self.metrics["streams_completed"] += 1
+            # Stamp degradation on the final chunk: the stream source
+            # accumulated any shards lost (from both copies) mid-flight.
+            shards_failed = getattr(stream.source, "shards_failed", None)
+            if shards_failed:
+                frame["degraded"] = True
+                frame["shards_failed"] = sorted(set(shards_failed))
+                self.metrics["degraded_results"] += 1
         self._send(conn, frame)
 
     def _on_next(
@@ -515,6 +545,18 @@ class ClusterRouter:
                 rows = [row]
         except (ClusterWriteError, IndexError, ValueError, ReproError) as exc:
             self._send_error(conn, request_id, "bad-request", str(exc))
+            return
+        except (OSError, EOFError) as exc:
+            # The owning shard is unreachable.  The write did NOT apply
+            # (the coordinator never acks a write its primary did not
+            # commit), so the client may retry after recovery.
+            self.metrics["writes_unavailable"] += 1
+            self._send_error(
+                conn,
+                request_id,
+                "unavailable",
+                f"owning shard unreachable, write not applied: {exc}",
+            )
             return
         except Exception as exc:  # pragma: no cover - defensive
             self._send_error(conn, request_id, "server-error", str(exc))

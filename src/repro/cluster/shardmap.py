@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.engine.order import DEFAULT_ORDER, hilbert_index
 
@@ -186,7 +186,14 @@ def key_intervals(
 
 @dataclass(frozen=True)
 class ShardRange:
-    """One contiguous Hilbert key range ``[lo, hi)`` owned by a worker."""
+    """One contiguous Hilbert key range ``[lo, hi)`` owned by a worker.
+
+    ``replica`` optionally names the worker's standby: point writes in
+    the range mirror to it synchronously and reads fail over to it when
+    the primary is down (see :mod:`repro.cluster.faults` and
+    ``docs/CLUSTER.md``).  ``None`` means unreplicated — a lost primary
+    degrades queries touching the range instead.
+    """
 
     #: inclusive lower key bound
     lo: int
@@ -194,6 +201,8 @@ class ShardRange:
     hi: int
     #: index of the owning worker replica
     worker: int
+    #: index of the standby replica backend (``None`` = unreplicated)
+    replica: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lo < 0 or self.hi <= self.lo:
@@ -216,7 +225,15 @@ class ShardMap:
     exactly one owner.
     """
 
-    __slots__ = ("order", "ranges", "_lows", "_side", "_workers", "_quads")
+    __slots__ = (
+        "order",
+        "ranges",
+        "_lows",
+        "_side",
+        "_workers",
+        "_replica_of",
+        "_quads",
+    )
 
     def __init__(
         self, ranges: Sequence[ShardRange], *, order: int = DEFAULT_ORDER
@@ -235,6 +252,17 @@ class ShardMap:
                     f"gap or overlap between [{left.lo}, {left.hi}) "
                     f"and [{right.lo}, {right.hi})"
                 )
+        replica_of: dict = {}
+        for shard_range in ordered:
+            known = replica_of.setdefault(
+                shard_range.worker, shard_range.replica
+            )
+            if known != shard_range.replica:
+                raise ValueError(
+                    f"worker {shard_range.worker} has conflicting "
+                    f"replica assignments {known!r} and "
+                    f"{shard_range.replica!r}"
+                )
         #: Hilbert refinement order (``2**order`` cells per axis)
         self.order = order
         #: the sorted, gap-free :class:`ShardRange` tuple
@@ -242,6 +270,7 @@ class ShardMap:
         self._lows = [r.lo for r in ordered]
         self._side = 1 << order
         self._workers = frozenset(r.worker for r in ordered)
+        self._replica_of = replica_of
         # Memo of quad -> owning workers.  The map is immutable (splits
         # build a new instance), so entries never invalidate; the key
         # space is bounded by the grid, and in practice queries revisit
@@ -250,13 +279,19 @@ class ShardMap:
 
     @classmethod
     def even(
-        cls, workers: int, *, order: int = DEFAULT_ORDER
+        cls,
+        workers: int,
+        *,
+        order: int = DEFAULT_ORDER,
+        replicated: bool = False,
     ) -> "ShardMap":
         """An equal-width partition of the key space over ``workers``.
 
         The launcher's starting map: worker ``i`` owns the ``i``-th of
         ``workers`` equal Hilbert intervals.  Uniform data then loads
-        evenly; skew is corrected later by :meth:`split`.
+        evenly; skew is corrected later by :meth:`split`.  With
+        ``replicated`` worker ``i`` is paired with replica slot ``i``
+        (the coordinator's parallel replica-backend list).
         """
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -268,10 +303,34 @@ class ShardMap:
         bounds = [key_space * i // workers for i in range(workers + 1)]
         return cls(
             [
-                ShardRange(bounds[i], bounds[i + 1], i)
+                ShardRange(
+                    bounds[i],
+                    bounds[i + 1],
+                    i,
+                    replica=i if replicated else None,
+                )
                 for i in range(workers)
             ],
             order=order,
+        )
+
+    def replica_of(self, worker: int) -> Optional[int]:
+        """The replica slot paired with ``worker`` (``None`` if none)."""
+        return self._replica_of.get(worker)
+
+    def with_replicas(self, assignment: dict) -> "ShardMap":
+        """A new map with replica slots from ``{worker: replica}``.
+
+        Workers absent from ``assignment`` become unreplicated.
+        """
+        from dataclasses import replace as _replace
+
+        return ShardMap(
+            [
+                _replace(r, replica=assignment.get(r.worker))
+                for r in self.ranges
+            ],
+            order=self.order,
         )
 
     @property
@@ -414,7 +473,8 @@ class ShardMap:
         """A new map with the range holding ``key`` cut at ``split_at``.
 
         The upper half ``[split_at, hi)`` is reassigned to
-        ``new_worker``; the lower half keeps its owner.  ``split_at``
+        ``new_worker`` (inheriting ``new_worker``'s existing replica
+        pairing, if any); the lower half keeps its owner.  ``split_at``
         must fall strictly inside the range.  This is the rebalance
         primitive: the coordinator picks the split key from the live
         data's median and migrates the moved rows before installing the
@@ -427,18 +487,32 @@ class ShardMap:
                 f"[{target.lo}, {target.hi})"
             )
         replacement = [
-            ShardRange(target.lo, split_at, target.worker),
-            ShardRange(split_at, target.hi, new_worker),
+            ShardRange(
+                target.lo, split_at, target.worker, replica=target.replica
+            ),
+            ShardRange(
+                split_at,
+                target.hi,
+                new_worker,
+                replica=self._replica_of.get(new_worker),
+            ),
         ]
         ranges = [r for r in self.ranges if r is not target] + replacement
         return ShardMap(ranges, order=self.order)
 
     def as_dicts(self) -> List[dict]:
-        """JSON-ready range list (manifest and stats wire form)."""
-        return [
-            {"lo": r.lo, "hi": r.hi, "worker": r.worker}
-            for r in self.ranges
-        ]
+        """JSON-ready range list (manifest and stats wire form).
+
+        ``replica`` appears only on replicated ranges, so unreplicated
+        maps serialise byte-identically to the pre-replication format.
+        """
+        dicts = []
+        for r in self.ranges:
+            entry = {"lo": r.lo, "hi": r.hi, "worker": r.worker}
+            if r.replica is not None:
+                entry["replica"] = r.replica
+            dicts.append(entry)
+        return dicts
 
     @classmethod
     def from_dicts(
@@ -447,7 +521,15 @@ class ShardMap:
         """Rebuild a map from its :meth:`as_dicts` form."""
         return cls(
             [
-                ShardRange(int(d["lo"]), int(d["hi"]), int(d["worker"]))
+                ShardRange(
+                    int(d["lo"]),
+                    int(d["hi"]),
+                    int(d["worker"]),
+                    replica=(
+                        int(d["replica"]) if d.get("replica") is not None
+                        else None
+                    ),
+                )
                 for d in data
             ],
             order=order,

@@ -37,6 +37,7 @@ coalescing semantics.
 
 from repro.server.app import QueryServer, ServerThread
 from repro.server.client import (
+    ConnectionLost,
     Notification,
     QueryClient,
     RemoteError,
@@ -60,6 +61,7 @@ __all__ = [
     "QueryServer",
     "ServerThread",
     "QueryClient",
+    "ConnectionLost",
     "RemoteResult",
     "RemoteError",
     "RemoteSubscription",

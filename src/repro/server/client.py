@@ -60,6 +60,19 @@ from repro.server.protocol import (
 )
 
 
+class ConnectionLost(ConnectionError):
+    """The server closed (or dropped) the connection under this client.
+
+    Raised instead of a bare :class:`ConnectionError` wherever the
+    client can *prove* the peer is gone — an empty ``recv`` on a socket
+    ``select`` reported readable — so callers can tell a dead server
+    from an idle poll timeout (:meth:`QueryClient.notifications` and
+    the ``--timeout`` CLI flag return/exit differently for the two).
+    Subclasses :class:`ConnectionError`, so existing transport-level
+    handlers keep working.
+    """
+
+
 class RemoteError(RuntimeError):
     """An ``error`` frame received from the server.
 
@@ -93,12 +106,25 @@ def _remote_error(frame: Dict) -> RemoteError:
 
 
 class RemoteResult:
-    """One ``result`` frame: ids, execution stats, optional explain."""
+    """One ``result`` frame: ids, execution stats, optional explain.
 
-    __slots__ = ("ids", "stats", "explain")
+    ``degraded``/``shards_failed`` mirror the cluster-degradation
+    fields of the frame (see :mod:`repro.server.protocol`): a degraded
+    result is *explicitly partial* — the named shards contributed
+    nothing.  Single-process servers and healthy clusters always
+    deliver ``degraded=False``.
+    """
+
+    __slots__ = ("ids", "stats", "explain", "degraded", "shards_failed")
 
     def __init__(
-        self, ids: List[int], stats: Dict, explain: Optional[str]
+        self,
+        ids: List[int],
+        stats: Dict,
+        explain: Optional[str],
+        *,
+        degraded: bool = False,
+        shards_failed: Optional[List[int]] = None,
     ) -> None:
         #: result row ids (ascending for region kinds, kNN order for points)
         self.ids = ids
@@ -106,6 +132,10 @@ class RemoteResult:
         self.stats = stats
         #: the planner's rendered explain table (``explain=True`` only)
         self.explain = explain
+        #: whether this result is explicitly partial (shards lost)
+        self.degraded = bool(degraded)
+        #: worker indices that could not contribute (empty when healthy)
+        self.shards_failed = list(shards_failed or [])
 
     def __len__(self) -> int:
         """Number of result rows."""
@@ -264,6 +294,12 @@ class QueryClient:
         with ``select`` and returns ``None`` when no complete line
         arrived in time — with any partial line left intact in the
         buffer for the next read.
+
+        A ``None`` return always means *idle peer*, never *dead peer*:
+        even with the poll budget already spent, the socket is polled
+        once more at zero timeout — a peer that closed the connection
+        is readable (EOF), so it raises :class:`ConnectionLost` instead
+        of masquerading as "no data yet".
         """
         deadline = (
             None if timeout is None else time.monotonic() + max(0.0, timeout)
@@ -281,16 +317,14 @@ class QueryClient:
                 )
             if deadline is not None:
                 remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return None
                 readable, _, _ = select.select(
-                    [self._sock], [], [], remaining
+                    [self._sock], [], [], max(0.0, remaining)
                 )
                 if not readable:
                     return None
             chunk = self._sock.recv(65_536)
             if not chunk:
-                raise ConnectionError("server closed the connection")
+                raise ConnectionLost("server closed the connection")
             self._rbuf += chunk
 
     def _read_frame(self) -> Dict:
@@ -406,7 +440,11 @@ class QueryClient:
                 f"expected a result frame, got {response['type']!r}",
             )
         return RemoteResult(
-            result_ids(response), response["stats"], response.get("explain")
+            result_ids(response),
+            response["stats"],
+            response.get("explain"),
+            degraded=response.get("degraded", False),
+            shards_failed=response.get("shards_failed"),
         )
 
     def stream(
@@ -645,6 +683,12 @@ class RemoteStream:
         #: the ``overloaded`` error that shed this stream server-side
         #: (``None`` while healthy); raised on the next row fetch
         self.shed: Optional[RemoteError] = None
+        #: whether the stream lost shards (stamped on the final chunk)
+        self.degraded = bool(first_chunk.get("degraded", False))
+        #: worker indices that could not contribute (final chunk)
+        self.shards_failed: List[int] = list(
+            first_chunk.get("shards_failed", [])
+        )
 
     def _mark_shed(self, error: RemoteError) -> None:
         """Record a server-side shed: the stream is gone, rows raise."""
@@ -681,6 +725,9 @@ class RemoteStream:
         self.chunks_received += 1
         self.examined = int(chunk.get("examined", self.examined))
         self.done = bool(chunk["done"])
+        if chunk.get("degraded"):
+            self.degraded = True
+            self.shards_failed = list(chunk.get("shards_failed", []))
         if self.done:
             self._client._streams.pop(self._request_id, None)
         self._buffer = list(chunk["rows"])

@@ -28,8 +28,12 @@ Server-to-client frames::
     {"type": "result", "id": 7, "ids": [...], "stats": {...},
      "explain": "..."}
     {"type": "result", "id": 7, "ids_packed": "<base64>", "stats": {...}}
+    {"type": "result", "id": 7, "ids": [...], "stats": {...},
+     "degraded": true, "shards_failed": [2]}
     {"type": "chunk",  "id": 7, "seq": 0, "rows": [...], "done": false,
      "examined": 256, "cancelled": false}
+    {"type": "chunk",  "id": 7, "seq": 3, "rows": [...], "done": true,
+     "degraded": true, "shards_failed": [0]}
     {"type": "error",  "id": 7, "code": "bad-spec", "message": "..."}
     {"type": "stats",  "server": {...}, "coalescer": {...}, "engine": {...}}
     {"type": "write",  "id": 8, "op": "insert", "rows": [1200],
@@ -104,13 +108,24 @@ per row, which otherwise dominates a fast query's round-trip.  Frames
 without the flag are byte-identical to before, so the protocol version
 stays 1 and mixed clients interoperate.
 
+**Degraded results (cluster serving).**  A clustered router that loses
+a shard from both its primary *and* replica mid-query never returns a
+silent partial answer: the ``result`` frame (or the final ``done``
+chunk of a stream) carries ``"degraded": true`` plus ``shards_failed``,
+the worker indices that could not contribute.  Both fields are
+additive and optional — single-process servers and healthy clusters
+omit them, so the protocol version stays 1.  Clients decide whether a
+partial answer is acceptable; the CLI prints a loud warning.
+
 :func:`decode_frame` rejects malformed input with
 :class:`ProtocolError`, whose ``code`` is stable for programmatic
 handling: ``bad-frame`` (not JSON / not an object / unknown or missing
 type / wrong field shape), ``bad-spec`` (spec body that
 :func:`repro.query.serialize.spec_from_dict` rejects, raised by
 :func:`parse_query_spec`), plus the server-emitted ``bad-request``,
-``too-many-requests``, and ``server-error``.
+``too-many-requests``, ``unavailable`` (a clustered write whose owning
+shard is unreachable — the write did *not* apply), and
+``server-error``.
 """
 
 from __future__ import annotations
@@ -175,6 +190,7 @@ ERROR_CODES = (
     "bad-request",
     "too-many-requests",
     "overloaded",
+    "unavailable",
     "server-error",
 )
 
@@ -238,8 +254,33 @@ def _validate_query(frame: Dict) -> None:
         )
 
 
+def _check_degraded(frame: Dict) -> None:
+    """Validate the optional cluster-degradation fields.
+
+    ``degraded``/``shards_failed`` are additive: absent on healthy
+    answers, both meaningful only together (a degraded frame names the
+    shards that failed; naming failed shards implies degradation).
+    """
+    if "degraded" in frame:
+        _require(
+            isinstance(frame["degraded"], bool),
+            "'degraded' must be a boolean",
+        )
+    if "shards_failed" in frame:
+        shards = frame["shards_failed"]
+        _require(
+            isinstance(shards, list)
+            and all(
+                isinstance(s, int) and not isinstance(s, bool) and s >= 0
+                for s in shards
+            ),
+            "'shards_failed' must be a list of worker indices",
+        )
+
+
 def _validate_result(frame: Dict) -> None:
     _check_id(frame)
+    _check_degraded(frame)
     packed = frame.get("ids_packed")
     if packed is not None:
         _require(
@@ -273,6 +314,7 @@ def _validate_result(frame: Dict) -> None:
 
 def _validate_chunk(frame: Dict) -> None:
     _check_id(frame)
+    _check_degraded(frame)
     seq = frame.get("seq")
     _require(
         isinstance(seq, int) and not isinstance(seq, bool) and seq >= 0,

@@ -100,6 +100,8 @@ _CONTEXT_KEYS = {
     "cpus",
     "mode",
     "modeled",
+    "replicas",
+    "faults_injected",
 }
 
 #: Metrics where *larger is worse* (times); everything else numeric is
